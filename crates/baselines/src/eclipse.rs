@@ -1,0 +1,192 @@
+//! **Eclipse** and the **Eclipse-Based** baseline (§8 "Algorithms Compared").
+//!
+//! Eclipse [Venkatakrishnan et al., SIGMETRICS 2016] schedules *one-hop*
+//! traffic; the paper's baseline applies it to multi-hop loads by:
+//!
+//! 1. computing the unordered one-hop projection `T^one` (every hop of every
+//!    route becomes an independent one-hop demand, hop ordering ignored);
+//! 2. running Eclipse over `T^one` to obtain a configuration sequence;
+//! 3. routing the *real* multi-hop traffic over that fixed sequence
+//!    (Eclipse++'s job in the paper; here the slot-level simulator's greedy
+//!    VOQ routing, per DESIGN.md §5).
+//!
+//! The baseline's characteristic failure — configurations chosen without hop
+//! ordering leave links idle when upstream hops haven't happened yet — is a
+//! property of the schedule and reproduces regardless of the router.
+
+use crate::one_hop::{one_hop_schedule, OneHopDemand, OneHopOutput};
+use octopus_core::{AlphaSearch, MatchingKind, OctopusConfig, SchedError};
+use octopus_net::{Network, Schedule};
+use octopus_traffic::{FlowId, TrafficLoad};
+
+/// Runs plain Eclipse over explicit one-hop demands (unit weights).
+pub fn eclipse_schedule(
+    n: u32,
+    demands: &[OneHopDemand],
+    delta: u64,
+    window: u64,
+) -> OneHopOutput {
+    one_hop_schedule(
+        n,
+        demands,
+        delta,
+        window,
+        AlphaSearch::Exhaustive,
+        MatchingKind::Exact,
+    )
+}
+
+/// Builds `T^one` with one demand per (flow, hop), unit weight, tagged by
+/// flow position so service maps back to flows. Demands are emitted in
+/// (flow, hop) order; the tag encodes the flow's index so ties keep the
+/// flow-ID priority convention.
+pub fn one_hop_demands(load: &TrafficLoad) -> Vec<OneHopDemand> {
+    let mut out = Vec::new();
+    for (fi, f) in load.flows().iter().enumerate() {
+        let r = f.route();
+        for x in 0..r.hops() {
+            let (a, b) = r.hop(x);
+            out.push(OneHopDemand {
+                src: a,
+                dst: b,
+                size: f.size,
+                weight: 1.0,
+                tag: fi as u64,
+            });
+        }
+    }
+    out
+}
+
+/// The Eclipse-Based baseline's schedule for a multi-hop load: Eclipse over
+/// `T^one`. Evaluate it on the real load with `octopus_sim`.
+///
+/// # Errors
+/// Fails if any flow has several candidate routes (the projection needs
+/// fixed routes) or uses a link absent from the fabric.
+pub fn eclipse_based_schedule(
+    net: &Network,
+    load: &TrafficLoad,
+    cfg: &OctopusConfig,
+) -> Result<Schedule, SchedError> {
+    load.validate(net).map_err(|e| match e {
+        octopus_traffic::TrafficError::InvalidRoute(id, _) => SchedError::InvalidRoute(id),
+        _ => SchedError::InvalidRoute(FlowId(u64::MAX)),
+    })?;
+    if !load.is_single_route() {
+        let id = load
+            .flows()
+            .iter()
+            .find(|f| f.routes.len() != 1)
+            .map(|f| f.id)
+            .expect("checked non-single-route");
+        return Err(SchedError::MultiRouteFlow(id));
+    }
+    let demands = one_hop_demands(load);
+    let out = eclipse_schedule(net.num_nodes(), &demands, cfg.delta, cfg.window);
+    Ok(out.schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_net::topology;
+    use octopus_sim::{resolve, SimConfig, Simulator};
+    use octopus_traffic::{Flow, Route};
+
+    fn cfg(window: u64, delta: u64) -> OctopusConfig {
+        OctopusConfig {
+            window,
+            delta,
+            ..OctopusConfig::default()
+        }
+    }
+
+    #[test]
+    fn projection_expands_hops() {
+        let load = TrafficLoad::new(vec![
+            Flow::single(FlowId(1), 10, Route::from_ids([0, 1, 2]).unwrap()),
+            Flow::single(FlowId(2), 5, Route::from_ids([3, 0]).unwrap()),
+        ])
+        .unwrap();
+        let d = one_hop_demands(&load);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].size, 10);
+        assert_eq!(d[2].size, 5);
+        assert_eq!(d[0].tag, 0);
+        assert_eq!(d[1].tag, 0);
+        assert_eq!(d[2].tag, 1);
+    }
+
+    #[test]
+    fn eclipse_based_serves_one_hop_loads_perfectly() {
+        // For pure one-hop traffic, Eclipse-Based == Octopus territory.
+        let net = topology::complete(4);
+        let load = TrafficLoad::new(vec![
+            Flow::single(FlowId(1), 25, Route::from_ids([0, 1]).unwrap()),
+            Flow::single(FlowId(2), 25, Route::from_ids([2, 3]).unwrap()),
+        ])
+        .unwrap();
+        let schedule = eclipse_based_schedule(&net, &load, &cfg(500, 5)).unwrap();
+        let sim = Simulator::new(
+            Some(&net),
+            resolve(&load).unwrap(),
+            SimConfig {
+                delta: 5,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let r = sim.run(&schedule).unwrap();
+        assert_eq!(r.delivered, 50);
+    }
+
+    #[test]
+    fn eclipse_based_ignores_hop_ordering() {
+        // One 2-hop flow: T^one demands both hops with no ordering, so the
+        // schedule may activate (1,2) before any packet reached node 1 —
+        // utilization suffers, the paper's Figure 5 story.
+        let net = topology::ring(3).unwrap();
+        let load = TrafficLoad::new(vec![Flow::single(
+            FlowId(1),
+            40,
+            Route::from_ids([0, 1, 2]).unwrap(),
+        )])
+        .unwrap();
+        let schedule = eclipse_based_schedule(&net, &load, &cfg(10_000, 10)).unwrap();
+        let sim = Simulator::new(
+            Some(&net),
+            resolve(&load).unwrap(),
+            SimConfig {
+                delta: 10,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let r = sim.run(&schedule).unwrap();
+        // Every packet-hop demanded is offered exactly once, so wasted
+        // link-slots mean utilization < 1 whenever ordering bites. With both
+        // hops likely co-scheduled, chaining may still deliver some.
+        assert!(r.link_utilization() <= 1.0);
+        assert!(r.conserves_packets());
+    }
+
+    #[test]
+    fn multi_route_load_rejected() {
+        let net = topology::complete(3);
+        let load = TrafficLoad::new(vec![Flow::new(
+            FlowId(4),
+            5,
+            vec![
+                Route::from_ids([0, 1]).unwrap(),
+                Route::from_ids([0, 2, 1]).unwrap(),
+            ],
+        )
+        .unwrap()])
+        .unwrap();
+        assert_eq!(
+            eclipse_based_schedule(&net, &load, &cfg(100, 5)).err(),
+            Some(SchedError::MultiRouteFlow(FlowId(4)))
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! The **RotorNet** baseline (§8, Fig 8).
+//!
+//! RotorNet (Mellette et al., SIGCOMM 2017) is traffic-agnostic: rotor
+//! switches cycle through a fixed family of matchings that together cover
+//! the complete fabric, each held for a fixed duration (the paper uses
+//! `10·Δ`, following ProjecToR's convention). Applied to the MHS problem it
+//! "assumes availability of all edges anyway" — the schedule may activate
+//! links outside the fabric graph; they simply carry nothing.
+
+use octopus_net::{topology, Configuration, Schedule};
+
+/// Builds the RotorNet round-robin schedule for an `n`-node fabric, window
+/// `window`, reconfiguration delay `delta`, holding each matching for
+/// `slots_per_matching` slots (the paper's setting: `10·Δ`; pass 0 to use
+/// that default, with a floor of 1 slot for Δ = 0).
+///
+/// Matchings come from the round-robin tournament family and repeat
+/// cyclically until the window is exhausted; the last configuration is
+/// truncated to fit.
+///
+/// ```
+/// use octopus_baselines::rotornet_schedule;
+/// let s = rotornet_schedule(8, 10, 1_000, 0);
+/// assert!(s.total_cost(10) <= 1_000);
+/// assert_eq!(s.configs()[0].alpha, 100); // 10·Δ per matching
+/// ```
+pub fn rotornet_schedule(n: u32, delta: u64, window: u64, slots_per_matching: u64) -> Schedule {
+    let hold = if slots_per_matching == 0 {
+        (10 * delta).max(1)
+    } else {
+        slots_per_matching
+    };
+    let family = topology::round_robin_matchings(n);
+    let mut schedule = Schedule::new();
+    if family.is_empty() {
+        return schedule;
+    }
+    let mut used = 0u64;
+    let mut idx = 0usize;
+    while used + delta < window {
+        let alpha = hold.min(window - used - delta);
+        schedule.push(Configuration::new(family[idx % family.len()].clone(), alpha));
+        used += alpha + delta;
+        idx += 1;
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_sim::{ResolvedFlow, SimConfig, Simulator};
+    use octopus_traffic::{FlowId, Route};
+
+    #[test]
+    fn fills_window_with_fixed_durations() {
+        let s = rotornet_schedule(6, 10, 1_000, 0);
+        assert!(s.total_cost(10) <= 1_000);
+        // All but possibly the last configuration hold 100 slots.
+        for c in &s.configs()[..s.len() - 1] {
+            assert_eq!(c.alpha, 100);
+        }
+        // Cycles through 5 distinct matchings for n=6.
+        let distinct: std::collections::HashSet<_> = s
+            .configs()
+            .iter()
+            .map(|c| c.matching.links().to_vec())
+            .collect();
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn covers_every_pair_eventually() {
+        let s = rotornet_schedule(4, 1, 1_000, 0);
+        let links = s.links_used();
+        assert_eq!(links.len(), 12, "all ordered pairs of 4 nodes");
+    }
+
+    #[test]
+    fn delta_zero_still_progresses() {
+        let s = rotornet_schedule(4, 0, 50, 0);
+        assert!(!s.is_empty());
+        assert!(s.total_cost(0) <= 50);
+    }
+
+    #[test]
+    fn serves_direct_traffic_agnostically() {
+        // One flow (0 -> 1): RotorNet eventually activates (0,1) and delivers.
+        let s = rotornet_schedule(4, 2, 500, 0);
+        let flows = vec![ResolvedFlow {
+            flow: FlowId(1),
+            size: 15,
+            route: Route::from_ids([0, 1]).unwrap(),
+        }];
+        let sim = Simulator::new(
+            None,
+            flows,
+            SimConfig {
+                delta: 2,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let r = sim.run(&s).unwrap();
+        assert_eq!(r.delivered, 15);
+        // Utilization is terrible by construction: most offered link-slots
+        // carry nothing.
+        assert!(r.link_utilization() < 0.05);
+    }
+}

@@ -1,0 +1,242 @@
+//! The paper's two upper bounds (§8 "Upper Bounds").
+//!
+//! * **Absolute bound**: at most `n` links can be active per slot, so at
+//!   most `n·W` packet-hops can be traversed in the window; dividing by the
+//!   load's demanded packet-hops caps the deliverable fraction (≈66% for the
+//!   generated loads, ≈100% for the trace-like loads).
+//! * **UB**: run Eclipse over the unordered one-hop projection `T^one` with
+//!   ψ-weights (each hop of a `k`-hop flow weighs `1/k`) — fewer constraints
+//!   than the real problem plus the best possible approximation ratio, so it
+//!   tracks "the best achievable performance by a polynomial algorithm". A
+//!   packet counts as delivered only when **all** its hops have been served
+//!   (in any order).
+
+use crate::one_hop::{one_hop_schedule, OneHopDemand};
+use octopus_core::{AlphaSearch, MatchingKind, OctopusConfig};
+use octopus_net::{Network, Schedule};
+use octopus_traffic::TrafficLoad;
+use serde::{Deserialize, Serialize};
+
+/// The UB run's results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UbReport {
+    /// Packets whose every hop was served, summed over flows.
+    pub delivered: u64,
+    /// Total packets in the load.
+    pub total_packets: u64,
+    /// The ψ value of the run (served hop-weights).
+    pub psi: f64,
+    /// Packet-hops served (unweighted).
+    pub hops_served: u64,
+    /// Link-slots offered by the UB schedule.
+    pub link_slots_offered: u64,
+    /// The schedule the UB algorithm produced (for inspection).
+    pub schedule: Schedule,
+}
+
+impl UbReport {
+    /// Delivered fraction (0–1).
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.total_packets == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.total_packets as f64
+    }
+
+    /// Link utilization (0–1), as the paper computes it for UB.
+    pub fn link_utilization(&self) -> f64 {
+        if self.link_slots_offered == 0 {
+            return 0.0;
+        }
+        self.hops_served as f64 / self.link_slots_offered as f64
+    }
+
+    /// Delivered packets as a fraction of ψ (Fig 7a's metric).
+    pub fn delivered_over_psi(&self) -> f64 {
+        if self.psi <= 0.0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.psi
+    }
+}
+
+/// The absolute upper bound on the deliverable fraction.
+///
+/// At most `n` links are active per slot, so at most `n·W` packet-hops fit
+/// in the window; the most packets that budget can deliver is obtained by
+/// serving the cheapest (shortest-route) packets first. This reproduces the
+/// paper's arithmetic: 10⁶ hop-capacity against 10⁶ packets split equally
+/// into 1/2/3-hop routes delivers at most the 1-hop third (⅓·10⁶ hops) plus
+/// the 2-hop third (⅔·10⁶ hops) — 66% of the packets.
+pub fn absolute_upper_bound(net: &Network, load: &TrafficLoad, window: u64) -> f64 {
+    let total = load.total_packets();
+    if total == 0 {
+        return 1.0;
+    }
+    let mut budget = (net.num_nodes() as u64).saturating_mul(window);
+    // Cheapest packets first.
+    let mut per_hops: Vec<(u64, u64)> = Vec::new(); // (hops, packets)
+    for f in load.flows() {
+        per_hops.push((f.route().hops() as u64, f.size));
+    }
+    per_hops.sort_unstable();
+    let mut delivered = 0u64;
+    for (hops, packets) in per_hops {
+        if budget == 0 {
+            break;
+        }
+        let affordable = (budget / hops).min(packets);
+        delivered += affordable;
+        budget -= affordable * hops;
+    }
+    (delivered as f64 / total as f64).min(1.0)
+}
+
+/// Runs the UB algorithm on a single-route multi-hop load.
+///
+/// # Panics
+/// Panics if a flow has multiple candidate routes (project first).
+pub fn ub_evaluate(net: &Network, load: &TrafficLoad, cfg: &OctopusConfig) -> UbReport {
+    // T^one with psi-weights: hop of a k-hop flow weighs 1/k.
+    let mut demands = Vec::new();
+    let mut spans: Vec<(usize, usize)> = Vec::new(); // demand range per flow
+    for (fi, f) in load.flows().iter().enumerate() {
+        let r = f.route();
+        let start = demands.len();
+        for x in 0..r.hops() {
+            let (a, b) = r.hop(x);
+            demands.push(OneHopDemand {
+                src: a,
+                dst: b,
+                size: f.size,
+                weight: 1.0 / r.hops() as f64,
+                tag: fi as u64,
+            });
+        }
+        spans.push((start, demands.len()));
+    }
+    let out = one_hop_schedule(
+        net.num_nodes(),
+        &demands,
+        cfg.delta,
+        cfg.window,
+        AlphaSearch::Exhaustive,
+        MatchingKind::Exact,
+    );
+    let mut delivered = 0u64;
+    for &(start, end) in &spans {
+        if start == end {
+            continue;
+        }
+        delivered += out.served[start..end].iter().copied().min().unwrap_or(0);
+    }
+    let hops_served: u64 = out.served.iter().sum();
+    UbReport {
+        delivered,
+        total_packets: load.total_packets(),
+        psi: out.psi,
+        hops_served,
+        link_slots_offered: out.schedule.link_slots(),
+        schedule: out.schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_net::topology;
+    use octopus_traffic::{Flow, FlowId, Route};
+
+    fn cfg(window: u64, delta: u64) -> OctopusConfig {
+        OctopusConfig {
+            window,
+            delta,
+            ..OctopusConfig::default()
+        }
+    }
+
+    #[test]
+    fn absolute_bound_matches_paper_arithmetic() {
+        // The paper's 66% derivation: packets split equally into 1/2/3-hop
+        // routes with hop capacity equal to the packet count. Cheapest
+        // first: the 1-hop third (90 hops) and the 2-hop third (180 hops)
+        // exactly exhaust a 270-hop budget, so two thirds are deliverable.
+        let net = topology::complete(4);
+        let load = TrafficLoad::new(vec![
+            Flow::single(FlowId(1), 90, Route::from_ids([0, 1]).unwrap()),
+            Flow::single(FlowId(2), 90, Route::from_ids([0, 1, 2]).unwrap()),
+            Flow::single(FlowId(3), 90, Route::from_ids([0, 1, 2, 3]).unwrap()),
+        ])
+        .unwrap();
+        // Capacity = 4 nodes × 68 slots = 272 hops (the 2 spare hops cannot
+        // fit a 3-hop packet).
+        let bound = absolute_upper_bound(&net, &load, 68);
+        assert!((bound - 180.0 / 270.0).abs() < 1e-9, "bound {bound}");
+        // Generous window: everything fits.
+        assert_eq!(absolute_upper_bound(&net, &load, 10_000), 1.0);
+    }
+
+    #[test]
+    fn absolute_bound_serves_cheapest_first() {
+        let net = topology::complete(4);
+        let load = TrafficLoad::new(vec![
+            Flow::single(FlowId(1), 10, Route::from_ids([0, 1, 2, 3]).unwrap()),
+            Flow::single(FlowId(2), 10, Route::from_ids([0, 1]).unwrap()),
+        ])
+        .unwrap();
+        // Budget 12 hops (n=4, W=3): 10 one-hop packets + 0 three-hop
+        // packets (2 hops left < 3).
+        assert!((absolute_upper_bound(&net, &load, 3) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ub_counts_only_fully_served_packets() {
+        // Flow of 2 hops; tiny window serves only one hop fully.
+        let net = topology::ring(3).unwrap();
+        let load = TrafficLoad::new(vec![Flow::single(
+            FlowId(1),
+            40,
+            Route::from_ids([0, 1, 2]).unwrap(),
+        )])
+        .unwrap();
+        // Window fits one 40-slot configuration + delta: only one hop can be
+        // served fully if the two hops can't share a matching... they CAN
+        // share ((0,1),(1,2) is a matching), so both get served together.
+        let full = ub_evaluate(&net, &load, &cfg(100, 10));
+        assert_eq!(full.delivered, 40);
+        // Window 45 with delta 10: one configuration of alpha <= 35.
+        let partial = ub_evaluate(&net, &load, &cfg(45, 10));
+        assert!(partial.delivered <= 35);
+    }
+
+    #[test]
+    fn ub_dominates_feasible_schedulers_on_ordered_loads() {
+        // UB ignores hop ordering, so it should (weakly) beat Octopus's
+        // planned delivery on a load where ordering binds.
+        let net = topology::complete(6);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        let synth = octopus_traffic::synthetic::SyntheticConfig::paper_default(6, 300);
+        let load = octopus_traffic::synthetic::generate(&synth, &net, &mut rng);
+        let c = cfg(300, 10);
+        let ub = ub_evaluate(&net, &load, &c);
+        let oct = octopus_core::octopus(&net, &load, &c).unwrap();
+        // Not a theorem (both are approximations), but holds with slack on
+        // such instances; allow a small tolerance.
+        assert!(
+            ub.psi + 1e-9 >= 0.8 * oct.planned_psi,
+            "UB psi {} vs Octopus psi {}",
+            ub.psi,
+            oct.planned_psi
+        );
+    }
+
+    #[test]
+    fn empty_load() {
+        let net = topology::complete(3);
+        let load = TrafficLoad::new(vec![]).unwrap();
+        let ub = ub_evaluate(&net, &load, &cfg(100, 5));
+        assert_eq!(ub.delivered, 0);
+        assert_eq!(ub.delivered_fraction(), 0.0);
+        assert_eq!(absolute_upper_bound(&net, &load, 100), 1.0);
+    }
+}

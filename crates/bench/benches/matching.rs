@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the matching kernels (the inner loop of
+//! every scheduler iteration; Fig 10(a)'s story at kernel granularity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use octopus_matching::{
+    greedy::{bucket_greedy_matching, greedy_matching},
+    maximum_weight_matching, WeightedBipartiteGraph,
+};
+
+/// Deterministic sparse instance shaped like an Octopus iteration: ~16 edges
+/// per node with integral-ish weights bounded by the window.
+fn instance(n: u32) -> WeightedBipartiteGraph {
+    let mut state = 0x5eed_u64.wrapping_add(n as u64);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for _ in 0..16 {
+            let v = next() as u32 % n;
+            let w = (1 + next() % 10_000) as f64;
+            edges.push((u, v, w));
+        }
+    }
+    WeightedBipartiteGraph::from_tuples(n, n, edges)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    for n in [100u32, 300, 1000] {
+        let g = instance(n);
+        let ints: Vec<u64> = g.edges().iter().map(|e| e.weight as u64).collect();
+        group.bench_with_input(BenchmarkId::new("exact_hungarian", n), &g, |b, g| {
+            b.iter(|| maximum_weight_matching(g))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_sort", n), &g, |b, g| {
+            b.iter(|| greedy_matching(g))
+        });
+        group.bench_with_input(BenchmarkId::new("bucket_greedy", n), &g, |b, g| {
+            b.iter(|| bucket_greedy_matching(g, &ints))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels, bench_blossom
+}
+criterion_main!(benches);
+
+fn bench_blossom(c: &mut Criterion) {
+    use octopus_matching::blossom::maximum_weight_matching_general;
+    use octopus_matching::general::greedy_general_matching;
+    let mut group = c.benchmark_group("general_matching");
+    for n in [50u32, 100, 200] {
+        let mut state = 0xb10_u64.wrapping_add(n as u64);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let edges: Vec<(u32, u32, i64)> = (0..(n as usize * 8))
+            .map(|_| (next() as u32 % n, next() as u32 % n, (1 + next() % 10_000) as i64))
+            .collect();
+        let f_edges: Vec<(u32, u32, f64)> =
+            edges.iter().map(|&(a, b, w)| (a, b, w as f64)).collect();
+        group.bench_with_input(BenchmarkId::new("exact_blossom", n), &edges, |b, e| {
+            b.iter(|| maximum_weight_matching_general(n, e))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_general", n), &f_edges, |b, e| {
+            b.iter(|| greedy_general_matching(n, e))
+        });
+    }
+    group.finish();
+}

@@ -1,0 +1,88 @@
+//! # octopus-bench
+//!
+//! Experiment harness regenerating every figure of the Octopus paper's
+//! evaluation (§8, Figures 4–10). The `experiments` binary exposes one
+//! subcommand per figure; this library holds the shared machinery: workload
+//! construction, algorithm runners, instance averaging and table output.
+//!
+//! Absolute numbers differ from the paper's testbed, but the comparisons it
+//! draws — who wins, by what factor, where the crossovers sit — are the
+//! reproduction targets; see `EXPERIMENTS.md` at the workspace root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runners;
+pub mod table;
+
+use octopus_core::OctopusConfig;
+use serde::{Deserialize, Serialize};
+
+/// Shared experiment parameters (the paper's defaults unless a sweep varies
+/// them).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Env {
+    /// Fabric size.
+    pub n: u32,
+    /// Scheduling window (slots).
+    pub window: u64,
+    /// Reconfiguration delay (slots).
+    pub delta: u64,
+    /// Random instances averaged per data point (paper: 10).
+    pub instances: u32,
+    /// Base RNG seed; instance `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for Env {
+    fn default() -> Self {
+        Env {
+            n: 100,
+            window: 10_000,
+            delta: 20,
+            instances: 10,
+            seed: 0xC0_FFEE,
+        }
+    }
+}
+
+impl Env {
+    /// The Octopus configuration matching this environment.
+    pub fn octopus_cfg(&self) -> OctopusConfig {
+        OctopusConfig {
+            delta: self.delta,
+            window: self.window,
+            ..OctopusConfig::default()
+        }
+    }
+}
+
+/// Metrics extracted from one algorithm run (averaged over instances by the
+/// harness).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Packets delivered / total packets (0–1).
+    pub delivered: f64,
+    /// Link utilization (0–1).
+    pub utilization: f64,
+    /// Delivered packets / ψ (0–1-ish; Fig 7a).
+    pub delivered_over_psi: f64,
+    /// ψ / total packets (diagnostic).
+    pub psi_fraction: f64,
+}
+
+impl Metrics {
+    /// Element-wise mean of several runs.
+    pub fn mean(samples: &[Metrics]) -> Metrics {
+        if samples.is_empty() {
+            return Metrics::default();
+        }
+        let k = samples.len() as f64;
+        Metrics {
+            delivered: samples.iter().map(|m| m.delivered).sum::<f64>() / k,
+            utilization: samples.iter().map(|m| m.utilization).sum::<f64>() / k,
+            delivered_over_psi: samples.iter().map(|m| m.delivered_over_psi).sum::<f64>() / k,
+            psi_fraction: samples.iter().map(|m| m.psi_fraction).sum::<f64>() / k,
+        }
+    }
+}

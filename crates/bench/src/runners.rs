@@ -1,0 +1,238 @@
+//! Algorithm runners: build a workload, run a scheduler, measure with the
+//! slot-level simulator, return [`Metrics`].
+
+use crate::{Env, Metrics};
+use octopus_baselines::{eclipse_based_schedule, rotornet_schedule, ub_evaluate};
+use octopus_core::{
+    octopus, octopus_plus::octopus_plus, octopus_plus::octopus_random,
+    octopus_plus::PlusConfig, OctopusConfig,
+};
+use octopus_net::{topology, Network, Schedule};
+use octopus_sim::{resolve, ResolvedFlow, SimConfig, Simulator};
+use octopus_traffic::{synthetic, synthetic::SyntheticConfig, traces::TraceKind, TrafficLoad};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One experiment instance: complete fabric + synthetic load per the paper's
+/// §8 setup.
+pub struct Instance {
+    /// The fabric.
+    pub net: Network,
+    /// The (single-route) load.
+    pub load: TrafficLoad,
+}
+
+/// Builds the paper's default synthetic instance for environment `env`,
+/// instance index `i`, with an optional tweak of the generator config.
+pub fn synthetic_instance(
+    env: &Env,
+    i: u32,
+    tweak: impl FnOnce(SyntheticConfig) -> SyntheticConfig,
+) -> Instance {
+    let mut rng = StdRng::seed_from_u64(env.seed + i as u64);
+    let net = topology::complete(env.n);
+    let cfg = tweak(SyntheticConfig::paper_default(env.n, env.window));
+    let load = synthetic::generate(&cfg, &net, &mut rng);
+    Instance { net, load }
+}
+
+/// Builds a trace-like instance (Fig 6): generate a 150-node cluster of the
+/// given kind, subsample `env.n` nodes, scale the largest flow to `window`.
+pub fn trace_instance(env: &Env, i: u32, kind: TraceKind) -> Instance {
+    let mut rng = StdRng::seed_from_u64(env.seed ^ 0x7ace ^ (i as u64) << 8);
+    let net = topology::complete(env.n);
+    let cluster = kind.generate(env.n + 50, &mut rng);
+    let matrix = octopus_traffic::traces::postprocess(&cluster, env.n, env.window, &mut rng);
+    let load = synthetic::load_from_matrix(&matrix, &net, &[1, 2, 3], &mut rng);
+    Instance { net, load }
+}
+
+fn sim_config(env: &Env) -> SimConfig {
+    SimConfig {
+        delta: env.delta,
+        ..SimConfig::default()
+    }
+}
+
+fn measure(env: &Env, net: &Network, flows: Vec<ResolvedFlow>, schedule: &Schedule) -> Metrics {
+    let sim = Simulator::new(Some(net), flows, sim_config(env)).expect("valid routes");
+    let r = sim.run(schedule).expect("schedule within window");
+    Metrics {
+        delivered: r.delivered_fraction(),
+        utilization: r.link_utilization(),
+        delivered_over_psi: r.delivered_over_psi(),
+        psi_fraction: if r.total_packets == 0 {
+            0.0
+        } else {
+            r.psi / r.total_packets as f64
+        },
+    }
+}
+
+/// Octopus (any variant via `cfg`) measured end-to-end with the simulator.
+pub fn run_octopus(env: &Env, inst: &Instance, cfg: &OctopusConfig) -> Metrics {
+    let out = octopus(&inst.net, &inst.load, cfg).expect("valid instance");
+    measure(
+        env,
+        &inst.net,
+        resolve(&inst.load).expect("single-route"),
+        &out.schedule,
+    )
+}
+
+/// Eclipse-Based baseline measured with the simulator.
+pub fn run_eclipse_based(env: &Env, inst: &Instance) -> Metrics {
+    let schedule =
+        eclipse_based_schedule(&inst.net, &inst.load, &env.octopus_cfg()).expect("valid instance");
+    measure(
+        env,
+        &inst.net,
+        resolve(&inst.load).expect("single-route"),
+        &schedule,
+    )
+}
+
+/// The UB upper bound (its own accounting, per the paper).
+pub fn run_ub(env: &Env, inst: &Instance) -> Metrics {
+    let ub = ub_evaluate(&inst.net, &inst.load, &env.octopus_cfg());
+    Metrics {
+        delivered: ub.delivered_fraction(),
+        utilization: ub.link_utilization(),
+        delivered_over_psi: ub.delivered_over_psi(),
+        psi_fraction: if ub.total_packets == 0 {
+            0.0
+        } else {
+            ub.psi / ub.total_packets as f64
+        },
+    }
+}
+
+/// RotorNet measured with the simulator (fixed 10·Δ matching durations; links
+/// outside the fabric allowed, as the paper prescribes).
+pub fn run_rotornet(env: &Env, inst: &Instance) -> Metrics {
+    let schedule = rotornet_schedule(env.n, env.delta, env.window, 0);
+    let flows = resolve(&inst.load).expect("single-route");
+    let sim = Simulator::new(None, flows, sim_config(env)).expect("valid flows");
+    let r = sim.run(&schedule).expect("schedule within window");
+    Metrics {
+        delivered: r.delivered_fraction(),
+        utilization: r.link_utilization(),
+        delivered_over_psi: r.delivered_over_psi(),
+        psi_fraction: if r.total_packets == 0 {
+            0.0
+        } else {
+            r.psi / r.total_packets as f64
+        },
+    }
+}
+
+/// Octopus+ on a multi-route load, measured on its own route resolution.
+pub fn run_octopus_plus(env: &Env, net: &Network, load: &TrafficLoad) -> Metrics {
+    let cfg = PlusConfig {
+        base: env.octopus_cfg(),
+        backtracking: true,
+    };
+    let out = octopus_plus(net, load, &cfg).expect("valid instance");
+    measure(env, net, out.resolved.clone(), &out.schedule)
+}
+
+/// Octopus-random on a multi-route load (Fig 9b's comparison point).
+pub fn run_octopus_random(env: &Env, net: &Network, load: &TrafficLoad, seed: u64) -> Metrics {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (out, resolved) =
+        octopus_random(net, load, &env.octopus_cfg(), &mut rng).expect("valid instance");
+    measure(
+        env,
+        net,
+        resolve(&resolved).expect("single-route"),
+        &out.schedule,
+    )
+}
+
+/// The absolute upper bound as a [`Metrics`] row (delivered only).
+pub fn run_absolute_bound(env: &Env, inst: &Instance) -> Metrics {
+    Metrics {
+        delivered: octopus_baselines::absolute_upper_bound(&inst.net, &inst.load, env.window),
+        ..Metrics::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_env() -> Env {
+        Env {
+            n: 10,
+            window: 600,
+            delta: 10,
+            instances: 1,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn octopus_beats_eclipse_based_on_multihop_synthetic() {
+        let env = tiny_env();
+        let inst = synthetic_instance(&env, 0, |c| c);
+        let oct = run_octopus(&env, &inst, &env.octopus_cfg());
+        let ecl = run_eclipse_based(&env, &inst);
+        assert!(
+            oct.delivered >= ecl.delivered * 0.95,
+            "octopus {} vs eclipse-based {}",
+            oct.delivered,
+            ecl.delivered
+        );
+    }
+
+    #[test]
+    fn ub_and_absolute_dominate() {
+        let env = tiny_env();
+        let inst = synthetic_instance(&env, 0, |c| c);
+        let oct = run_octopus(&env, &inst, &env.octopus_cfg());
+        let abs = run_absolute_bound(&env, &inst);
+        assert!(abs.delivered <= 1.0 && abs.delivered > 0.0);
+        // Not a strict theorem for UB (both approximate), but near-universal:
+        let ub = run_ub(&env, &inst);
+        assert!(ub.delivered + 0.15 >= oct.delivered);
+    }
+
+    #[test]
+    fn rotornet_runs_and_underperforms_on_utilization() {
+        let env = tiny_env();
+        let inst = synthetic_instance(&env, 0, |c| c);
+        let oct = run_octopus(&env, &inst, &env.octopus_cfg());
+        let rot = run_rotornet(&env, &inst);
+        assert!(rot.utilization < oct.utilization);
+    }
+
+    #[test]
+    fn trace_instances_generate_and_run() {
+        let env = Env {
+            n: 20,
+            window: 500,
+            delta: 10,
+            instances: 1,
+            seed: 5,
+        };
+        for kind in TraceKind::ALL {
+            let inst = trace_instance(&env, 0, kind);
+            assert!(inst.load.total_packets() > 0, "{kind:?}");
+            let m = run_octopus(&env, &inst, &env.octopus_cfg());
+            assert!(m.delivered > 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn plus_and_random_runners() {
+        let env = tiny_env();
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = topology::complete(env.n);
+        let synth = SyntheticConfig::paper_default(env.n, env.window);
+        let load = synthetic::generate_with_routes(&synth, &net, &mut rng, 5);
+        let plus = run_octopus_plus(&env, &net, &load);
+        let rand = run_octopus_random(&env, &net, &load, 11);
+        assert!(plus.delivered > 0.0);
+        assert!(rand.delivered > 0.0);
+    }
+}

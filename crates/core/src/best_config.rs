@@ -1,0 +1,420 @@
+//! Selecting the best configuration `(M, α)` — Procedure 2 of the paper.
+//!
+//! For a given α, the best matching is a maximum-weight matching of the
+//! fabric graph weighted by `g(i, j, α)`. Only class-boundary α values need
+//! to be considered (Procedure 1 / Lemma 3: benefit-per-unit-cost is
+//! monotone between boundaries). This module layers the paper's practical
+//! variants on that core:
+//!
+//! * [`AlphaSearch::Exhaustive`] evaluates every candidate α, with a cheap
+//!   matching-weight upper bound used to prune hopeless candidates — exact
+//!   selection, the default **Octopus** behavior. With `parallel`, candidate
+//!   evaluation fans out over rayon (the paper's multi-core controller
+//!   argument, §4.1).
+//! * [`AlphaSearch::Binary`] ternary-searches the candidate list — the
+//!   **Octopus-B** variant, `O(log)` matchings per iteration at a (measured,
+//!   §8 Fig 9a) negligible quality loss.
+//! * [`MatchingKind`] switches the matching kernel: exact Hungarian,
+//!   comparison-sort greedy, or the linear-time bucket greedy of
+//!   **Octopus-G**.
+
+use crate::state::LinkQueues;
+use octopus_matching::{
+    greedy::{bucket_greedy_matching, greedy_matching},
+    matching_weight, maximum_weight_matching, WeightedBipartiteGraph,
+};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// How candidate α values are searched each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AlphaSearch {
+    /// Evaluate all candidates (with upper-bound pruning): exact.
+    #[default]
+    Exhaustive,
+    /// Ternary search over the sorted candidates (Octopus-B): finds *a*
+    /// local maximum of benefit-per-cost with `O(log |A|)` matchings.
+    Binary,
+}
+
+/// Which matching kernel computes the configuration for a given α.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MatchingKind {
+    /// Exact maximum-weight matching (Hungarian with potentials).
+    #[default]
+    Exact,
+    /// Sort-based greedy ½-approximation.
+    GreedySort,
+    /// Linear-time counting-sort greedy (Octopus-G). `scale` converts the
+    /// rational packet weights to integers — use
+    /// `octopus_traffic::weight::weight_scale(𝒟)`.
+    BucketGreedy {
+        /// Integral scaling factor for edge weights.
+        scale: u64,
+    },
+}
+
+/// The winning configuration of one greedy iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestChoice {
+    /// Links of the chosen matching.
+    pub matching: Vec<(u32, u32)>,
+    /// Chosen duration α.
+    pub alpha: u64,
+    /// Benefit `B((M, α), S)` — the ψ improvement.
+    pub benefit: f64,
+    /// Benefit per unit cost, `benefit / (α + Δ)`.
+    pub score: f64,
+    /// Number of weighted matchings computed to find this choice.
+    pub matchings_computed: usize,
+}
+
+fn evaluate(
+    queues: &LinkQueues,
+    alpha: u64,
+    delta: u64,
+    kind: MatchingKind,
+) -> (Vec<(u32, u32)>, f64, f64) {
+    let n = queues.n();
+    let g = WeightedBipartiteGraph::from_tuples(n, n, queues.weighted_edges(alpha));
+    let matching = match kind {
+        MatchingKind::Exact => maximum_weight_matching(&g),
+        MatchingKind::GreedySort => greedy_matching(&g),
+        MatchingKind::BucketGreedy { scale } => {
+            let ints: Vec<u64> = g
+                .edges()
+                .iter()
+                .map(|e| (e.weight * scale as f64).round() as u64)
+                .collect();
+            bucket_greedy_matching(&g, &ints)
+        }
+    };
+    let benefit = matching_weight(&g, &matching);
+    let score = benefit / (alpha + delta) as f64;
+    (matching, benefit, score)
+}
+
+/// Picks the configuration with the highest benefit per unit cost.
+///
+/// `alpha_cap` bounds α by the remaining window budget (`W − used − Δ`).
+/// Returns `None` when no configuration has positive benefit (i.e. no packet
+/// can move on any fabric link).
+pub fn best_configuration(
+    queues: &LinkQueues,
+    delta: u64,
+    alpha_cap: u64,
+    search: AlphaSearch,
+    kind: MatchingKind,
+    parallel: bool,
+) -> Option<BestChoice> {
+    if alpha_cap == 0 {
+        return None;
+    }
+    let candidates = queues.alpha_candidates(alpha_cap);
+    if candidates.is_empty() {
+        return None;
+    }
+    let choice = match search {
+        AlphaSearch::Exhaustive if parallel => exhaustive_parallel(queues, delta, &candidates, kind),
+        AlphaSearch::Exhaustive => exhaustive_pruned(queues, delta, &candidates, kind),
+        AlphaSearch::Binary => ternary(queues, delta, &candidates, kind),
+    };
+    choice.filter(|c| c.benefit > 0.0)
+}
+
+/// Better-score comparator with deterministic tie-breaks (smaller α, then
+/// lexicographically smaller matching).
+fn better(a: &BestChoice, b: &BestChoice) -> bool {
+    match a.score.total_cmp(&b.score) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => match b.alpha.cmp(&a.alpha) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => a.matching < b.matching,
+        },
+    }
+}
+
+fn exhaustive_pruned(
+    queues: &LinkQueues,
+    delta: u64,
+    candidates: &[u64],
+    kind: MatchingKind,
+) -> Option<BestChoice> {
+    // Order candidates by optimistic score so pruning bites early.
+    let mut order: Vec<(u64, f64)> = candidates
+        .iter()
+        .map(|&a| {
+            (
+                a,
+                queues.matching_weight_upper_bound(a) / (a + delta) as f64,
+            )
+        })
+        .collect();
+    order.sort_unstable_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+
+    let mut best: Option<BestChoice> = None;
+    let mut computed = 0usize;
+    for (alpha, ub_score) in order {
+        if let Some(b) = &best {
+            if ub_score <= b.score {
+                break; // all remaining candidates are dominated
+            }
+        }
+        let (matching, benefit, score) = evaluate(queues, alpha, delta, kind);
+        computed += 1;
+        let cand = BestChoice {
+            matching,
+            alpha,
+            benefit,
+            score,
+            matchings_computed: 0,
+        };
+        if best.as_ref().map_or(true, |b| better(&cand, b)) {
+            best = Some(cand);
+        }
+    }
+    best.map(|mut b| {
+        b.matchings_computed = computed;
+        b
+    })
+}
+
+fn exhaustive_parallel(
+    queues: &LinkQueues,
+    delta: u64,
+    candidates: &[u64],
+    kind: MatchingKind,
+) -> Option<BestChoice> {
+    let computed = candidates.len();
+    candidates
+        .par_iter()
+        .map(|&alpha| {
+            let (matching, benefit, score) = evaluate(queues, alpha, delta, kind);
+            BestChoice {
+                matching,
+                alpha,
+                benefit,
+                score,
+                matchings_computed: 0,
+            }
+        })
+        .reduce_with(|a, b| if better(&a, &b) { a } else { b })
+        .map(|mut b| {
+            b.matchings_computed = computed;
+            b
+        })
+}
+
+fn ternary(
+    queues: &LinkQueues,
+    delta: u64,
+    candidates: &[u64],
+    kind: MatchingKind,
+) -> Option<BestChoice> {
+    let mut computed = 0usize;
+    let mut memo: std::collections::HashMap<u64, BestChoice> = std::collections::HashMap::new();
+    let mut eval = |alpha: u64, computed: &mut usize| -> BestChoice {
+        memo.entry(alpha)
+            .or_insert_with(|| {
+                *computed += 1;
+                let (matching, benefit, score) = evaluate(queues, alpha, delta, kind);
+                BestChoice {
+                    matching,
+                    alpha,
+                    benefit,
+                    score,
+                    matchings_computed: 0,
+                }
+            })
+            .clone()
+    };
+    let (mut lo, mut hi) = (0usize, candidates.len() - 1);
+    while hi - lo > 2 {
+        let m1 = lo + (hi - lo) / 3;
+        let m2 = hi - (hi - lo) / 3;
+        let e1 = eval(candidates[m1], &mut computed);
+        let e2 = eval(candidates[m2], &mut computed);
+        if e1.score >= e2.score {
+            hi = m2 - 1;
+        } else {
+            lo = m1 + 1;
+        }
+    }
+    let mut best: Option<BestChoice> = None;
+    for &alpha in &candidates[lo..=hi] {
+        let cand = eval(alpha, &mut computed);
+        if best.as_ref().map_or(true, |b| better(&cand, b)) {
+            best = Some(cand);
+        }
+    }
+    best.map(|mut b| {
+        b.matchings_computed = computed;
+        b
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::LinkQueues;
+
+    /// Two links from distinct ports, different weight profiles.
+    fn sample_queues() -> LinkQueues {
+        LinkQueues::from_weighted_counts(
+            4,
+            [
+                ((0, 1), 1.0, 100u64),
+                ((0, 1), 0.5, 50),
+                ((2, 3), 0.5, 80),
+            ],
+        )
+    }
+
+    #[test]
+    fn picks_alpha_maximizing_score() {
+        // delta = 0: score is maximized by alpha = 100 on (0,1) (weight-1
+        // packets only; adding the 0.5 tail lowers per-slot value), plus
+        // whatever (2,3) contributes at that alpha.
+        let q = sample_queues();
+        let best = best_configuration(
+            &q,
+            0,
+            10_000,
+            AlphaSearch::Exhaustive,
+            MatchingKind::Exact,
+            false,
+        )
+        .unwrap();
+        assert_eq!(best.alpha, 80);
+        // benefit at alpha 80: g(0,1,80)=80, g(2,3,80)=40 -> 120; score 1.5.
+        assert!((best.benefit - 120.0).abs() < 1e-9);
+        assert!((best.score - 1.5).abs() < 1e-9);
+        assert_eq!(best.matching.len(), 2);
+    }
+
+    #[test]
+    fn delta_pushes_toward_longer_alphas() {
+        // With a big delta, amortization favors the largest alpha.
+        let q = sample_queues();
+        let best = best_configuration(
+            &q,
+            1_000,
+            10_000,
+            AlphaSearch::Exhaustive,
+            MatchingKind::Exact,
+            false,
+        )
+        .unwrap();
+        assert_eq!(best.alpha, 150);
+    }
+
+    #[test]
+    fn respects_alpha_cap() {
+        let q = sample_queues();
+        let best = best_configuration(
+            &q,
+            0,
+            60,
+            AlphaSearch::Exhaustive,
+            MatchingKind::Exact,
+            false,
+        )
+        .unwrap();
+        assert!(best.alpha <= 60);
+    }
+
+    #[test]
+    fn empty_queues_yield_none() {
+        let q = LinkQueues::from_weighted_counts(4, []);
+        assert!(best_configuration(
+            &q,
+            0,
+            100,
+            AlphaSearch::Exhaustive,
+            MatchingKind::Exact,
+            false
+        )
+        .is_none());
+        let q2 = sample_queues();
+        assert!(best_configuration(
+            &q2,
+            0,
+            0,
+            AlphaSearch::Exhaustive,
+            MatchingKind::Exact,
+            false
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let q = sample_queues();
+        let a = best_configuration(&q, 7, 10_000, AlphaSearch::Exhaustive, MatchingKind::Exact, false)
+            .unwrap();
+        let b = best_configuration(&q, 7, 10_000, AlphaSearch::Exhaustive, MatchingKind::Exact, true)
+            .unwrap();
+        assert_eq!(a.alpha, b.alpha);
+        assert_eq!(a.matching, b.matching);
+        assert!((a.score - b.score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_search_finds_a_good_local_maximum() {
+        let q = sample_queues();
+        let exact = best_configuration(&q, 10, 10_000, AlphaSearch::Exhaustive, MatchingKind::Exact, false)
+            .unwrap();
+        let binary = best_configuration(&q, 10, 10_000, AlphaSearch::Binary, MatchingKind::Exact, false)
+            .unwrap();
+        assert!(binary.score > 0.0);
+        assert!(binary.score <= exact.score + 1e-12);
+        assert!(binary.matchings_computed >= 1);
+    }
+
+    #[test]
+    fn greedy_kernels_produce_valid_matchings() {
+        let q = LinkQueues::from_weighted_counts(
+            4,
+            [
+                ((0, 1), 1.0, 10u64),
+                ((0, 2), 1.0, 12),
+                ((1, 2), 0.5, 30),
+                ((2, 3), 1.0 / 3.0, 60),
+            ],
+        );
+        for kind in [
+            MatchingKind::GreedySort,
+            MatchingKind::BucketGreedy { scale: 6 },
+        ] {
+            let best =
+                best_configuration(&q, 5, 10_000, AlphaSearch::Exhaustive, kind, false).unwrap();
+            // matching property
+            let mut outs = std::collections::HashSet::new();
+            let mut ins = std::collections::HashSet::new();
+            for &(i, j) in &best.matching {
+                assert!(outs.insert(i));
+                assert!(ins.insert(j));
+            }
+            assert!(best.benefit > 0.0);
+        }
+    }
+
+    #[test]
+    fn greedy_is_within_half_of_exact() {
+        let q = sample_queues();
+        let exact = best_configuration(&q, 3, 10_000, AlphaSearch::Exhaustive, MatchingKind::Exact, false)
+            .unwrap();
+        let greedy = best_configuration(
+            &q,
+            3,
+            10_000,
+            AlphaSearch::Exhaustive,
+            MatchingKind::GreedySort,
+            false,
+        )
+        .unwrap();
+        assert!(greedy.score * 2.0 + 1e-9 >= exact.score);
+    }
+}

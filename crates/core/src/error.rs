@@ -1,0 +1,46 @@
+use octopus_traffic::FlowId;
+use std::fmt;
+
+/// Scheduling errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// A flow's route uses a link absent from the fabric.
+    InvalidRoute(FlowId),
+    /// The window is too small to fit even one configuration (`W ≤ Δ`).
+    WindowTooSmall {
+        /// Requested window.
+        window: u64,
+        /// Reconfiguration delay.
+        delta: u64,
+    },
+    /// The algorithm requires single-route flows but got route choices.
+    MultiRouteFlow(FlowId),
+    /// Makespan search exceeded its upper bound without serving the load.
+    MakespanUnreachable {
+        /// Largest window tried.
+        tried: u64,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::InvalidRoute(id) => {
+                write!(f, "route of flow {id} uses a link absent from the fabric")
+            }
+            SchedError::WindowTooSmall { window, delta } => write!(
+                f,
+                "window {window} cannot fit a configuration with delta {delta}"
+            ),
+            SchedError::MultiRouteFlow(id) => write!(
+                f,
+                "flow {id} has multiple routes; use octopus_plus for joint routing"
+            ),
+            SchedError::MakespanUnreachable { tried } => {
+                write!(f, "traffic not fully servable within window {tried}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}

@@ -1,0 +1,257 @@
+//! §7 generalization: **K input/output ports per node**.
+//!
+//! In fabrics where each node has `r` transceivers (e.g. FSO racks with tens
+//! of terminals), any `r`-regular-or-less subgraph — a union of `r`
+//! matchings — is a valid configuration. The paper's recipe: for a given α,
+//! greedily pick the best matching, commit its packets, recompute `g` on the
+//! residual traffic, and repeat until `r` edge-disjoint matchings are
+//! combined; this greedy is `(1 − 1/e)`-approximate per configuration,
+//! degrading the overall guarantee to `(1 − e^{−(1−1/e)/𝒟}) · W/(W+Δ)`.
+
+use crate::{AlphaSearch, MatchingKind, OctopusConfig, RemainingTraffic, SchedError};
+use octopus_matching::{
+    greedy::greedy_matching, matching_weight, maximum_weight_matching, WeightedBipartiteGraph,
+};
+use octopus_net::{Configuration, Matching, Network, NodeId, Schedule};
+use octopus_traffic::TrafficLoad;
+
+/// The per-α winner during configuration search: `(α, links, benefit,
+/// score)`.
+type AlphaChoice = (u64, Vec<(u32, u32)>, f64, f64);
+
+/// Octopus for fabrics with `r` ports per node.
+///
+/// Identical greedy outer loop to [`crate::octopus`], but each candidate
+/// configuration for a given α is a union of up to `r` edge-disjoint
+/// matchings selected greedily with intermediate `g` updates. The α search is
+/// exhaustive over the Procedure-1 candidate set; `cfg.alpha_search ==
+/// AlphaSearch::Binary` switches to ternary search as in Octopus-B.
+pub fn octopus_kport(
+    net: &Network,
+    load: &TrafficLoad,
+    cfg: &OctopusConfig,
+    r: u32,
+) -> Result<crate::OctopusOutput, SchedError> {
+    assert!(r >= 1, "at least one port per node");
+    if cfg.window <= cfg.delta {
+        return Err(SchedError::WindowTooSmall {
+            window: cfg.window,
+            delta: cfg.delta,
+        });
+    }
+    load.validate(net).map_err(|e| match e {
+        octopus_traffic::TrafficError::InvalidRoute(id, _) => SchedError::InvalidRoute(id),
+        _ => SchedError::InvalidRoute(octopus_traffic::FlowId(u64::MAX)),
+    })?;
+    let mut tr = RemainingTraffic::new(load, cfg.weighting)?;
+    let mut schedule = Schedule::new();
+    let mut used = 0u64;
+    let mut iterations = 0usize;
+    let mut matchings_computed = 0usize;
+
+    while !tr.is_drained() && used + cfg.delta < cfg.window {
+        let budget = cfg.window - used - cfg.delta;
+        let queues = tr.link_queues(net.num_nodes());
+        let candidates = queues.alpha_candidates(budget);
+        if candidates.is_empty() {
+            break;
+        }
+        let eval = |alpha: u64| -> (Vec<(u32, u32)>, f64) {
+            union_matching(&tr, net.num_nodes(), alpha, r, cfg.matching, &mut 0)
+        };
+        let mut best: Option<AlphaChoice> = None;
+        let mut consider = |alpha: u64, computed: &mut usize| {
+            let (links, benefit) = eval(alpha);
+            *computed += 1;
+            let score = benefit / (alpha + cfg.delta) as f64;
+            if best
+                .as_ref()
+                .map_or(true, |&(ba, _, _, bs)| {
+                    score > bs || (score == bs && alpha < ba)
+                })
+            {
+                best = Some((alpha, links, benefit, score));
+            }
+        };
+        match cfg.alpha_search {
+            AlphaSearch::Exhaustive => {
+                for &alpha in &candidates {
+                    consider(alpha, &mut matchings_computed);
+                }
+            }
+            AlphaSearch::Binary => {
+                let (mut lo, mut hi) = (0usize, candidates.len() - 1);
+                // Coarse ternary: evaluate probe points, then the final span.
+                while hi - lo > 2 {
+                    let m1 = lo + (hi - lo) / 3;
+                    let m2 = hi - (hi - lo) / 3;
+                    let s1 = {
+                        let (links, b) = eval(candidates[m1]);
+                        matchings_computed += 1;
+                        let _ = links;
+                        b / (candidates[m1] + cfg.delta) as f64
+                    };
+                    let s2 = {
+                        let (links, b) = eval(candidates[m2]);
+                        matchings_computed += 1;
+                        let _ = links;
+                        b / (candidates[m2] + cfg.delta) as f64
+                    };
+                    if s1 >= s2 {
+                        hi = m2 - 1;
+                    } else {
+                        lo = m1 + 1;
+                    }
+                }
+                for &alpha in &candidates[lo..=hi] {
+                    consider(alpha, &mut matchings_computed);
+                }
+            }
+        }
+        let Some((alpha, links, benefit, _)) = best else {
+            break;
+        };
+        if benefit <= 0.0 {
+            break;
+        }
+        iterations += 1;
+        let node_links: Vec<(NodeId, NodeId)> =
+            links.iter().map(|&(i, j)| (NodeId(i), NodeId(j))).collect();
+        tr.apply(&node_links, alpha);
+        let matching = Matching::new_free_with_capacity(links.iter().copied(), r)
+            .expect("union of r edge-disjoint matchings");
+        schedule.push(Configuration::new(matching, alpha));
+        used += alpha + cfg.delta;
+    }
+
+    Ok(crate::OctopusOutput {
+        schedule,
+        planned_psi: tr.planned_psi(),
+        planned_delivered: tr.planned_delivered(),
+        iterations,
+        matchings_computed,
+    })
+}
+
+/// Greedily builds a union of up to `r` edge-disjoint matchings for duration
+/// `alpha`, recomputing `g` against a cloned `T^r` after each matching so the
+/// later matchings only claim residual packets.
+fn union_matching(
+    tr: &RemainingTraffic,
+    n: u32,
+    alpha: u64,
+    r: u32,
+    kind: MatchingKind,
+    _scratch: &mut usize,
+) -> (Vec<(u32, u32)>, f64) {
+    let mut shadow = tr.clone();
+    let mut all_links: Vec<(u32, u32)> = Vec::new();
+    let mut taken: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    let mut total_benefit = 0.0;
+    for _ in 0..r {
+        let queues = shadow.link_queues(n);
+        let edges: Vec<(u32, u32, f64)> = queues
+            .weighted_edges(alpha)
+            .into_iter()
+            .filter(|&(i, j, _)| !taken.contains(&(i, j)))
+            .collect();
+        if edges.is_empty() {
+            break;
+        }
+        let g = WeightedBipartiteGraph::from_tuples(n, n, edges);
+        let m = match kind {
+            MatchingKind::Exact => maximum_weight_matching(&g),
+            _ => greedy_matching(&g),
+        };
+        if m.is_empty() {
+            break;
+        }
+        total_benefit += matching_weight(&g, &m);
+        let node_links: Vec<(NodeId, NodeId)> =
+            m.iter().map(|&(i, j)| (NodeId(i), NodeId(j))).collect();
+        shadow.apply(&node_links, alpha);
+        for &(i, j) in &m {
+            taken.insert((i, j));
+            all_links.push((i, j));
+        }
+    }
+    all_links.sort_unstable();
+    (all_links, total_benefit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_net::topology;
+    use octopus_traffic::{Flow, FlowId, Route};
+
+    fn cfg(window: u64, delta: u64) -> OctopusConfig {
+        OctopusConfig {
+            window,
+            delta,
+            ..OctopusConfig::default()
+        }
+    }
+
+    #[test]
+    fn two_ports_serve_two_flows_from_one_node() {
+        // Node 0 sends to 1 and to 2; with r=2 both links activate at once.
+        let net = topology::complete(3);
+        let load = TrafficLoad::new(vec![
+            Flow::single(FlowId(1), 30, Route::from_ids([0, 1]).unwrap()),
+            Flow::single(FlowId(2), 30, Route::from_ids([0, 2]).unwrap()),
+        ])
+        .unwrap();
+        let two = octopus_kport(&net, &load, &cfg(200, 10), 2).unwrap();
+        assert_eq!(two.planned_delivered, 60);
+        assert_eq!(two.iterations, 1, "one 2-port configuration suffices");
+        assert_eq!(two.schedule.configs()[0].matching.len(), 2);
+
+        let one = octopus_kport(&net, &load, &cfg(200, 10), 1).unwrap();
+        assert_eq!(one.planned_delivered, 60);
+        assert!(one.iterations >= 2, "single ports need two configurations");
+    }
+
+    #[test]
+    fn kport_with_r1_matches_octopus() {
+        let net = topology::complete(5);
+        let load = TrafficLoad::new(vec![
+            Flow::single(FlowId(1), 25, Route::from_ids([0, 1, 2]).unwrap()),
+            Flow::single(FlowId(2), 15, Route::from_ids([3, 4]).unwrap()),
+        ])
+        .unwrap();
+        let k = octopus_kport(&net, &load, &cfg(500, 5), 1).unwrap();
+        let o = crate::octopus(&net, &load, &cfg(500, 5)).unwrap();
+        assert_eq!(k.planned_delivered, o.planned_delivered);
+        assert!((k.planned_psi - o.planned_psi).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_r_never_hurts_planned_throughput() {
+        let net = topology::complete(6);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        let synth = octopus_traffic::synthetic::SyntheticConfig::paper_default(6, 400);
+        let load = octopus_traffic::synthetic::generate(&synth, &net, &mut rng);
+        let r1 = octopus_kport(&net, &load, &cfg(400, 10), 1).unwrap();
+        let r2 = octopus_kport(&net, &load, &cfg(400, 10), 2).unwrap();
+        assert!(
+            r2.planned_delivered + 5 >= r1.planned_delivered,
+            "r=2 {} vs r=1 {}",
+            r2.planned_delivered,
+            r1.planned_delivered
+        );
+    }
+
+    #[test]
+    fn window_respected() {
+        let net = topology::complete(3);
+        let load = TrafficLoad::new(vec![Flow::single(
+            FlowId(1),
+            10_000,
+            Route::from_ids([0, 1]).unwrap(),
+        )])
+        .unwrap();
+        let out = octopus_kport(&net, &load, &cfg(120, 10), 3).unwrap();
+        assert!(out.schedule.total_cost(10) <= 120);
+    }
+}

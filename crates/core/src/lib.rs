@@ -1,0 +1,74 @@
+//! # octopus-core
+//!
+//! The **Octopus** scheduler family from *Near-Optimal Multihop Scheduling in
+//! General Circuit-Switched Networks* (Gupta, Curran & Zhan, CoNEXT 2020).
+//!
+//! Given a circuit fabric `G` (a general bipartite port graph with
+//! reconfiguration delay `Δ`), a multi-hop traffic load `T` and a window of
+//! `W` slots, Octopus greedily builds a sequence of configurations
+//! `(M₁,α₁),(M₂,α₂),…` maximizing benefit per unit cost with respect to the
+//! surrogate objective ψ (weighted packet-hops). The paper proves a
+//! `(1 − e^{−1/𝒟})·W/(W+Δ)` approximation for ψ (Theorem 1); empirically the
+//! schedules also deliver near-upper-bound throughput.
+//!
+//! One configurable code path covers the whole family:
+//!
+//! | paper variant | knob |
+//! |---|---|
+//! | Octopus | [`OctopusConfig::default`] (exact matchings, exhaustive α) |
+//! | Octopus-B | [`AlphaSearch::Binary`] |
+//! | Octopus-G | [`MatchingKind::BucketGreedy`] (or [`MatchingKind::GreedySort`]) |
+//! | Octopus-e | `weighting:` [`HopWeighting::EpsilonLater`] |
+//! | Octopus+ | [`octopus_plus`] (multi-route, backtracking) |
+//! | Octopus-random | [`octopus_plus::octopus_random`] |
+//! | K ports / node | [`kport::octopus_kport`] |
+//! | bidirectional links | [`duplex::octopus_duplex`] |
+//! | hybrid fabric | [`hybrid`] |
+//! | makespan minimization | [`makespan`] |
+//! | multi-hop-per-configuration benefit (§5, Thm 2) | [`multihop_config`] |
+//!
+//! ```
+//! use octopus_core::{octopus, OctopusConfig};
+//! use octopus_net::topology;
+//! use octopus_traffic::{synthetic, synthetic::SyntheticConfig};
+//! use octopus_sim::{resolve, SimConfig, Simulator};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let net = topology::complete(12);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let load = synthetic::generate(
+//!     &SyntheticConfig::paper_default(12, 800), &net, &mut rng);
+//!
+//! let cfg = OctopusConfig { window: 800, delta: 5, ..OctopusConfig::default() };
+//! let out = octopus(&net, &load, &cfg).unwrap();
+//! assert!(out.schedule.total_cost(5) <= 800);
+//!
+//! // Evaluate with the slot-level simulator.
+//! let sim = Simulator::new(Some(&net), resolve(&load).unwrap(),
+//!     SimConfig { delta: 5, ..SimConfig::default() }).unwrap();
+//! let report = sim.run(&out.schedule).unwrap();
+//! assert!(report.delivered > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod best_config;
+mod error;
+mod octopus;
+mod state;
+
+pub mod duplex;
+pub mod hybrid;
+pub mod kport;
+pub mod local;
+pub mod makespan;
+pub mod multihop_config;
+pub mod octopus_plus;
+pub mod online;
+
+pub use best_config::{best_configuration, AlphaSearch, BestChoice, MatchingKind};
+pub use error::SchedError;
+pub use octopus::{octopus, octopus_on, OctopusConfig, OctopusOutput};
+pub use octopus_traffic::HopWeighting;
+pub use state::{LinkQueues, RemainingTraffic};

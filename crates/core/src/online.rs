@@ -1,0 +1,449 @@
+//! Multi-window (**online**) operation — the paper's future-work direction
+//! that §4 already sketches: "packets undelivered after one application of
+//! the algorithm can be considered for continued routing in the next time
+//! window; thus, undelivered packets do not result in packet losses."
+//!
+//! [`OnlineScheduler`] runs Octopus epoch by epoch. Each epoch, newly
+//! arrived flows join the backlog at their sources; the scheduler plans one
+//! window over the combined state (carried-over packets keep their original
+//! routes, positions and weights) and the epoch's leftovers roll forward.
+//! This is the batch-arrival counterpart of the adaptive policies of Wang &
+//! Javidi — traffic-aware, but requiring queue state only at epoch
+//! boundaries rather than at every instant.
+
+use crate::{octopus_on, OctopusConfig, OctopusOutput, RemainingTraffic, SchedError};
+use octopus_net::{Network, Schedule};
+use octopus_traffic::{FlowId, Route, TrafficLoad};
+
+/// One epoch's outcome.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// The window scheduled for this epoch.
+    pub output: OctopusOutput,
+    /// Packets that arrived this epoch.
+    pub arrived: u64,
+    /// Packets delivered (planned) this epoch.
+    pub delivered: u64,
+    /// Backlog carried into the next epoch (at sources or mid-route).
+    pub backlog: u64,
+}
+
+/// Epoch-by-epoch Octopus driver with backlog carry-over.
+///
+/// ```
+/// use octopus_core::online::OnlineScheduler;
+/// use octopus_core::OctopusConfig;
+/// use octopus_net::topology;
+/// use octopus_traffic::{Flow, FlowId, Route, TrafficLoad};
+///
+/// let cfg = OctopusConfig { window: 50, delta: 5, ..OctopusConfig::default() };
+/// let mut sched = OnlineScheduler::new(topology::complete(4), cfg);
+/// let arrivals = TrafficLoad::new(vec![Flow::single(
+///     FlowId(1), 100, Route::from_ids([0, 1]).unwrap(),
+/// )]).unwrap();
+/// let r1 = sched.run_epoch(&arrivals).unwrap();
+/// assert_eq!(r1.delivered + r1.backlog, 100); // leftovers roll forward
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineScheduler {
+    net: Network,
+    cfg: OctopusConfig,
+    /// Sub-flows awaiting service: `(flow, route, position, count)`.
+    backlog: Vec<(FlowId, Route, u32, u64)>,
+    /// Lifetime counters.
+    total_arrived: u64,
+    total_delivered: u64,
+    epochs: u32,
+}
+
+impl OnlineScheduler {
+    /// Creates a scheduler over `net`; `cfg.window` is the per-epoch window.
+    pub fn new(net: Network, cfg: OctopusConfig) -> Self {
+        OnlineScheduler {
+            net,
+            cfg,
+            backlog: Vec::new(),
+            total_arrived: 0,
+            total_delivered: 0,
+            epochs: 0,
+        }
+    }
+
+    /// Packets currently queued (at sources or stranded mid-route).
+    pub fn backlog_packets(&self) -> u64 {
+        self.backlog.iter().map(|&(_, _, _, c)| c).sum()
+    }
+
+    /// Lifetime delivered / arrived fraction.
+    pub fn lifetime_goodput(&self) -> f64 {
+        if self.total_arrived == 0 {
+            return 0.0;
+        }
+        self.total_delivered as f64 / self.total_arrived as f64
+    }
+
+    /// Epochs processed so far.
+    pub fn epochs(&self) -> u32 {
+        self.epochs
+    }
+
+    /// Admits this epoch's arrivals (single-route flows; IDs must not clash
+    /// with still-backlogged flows), schedules one window, and rolls the
+    /// leftovers forward.
+    pub fn run_epoch(&mut self, arrivals: &TrafficLoad) -> Result<EpochReport, SchedError> {
+        if self.cfg.window <= self.cfg.delta {
+            return Err(SchedError::WindowTooSmall {
+                window: self.cfg.window,
+                delta: self.cfg.delta,
+            });
+        }
+        arrivals.validate(&self.net).map_err(|e| match e {
+            octopus_traffic::TrafficError::InvalidRoute(id, _) => SchedError::InvalidRoute(id),
+            _ => SchedError::InvalidRoute(FlowId(u64::MAX)),
+        })?;
+        let arrived: u64 = arrivals.total_packets();
+        for f in arrivals.flows() {
+            if f.routes.len() != 1 {
+                return Err(SchedError::MultiRouteFlow(f.id));
+            }
+            if f.size > 0 {
+                self.backlog.push((f.id, f.routes[0].clone(), 0, f.size));
+            }
+        }
+
+        let mut tr =
+            RemainingTraffic::from_subflows(self.backlog.drain(..), self.cfg.weighting);
+        let output = octopus_on(&self.net, &mut tr, &self.cfg);
+        let delivered = output.planned_delivered;
+        self.backlog = tr.subflows();
+
+        self.total_arrived += arrived;
+        self.total_delivered += delivered;
+        self.epochs += 1;
+        Ok(EpochReport {
+            output,
+            arrived,
+            delivered,
+            backlog: self.backlog_packets(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_net::topology;
+    use octopus_traffic::Flow;
+
+    fn cfg(window: u64, delta: u64) -> OctopusConfig {
+        OctopusConfig {
+            window,
+            delta,
+            ..OctopusConfig::default()
+        }
+    }
+
+    fn load(flows: Vec<Flow>) -> TrafficLoad {
+        TrafficLoad::new(flows).unwrap()
+    }
+
+    fn flow(id: u64, size: u64, route: &[u32]) -> Flow {
+        Flow::single(FlowId(id), size, Route::from_ids(route.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn backlog_carries_over_and_drains() {
+        let net = topology::complete(4);
+        // Window fits ~45 packets per epoch; first epoch brings 100.
+        let mut sched = OnlineScheduler::new(net, cfg(50, 5));
+        let r1 = sched.run_epoch(&load(vec![flow(1, 100, &[0, 1])])).unwrap();
+        assert_eq!(r1.arrived, 100);
+        assert_eq!(r1.delivered, 45);
+        assert_eq!(r1.backlog, 55);
+        // Quiet epochs drain the backlog.
+        let r2 = sched.run_epoch(&load(vec![])).unwrap();
+        assert_eq!(r2.delivered, 45);
+        let r3 = sched.run_epoch(&load(vec![])).unwrap();
+        assert_eq!(r3.delivered, 10);
+        assert_eq!(r3.backlog, 0);
+        assert_eq!(sched.lifetime_goodput(), 1.0);
+        assert_eq!(sched.epochs(), 3);
+    }
+
+    #[test]
+    fn mid_route_packets_resume_with_original_weights() {
+        let net = topology::ring(3).unwrap();
+        // One 2-hop flow; the epoch window only fits the first hop.
+        let mut sched = OnlineScheduler::new(net, cfg(14, 2));
+        let r1 = sched.run_epoch(&load(vec![flow(1, 12, &[0, 1, 2])])).unwrap();
+        assert_eq!(r1.delivered, 0, "first hop only");
+        assert_eq!(r1.backlog, 12);
+        // Next epoch finishes the journey.
+        let r2 = sched.run_epoch(&load(vec![])).unwrap();
+        assert_eq!(r2.delivered, 12);
+        // psi across both epochs: 12 packets x 2 hops x 1/2 each.
+        assert!((r1.output.planned_psi + r2.output.planned_psi - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn new_arrivals_compete_with_backlog_by_weight() {
+        let net = topology::complete(3);
+        let mut sched = OnlineScheduler::new(net, cfg(25, 2));
+        // Epoch 1: a 2-hop flow gets half-way.
+        sched
+            .run_epoch(&load(vec![flow(1, 40, &[0, 2, 1])]))
+            .unwrap();
+        // Epoch 2: a 1-hop flow arrives on the link the stranded packets
+        // need; weight 1 beats weight 1/2.
+        let r2 = sched.run_epoch(&load(vec![flow(2, 23, &[2, 1])])).unwrap();
+        // Greedy may split the window across configurations, but the
+        // weight-1 arrivals dominate whatever link (2,1) carries.
+        assert!(
+            r2.delivered >= 20,
+            "the heavier 1-hop arrivals go first, delivered {}",
+            r2.delivered
+        );
+    }
+
+    #[test]
+    fn empty_epochs_are_fine() {
+        let net = topology::complete(3);
+        let mut sched = OnlineScheduler::new(net, cfg(100, 5));
+        let r = sched.run_epoch(&load(vec![])).unwrap();
+        assert_eq!(r.arrived + r.delivered + r.backlog, 0);
+        assert_eq!(sched.lifetime_goodput(), 0.0);
+    }
+
+    #[test]
+    fn rejects_multi_route_arrivals() {
+        let net = topology::complete(3);
+        let mut sched = OnlineScheduler::new(net, cfg(100, 5));
+        let multi = load(vec![Flow::new(
+            FlowId(1),
+            5,
+            vec![
+                Route::from_ids([0, 1]).unwrap(),
+                Route::from_ids([0, 2, 1]).unwrap(),
+            ],
+        )
+        .unwrap()]);
+        assert_eq!(
+            sched.run_epoch(&multi).err(),
+            Some(SchedError::MultiRouteFlow(FlowId(1)))
+        );
+    }
+}
+
+/// A quasi-static **hysteresis** policy in the spirit of Wang & Javidi's
+/// adaptive schedulers (§2 "[37]"): hold one matching per epoch, and
+/// reconfigure only when the best available matching beats the incumbent's
+/// current backlog value by a factor `1 + eta`. Traffic-aware but much
+/// simpler than Octopus — it needs queue weights only at epoch boundaries
+/// and pays at most one reconfiguration per epoch.
+///
+/// Serves as the online comparison point for [`OnlineScheduler`]; on
+/// multi-hop traffic its single-matching epochs leave chained hops starved,
+/// which is exactly the gap Octopus's per-window sequences close.
+#[derive(Debug, Clone)]
+pub struct HysteresisScheduler {
+    net: Network,
+    cfg: OctopusConfig,
+    /// Hysteresis factor: reconfigure when `best > (1 + eta) * incumbent`.
+    eta: f64,
+    incumbent: Option<octopus_net::Matching>,
+    backlog: Vec<(FlowId, Route, u32, u64)>,
+    total_arrived: u64,
+    total_delivered: u64,
+}
+
+impl HysteresisScheduler {
+    /// Creates the policy; `cfg.window` is the epoch length.
+    pub fn new(net: Network, cfg: OctopusConfig, eta: f64) -> Self {
+        assert!(eta >= 0.0, "hysteresis factor must be non-negative");
+        HysteresisScheduler {
+            net,
+            cfg,
+            eta,
+            incumbent: None,
+            backlog: Vec::new(),
+            total_arrived: 0,
+            total_delivered: 0,
+        }
+    }
+
+    /// Lifetime delivered / arrived fraction.
+    pub fn lifetime_goodput(&self) -> f64 {
+        if self.total_arrived == 0 {
+            return 0.0;
+        }
+        self.total_delivered as f64 / self.total_arrived as f64
+    }
+
+    /// Packets currently queued.
+    pub fn backlog_packets(&self) -> u64 {
+        self.backlog.iter().map(|&(_, _, _, c)| c).sum()
+    }
+
+    /// Admits arrivals and serves one epoch with a single matching.
+    pub fn run_epoch(&mut self, arrivals: &TrafficLoad) -> Result<EpochReport, SchedError> {
+        arrivals.validate(&self.net).map_err(|e| match e {
+            octopus_traffic::TrafficError::InvalidRoute(id, _) => SchedError::InvalidRoute(id),
+            _ => SchedError::InvalidRoute(FlowId(u64::MAX)),
+        })?;
+        let arrived = arrivals.total_packets();
+        for f in arrivals.flows() {
+            if f.routes.len() != 1 {
+                return Err(SchedError::MultiRouteFlow(f.id));
+            }
+            if f.size > 0 {
+                self.backlog.push((f.id, f.routes[0].clone(), 0, f.size));
+            }
+        }
+        let mut tr =
+            RemainingTraffic::from_subflows(self.backlog.drain(..), self.cfg.weighting);
+        let queues = tr.link_queues(self.net.num_nodes());
+
+        // Value of a matching against the current queues, at epoch length.
+        let alpha_if_kept = self.cfg.window; // no reconfiguration spent
+        let alpha_if_changed = self.cfg.window.saturating_sub(self.cfg.delta);
+        let value = |m: &octopus_net::Matching, alpha: u64| -> f64 {
+            m.links()
+                .iter()
+                .map(|&(i, j)| queues.g(i.0, j.0, alpha))
+                .sum()
+        };
+        let best = crate::best_configuration(
+            &queues,
+            self.cfg.delta,
+            alpha_if_changed.max(1),
+            crate::AlphaSearch::Exhaustive,
+            self.cfg.matching,
+            false,
+        );
+        let candidate = best.map(|b| {
+            octopus_net::Matching::new_free(b.matching.iter().copied())
+                .expect("kernel outputs matchings")
+        });
+
+        let (serve, alpha) = match (&self.incumbent, candidate) {
+            (None, Some(cand)) => (Some(cand), alpha_if_changed),
+            (Some(inc), Some(cand)) => {
+                let keep_value = value(inc, alpha_if_kept);
+                let switch_value = value(&cand, alpha_if_changed);
+                if switch_value > (1.0 + self.eta) * keep_value {
+                    (Some(cand), alpha_if_changed)
+                } else {
+                    (Some(inc.clone()), alpha_if_kept)
+                }
+            }
+            (Some(inc), None) => (Some(inc.clone()), alpha_if_kept),
+            (None, None) => (None, 0),
+        };
+
+        let mut schedule = Schedule::new();
+        let delivered_before = tr.planned_delivered();
+        let psi_before = tr.planned_psi();
+        if let (Some(m), true) = (&serve, alpha > 0) {
+            let links: Vec<(octopus_net::NodeId, octopus_net::NodeId)> = m.links().to_vec();
+            tr.apply(&links, alpha);
+            schedule.push(octopus_net::Configuration::new(m.clone(), alpha));
+        }
+        self.incumbent = serve;
+        self.backlog = tr.subflows();
+        let delivered = tr.planned_delivered() - delivered_before;
+        self.total_arrived += arrived;
+        self.total_delivered += delivered;
+        Ok(EpochReport {
+            output: crate::OctopusOutput {
+                schedule,
+                planned_psi: tr.planned_psi() - psi_before,
+                planned_delivered: delivered,
+                iterations: 1,
+                matchings_computed: 1,
+            },
+            arrived,
+            delivered,
+            backlog: self.backlog_packets(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod hysteresis_tests {
+    use super::*;
+    use octopus_net::topology;
+    use octopus_traffic::Flow;
+
+    fn cfg(window: u64, delta: u64) -> OctopusConfig {
+        OctopusConfig {
+            window,
+            delta,
+            ..OctopusConfig::default()
+        }
+    }
+
+    fn flow(id: u64, size: u64, route: &[u32]) -> Flow {
+        Flow::single(
+            FlowId(id),
+            size,
+            Route::from_ids(route.iter().copied()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn holds_matching_while_traffic_is_stable() {
+        let net = topology::complete(4);
+        let mut pol = HysteresisScheduler::new(net, cfg(100, 20), 0.2);
+        // Same heavy demand every epoch: after the first configuration, the
+        // incumbent should be kept (no more reconfigurations).
+        let arrivals = TrafficLoad::new(vec![flow(1, 80, &[0, 1])]).unwrap();
+        let r1 = pol.run_epoch(&arrivals).unwrap();
+        assert_eq!(r1.delivered, 80, "80-slot epoch after 20-slot reconfig");
+        let arrivals2 = TrafficLoad::new(vec![flow(2, 80, &[0, 1])]).unwrap();
+        let r2 = pol.run_epoch(&arrivals2).unwrap();
+        // Incumbent kept: full 100 slots serve the queue.
+        assert_eq!(r2.delivered, 80);
+        assert_eq!(r2.output.schedule.configs()[0].alpha, 100);
+    }
+
+    #[test]
+    fn switches_when_demand_shifts_enough() {
+        let net = topology::complete(4);
+        let mut pol = HysteresisScheduler::new(net, cfg(100, 10), 0.1);
+        pol.run_epoch(&TrafficLoad::new(vec![flow(1, 50, &[0, 1])]).unwrap())
+            .unwrap();
+        // Demand moves entirely to (2,3): the policy must switch.
+        let r = pol
+            .run_epoch(&TrafficLoad::new(vec![flow(2, 70, &[2, 3])]).unwrap())
+            .unwrap();
+        assert_eq!(r.delivered, 70);
+        let m = &r.output.schedule.configs()[0].matching;
+        assert!(m.contains(octopus_net::NodeId(2), octopus_net::NodeId(3)));
+    }
+
+    #[test]
+    fn octopus_online_beats_hysteresis_on_multihop_traffic() {
+        // Multi-hop chains need alternating matchings within an epoch; the
+        // single-matching policy starves later hops.
+        let net = topology::ring(4).unwrap();
+        let epoch_cfg = cfg(120, 10);
+        let mut oct = OnlineScheduler::new(net.clone(), epoch_cfg);
+        let mut hys = HysteresisScheduler::new(net, epoch_cfg, 0.1);
+        for e in 0..4u64 {
+            let arrivals = TrafficLoad::new(vec![flow(
+                e,
+                40,
+                &[0, 1, 2],
+            )])
+            .unwrap();
+            oct.run_epoch(&arrivals).unwrap();
+            hys.run_epoch(&arrivals).unwrap();
+        }
+        assert!(
+            oct.lifetime_goodput() > hys.lifetime_goodput(),
+            "octopus {} vs hysteresis {}",
+            oct.lifetime_goodput(),
+            hys.lifetime_goodput()
+        );
+    }
+}

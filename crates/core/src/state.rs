@@ -1,0 +1,593 @@
+//! Remaining-traffic bookkeeping `T^r` and the per-link queue snapshots that
+//! the `g()`/`h()` functions of §4.1 are computed from.
+//!
+//! `T^r` represents the *planned* position of every packet after the
+//! configurations chosen so far: a multiset of sub-flows
+//! `(flow, position, count)` where `position` indexes the flow's route. The
+//! scheduler never touches real packets — this is the controller-side
+//! bookkeeping that makes the chosen schedule deterministic, thanks to the
+//! fixed packet-prioritization rule (weight first, then flow ID).
+
+use crate::SchedError;
+use octopus_net::NodeId;
+use octopus_traffic::{FlowId, HopWeighting, Route, TrafficLoad, Weight};
+use std::collections::{BTreeMap, HashMap};
+
+/// One waiting packet group as seen by a link queue: weight, flow ID (the
+/// tie-breaker), flow index, route position, packet count.
+type QueueEntry = (Weight, FlowId, u32, u32, u64);
+
+/// Metadata of one (single-route) flow.
+#[derive(Debug, Clone)]
+struct FlowMeta {
+    id: FlowId,
+    route: Route,
+    hops: u32,
+}
+
+/// The remaining traffic `T^r` for single-route loads.
+#[derive(Debug, Clone)]
+pub struct RemainingTraffic {
+    flows: Vec<FlowMeta>,
+    /// `(flow index, position) → packets` planned to sit at `route[position]`.
+    counts: HashMap<(u32, u32), u64>,
+    weighting: HopWeighting,
+    delivered: u64,
+    total: u64,
+    psi: f64,
+}
+
+impl RemainingTraffic {
+    /// Initializes `T^r = T` for a single-route load.
+    pub fn new(load: &TrafficLoad, weighting: HopWeighting) -> Result<Self, SchedError> {
+        let mut flows = Vec::with_capacity(load.len());
+        let mut counts = HashMap::new();
+        for (fi, f) in load.flows().iter().enumerate() {
+            if f.routes.len() != 1 {
+                return Err(SchedError::MultiRouteFlow(f.id));
+            }
+            let route = f.routes[0].clone();
+            let hops = route.hops();
+            if f.size > 0 {
+                counts.insert((fi as u32, 0), f.size);
+            }
+            flows.push(FlowMeta {
+                id: f.id,
+                route,
+                hops,
+            });
+        }
+        let total = load.total_packets();
+        Ok(RemainingTraffic {
+            flows,
+            counts,
+            weighting,
+            delivered: 0,
+            total,
+            psi: 0.0,
+        })
+    }
+
+    /// Builds `T^r` directly from mid-route sub-flows `(flow id, full
+    /// route, current position, count)` — the entry point for multi-window
+    /// (online) operation, where packets left over from the previous window
+    /// "can be considered for continued routing in the next time window"
+    /// (§4). Weights stay tied to the *original* route length.
+    ///
+    /// Entries sharing `(flow id, route)` are merged per position; flow IDs
+    /// shared across different routes are allowed (they arise from
+    /// Octopus+ splits) but each (id, route) pair gets its own bookkeeping
+    /// row.
+    pub fn from_subflows(
+        subflows: impl IntoIterator<Item = (FlowId, Route, u32, u64)>,
+        weighting: HopWeighting,
+    ) -> Self {
+        let mut flows: Vec<FlowMeta> = Vec::new();
+        let mut index: HashMap<(FlowId, Route), u32> = HashMap::new();
+        let mut counts: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut total = 0u64;
+        for (id, route, pos, count) in subflows {
+            if count == 0 {
+                continue;
+            }
+            let hops = route.hops();
+            assert!(pos < hops, "sub-flow position {pos} beyond route end");
+            let fi = *index.entry((id, route.clone())).or_insert_with(|| {
+                flows.push(FlowMeta { id, route, hops });
+                (flows.len() - 1) as u32
+            });
+            *counts.entry((fi, pos)).or_insert(0) += count;
+            total += count;
+        }
+        RemainingTraffic {
+            flows,
+            counts,
+            weighting,
+            delivered: 0,
+            total,
+            psi: 0.0,
+        }
+    }
+
+    /// Packets not yet (planned) delivered.
+    pub fn remaining_packets(&self) -> u64 {
+        self.total - self.delivered
+    }
+
+    /// Packets planned to reach their destination so far.
+    pub fn planned_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// The ψ value accumulated by the plan so far.
+    pub fn planned_psi(&self) -> f64 {
+        self.psi
+    }
+
+    /// Whether every packet has (planned to) come home.
+    pub fn is_drained(&self) -> bool {
+        self.remaining_packets() == 0
+    }
+
+    /// The hop-weighting in force.
+    pub fn weighting(&self) -> HopWeighting {
+        self.weighting
+    }
+
+    /// Builds the per-link queue snapshot used to compute `g`, `h` and the
+    /// candidate α set for the current iteration.
+    pub fn link_queues(&self, n: u32) -> LinkQueues {
+        let mut per_link: HashMap<(u32, u32), Vec<QueueEntry>> = HashMap::new();
+        for (&(fi, pos), &count) in &self.counts {
+            if count == 0 {
+                continue;
+            }
+            let meta = &self.flows[fi as usize];
+            debug_assert!(pos < meta.hops, "delivered packets leave `counts`");
+            let (i, j) = meta.route.hop(pos);
+            let w = self.weighting.hop_weight(meta.hops, pos);
+            per_link
+                .entry((i.0, j.0))
+                .or_default()
+                .push((w, meta.id, fi, pos, count));
+        }
+        LinkQueues::from_entries(n, per_link)
+    }
+
+    /// Applies a chosen configuration `(M, α)` to the plan: on every link of
+    /// `M`, the top-α waiting packets (by weight, then flow ID) advance one
+    /// hop. Returns the benefit actually realized (the configuration's
+    /// contribution to ψ).
+    pub fn apply(&mut self, links: &[(NodeId, NodeId)], alpha: u64) -> f64 {
+        let with_budgets: Vec<(NodeId, NodeId, u64)> =
+            links.iter().map(|&(i, j)| (i, j, alpha)).collect();
+        self.apply_budgets(&with_budgets)
+    }
+
+    /// Like [`RemainingTraffic::apply`], but with a per-link slot budget —
+    /// used by the localized-reconfiguration extension, where links that
+    /// persist from the previous configuration also serve during the Δ
+    /// transition and thus get `α + Δ` slots.
+    pub fn apply_budgets(&mut self, links: &[(NodeId, NodeId, u64)]) -> f64 {
+        let mut gained = 0.0;
+        // Bucket all waiting sub-flows by link in one pass, then serve only
+        // the links of M. Movements are collected first so that chained links
+        // inside one matching (e.g. (d,a) and (a,b)) do not let a packet
+        // traverse two hops in one configuration — §4's bookkeeping moves
+        // each packet at most one hop per configuration.
+        let in_m: std::collections::HashSet<(NodeId, NodeId)> =
+            links.iter().map(|&(i, j, _)| (i, j)).collect();
+        let mut per_link: HashMap<(NodeId, NodeId), Vec<QueueEntry>> = HashMap::new();
+        for (&(fi, pos), &count) in &self.counts {
+            if count == 0 {
+                continue;
+            }
+            let meta = &self.flows[fi as usize];
+            let hop = meta.route.hop(pos);
+            if in_m.contains(&hop) {
+                per_link.entry(hop).or_default().push((
+                    self.weighting.hop_weight(meta.hops, pos),
+                    meta.id,
+                    fi,
+                    pos,
+                    count,
+                ));
+            }
+        }
+        let mut moves: Vec<(u32, u32, u64, f64)> = Vec::new();
+        for &(i, j, link_budget) in links {
+            let Some(mut cands) = per_link.remove(&(i, j)) else {
+                continue;
+            };
+            cands.sort_unstable_by(|a, b| {
+                b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+            });
+            let mut budget = link_budget;
+            for (w, _, fi, pos, count) in cands {
+                if budget == 0 {
+                    break;
+                }
+                let take = count.min(budget);
+                budget -= take;
+                moves.push((fi, pos, take, w.value()));
+            }
+        }
+        for (fi, pos, take, w) in moves {
+            let c = self
+                .counts
+                .get_mut(&(fi, pos))
+                .expect("candidate came from counts");
+            *c -= take;
+            if *c == 0 {
+                self.counts.remove(&(fi, pos));
+            }
+            let hops = self.flows[fi as usize].hops;
+            let new_pos = pos + 1;
+            if new_pos == hops {
+                self.delivered += take;
+            } else {
+                *self.counts.entry((fi, new_pos)).or_insert(0) += take;
+            }
+            gained += w * take as f64;
+        }
+        self.psi += gained;
+        gained
+    }
+
+    /// Snapshot of the current sub-flows as `(flow id, route, position,
+    /// count)` tuples, sorted deterministically. Used by the chain-aware
+    /// configuration selection of §5 (Theorem 2).
+    pub fn subflows(&self) -> Vec<(FlowId, Route, u32, u64)> {
+        let mut v: Vec<(FlowId, Route, u32, u64)> = self
+            .counts
+            .iter()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(&(fi, pos), &count)| {
+                let meta = &self.flows[fi as usize];
+                (meta.id, meta.route.clone(), pos, count)
+            })
+            .collect();
+        v.sort_by_key(|e| (e.0, e.2));
+        v
+    }
+
+    /// Advances the plan by *chained* movements `(flow, route, from-position,
+    /// hops-advanced, count)` — a packet may cross several hops in one
+    /// configuration here (§5). ψ gains the weight of every traversed hop.
+    pub(crate) fn advance_chained(&mut self, moves: &[(FlowId, Route, u32, u32, u64)]) {
+        let index: HashMap<FlowId, u32> = self
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.id, i as u32))
+            .collect();
+        for &(id, ref _route, pos, advanced, count) in moves {
+            debug_assert!(advanced > 0);
+            let fi = *index.get(&id).expect("flow exists");
+            let c = self
+                .counts
+                .get_mut(&(fi, pos))
+                .expect("moved packets existed at their origin");
+            debug_assert!(*c >= count);
+            *c -= count;
+            if *c == 0 {
+                self.counts.remove(&(fi, pos));
+            }
+            let meta = &self.flows[fi as usize];
+            let hops = meta.hops;
+            for x in pos..pos + advanced {
+                self.psi += self.weighting.hop_weight(hops, x).value() * count as f64;
+            }
+            let new_pos = pos + advanced;
+            debug_assert!(new_pos <= hops);
+            if new_pos == hops {
+                self.delivered += count;
+            } else {
+                *self.counts.entry((fi, new_pos)).or_insert(0) += count;
+            }
+        }
+    }
+}
+
+/// Snapshot of all non-empty link queues for one scheduler iteration.
+///
+/// For each fabric link `(i, j)`, the queue aggregates waiting packets into
+/// *weight classes* sorted by descending weight. From it derive:
+///
+/// * `g(i, j, α)` — maximum total weight of α waiting packets
+///   ([`LinkQueues::g`]);
+/// * the candidate α set of Procedure 1 — per-link prefix counts at class
+///   boundaries ([`LinkQueues::alpha_candidates`]);
+/// * the weighted graph `G'` whose maximum matching is the best
+///   configuration for a given α ([`LinkQueues::weighted_edges`]).
+#[derive(Debug, Clone)]
+pub struct LinkQueues {
+    n: u32,
+    queues: BTreeMap<(u32, u32), LinkQueue>,
+}
+
+/// One link's aggregated queue.
+#[derive(Debug, Clone)]
+pub struct LinkQueue {
+    /// `(weight, packets)` per class, weight strictly descending.
+    classes: Vec<(f64, u64)>,
+    /// Cumulative packet counts at class boundaries.
+    prefix_counts: Vec<u64>,
+    /// Cumulative weight at class boundaries.
+    prefix_weights: Vec<f64>,
+}
+
+impl LinkQueue {
+    fn from_entries(mut entries: Vec<QueueEntry>) -> Self {
+        entries.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+        let mut classes: Vec<(f64, u64)> = Vec::new();
+        for (w, _, _, _, count) in entries {
+            match classes.last_mut() {
+                Some((cw, cc)) if *cw == w.value() => *cc += count,
+                _ => classes.push((w.value(), count)),
+            }
+        }
+        let mut prefix_counts = Vec::with_capacity(classes.len());
+        let mut prefix_weights = Vec::with_capacity(classes.len());
+        let (mut pc, mut pw) = (0u64, 0.0f64);
+        for &(w, c) in &classes {
+            pc += c;
+            pw += w * c as f64;
+            prefix_counts.push(pc);
+            prefix_weights.push(pw);
+        }
+        LinkQueue {
+            classes,
+            prefix_counts,
+            prefix_weights,
+        }
+    }
+
+    /// `g(α)`: maximum total weight of α waiting packets.
+    pub fn g(&self, alpha: u64) -> f64 {
+        if alpha == 0 {
+            return 0.0;
+        }
+        // First class boundary with cumulative count >= alpha.
+        match self.prefix_counts.partition_point(|&c| c < alpha) {
+            idx if idx >= self.classes.len() => {
+                *self.prefix_weights.last().unwrap_or(&0.0)
+            }
+            idx => {
+                let below_count = if idx == 0 { 0 } else { self.prefix_counts[idx - 1] };
+                let below_weight = if idx == 0 { 0.0 } else { self.prefix_weights[idx - 1] };
+                below_weight + (alpha - below_count) as f64 * self.classes[idx].0
+            }
+        }
+    }
+
+    /// Total packets waiting on this link.
+    pub fn total_packets(&self) -> u64 {
+        *self.prefix_counts.last().unwrap_or(&0)
+    }
+
+    /// The per-link candidate α values (class-boundary prefix counts).
+    pub fn boundary_alphas(&self) -> &[u64] {
+        &self.prefix_counts
+    }
+}
+
+impl LinkQueues {
+    fn from_entries(n: u32, per_link: HashMap<(u32, u32), Vec<QueueEntry>>) -> Self {
+        LinkQueues {
+            n,
+            queues: per_link
+                .into_iter()
+                .map(|(link, entries)| (link, LinkQueue::from_entries(entries)))
+                .collect(),
+        }
+    }
+
+    /// Builds a snapshot directly from `(link, weight, count)` triples —
+    /// used by schedulers with their own `T^r` representation (Octopus+).
+    pub fn from_weighted_counts(
+        n: u32,
+        triples: impl IntoIterator<Item = ((u32, u32), f64, u64)>,
+    ) -> Self {
+        let mut per_link: HashMap<(u32, u32), Vec<QueueEntry>> = HashMap::new();
+        for ((i, j), w, c) in triples {
+            if c > 0 {
+                per_link
+                    .entry((i, j))
+                    .or_default()
+                    .push((Weight(w), FlowId(0), 0, 0, c));
+            }
+        }
+        Self::from_entries(n, per_link)
+    }
+
+    /// Fabric size the snapshot was built for.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Whether any packet waits on any link.
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// The queue of one link, if non-empty.
+    pub fn queue(&self, i: u32, j: u32) -> Option<&LinkQueue> {
+        self.queues.get(&(i, j))
+    }
+
+    /// `g(i, j, α)` of §4.1.
+    pub fn g(&self, i: u32, j: u32, alpha: u64) -> f64 {
+        self.queues.get(&(i, j)).map_or(0.0, |q| q.g(alpha))
+    }
+
+    /// Iterates non-empty links.
+    pub fn links(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.queues.keys().copied()
+    }
+
+    /// The candidate α set of Procedure 1: union of per-link class-boundary
+    /// prefix counts, clamped to `cap` (α values above the remaining window
+    /// budget collapse onto `cap`, since the last configuration is truncated
+    /// anyway). Sorted ascending, deduplicated.
+    pub fn alpha_candidates(&self, cap: u64) -> Vec<u64> {
+        let mut set: Vec<u64> = self
+            .queues
+            .values()
+            .flat_map(|q| q.boundary_alphas().iter().copied())
+            .map(|a| a.min(cap))
+            .filter(|&a| a > 0)
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    /// The weighted edges of `G'` for a given α: `(i, j, g(i, j, α))`.
+    pub fn weighted_edges(&self, alpha: u64) -> Vec<(u32, u32, f64)> {
+        self.queues
+            .iter()
+            .map(|(&(i, j), q)| (i, j, q.g(alpha)))
+            .filter(|&(_, _, w)| w > 0.0)
+            .collect()
+    }
+
+    /// A cheap upper bound on the weight of *any* matching for a given α:
+    /// `min(Σᵢ maxⱼ g, Σⱼ maxᵢ g)`. Used to prune the α search.
+    pub fn matching_weight_upper_bound(&self, alpha: u64) -> f64 {
+        let mut row_max: HashMap<u32, f64> = HashMap::new();
+        let mut col_max: HashMap<u32, f64> = HashMap::new();
+        for (&(i, j), q) in &self.queues {
+            let g = q.g(alpha);
+            let r = row_max.entry(i).or_insert(0.0);
+            *r = r.max(g);
+            let c = col_max.entry(j).or_insert(0.0);
+            *c = c.max(g);
+        }
+        let rs: f64 = row_max.values().sum();
+        let cs: f64 = col_max.values().sum();
+        rs.min(cs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_traffic::Flow;
+
+    fn load_example1() -> TrafficLoad {
+        TrafficLoad::new(vec![
+            Flow::single(FlowId(1), 100, Route::from_ids([0, 1, 2]).unwrap()),
+            Flow::single(FlowId(2), 50, Route::from_ids([3, 0, 1]).unwrap()),
+            Flow::single(FlowId(3), 50, Route::from_ids([2, 1, 0]).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn initial_queues_match_first_hops() {
+        let tr = RemainingTraffic::new(&load_example1(), HopWeighting::Uniform).unwrap();
+        let q = tr.link_queues(4);
+        assert_eq!(q.g(0, 1, 100), 50.0); // 100 packets of weight 1/2
+        assert_eq!(q.g(3, 0, 50), 25.0);
+        assert_eq!(q.g(3, 0, 200), 25.0); // saturates at queue size
+        assert_eq!(q.g(1, 0, 10), 0.0); // nothing waits there yet
+    }
+
+    #[test]
+    fn g_mixes_weight_classes() {
+        // One link with 10 packets of weight 1 and 20 of weight 1/2.
+        let q = LinkQueues::from_weighted_counts(
+            4,
+            [((0, 1), 1.0, 10u64), ((0, 1), 0.5, 20)],
+        );
+        assert_eq!(q.g(0, 1, 5), 5.0);
+        assert_eq!(q.g(0, 1, 10), 10.0);
+        assert_eq!(q.g(0, 1, 16), 13.0);
+        assert_eq!(q.g(0, 1, 30), 20.0);
+        assert_eq!(q.g(0, 1, 99), 20.0);
+        let alphas = q.alpha_candidates(1_000);
+        assert_eq!(alphas, vec![10, 30]);
+    }
+
+    #[test]
+    fn alpha_candidates_clamp_to_cap() {
+        let q = LinkQueues::from_weighted_counts(4, [((0, 1), 1.0, 500u64)]);
+        assert_eq!(q.alpha_candidates(100), vec![100]);
+    }
+
+    #[test]
+    fn apply_moves_top_alpha_and_respects_flow_priority() {
+        // Example 1's second configuration: both f1 (id 1) and f2 (id 2) wait
+        // at node 0 toward 1 with equal weight; f1 wins on flow ID.
+        let mut tr = RemainingTraffic::new(&load_example1(), HopWeighting::Uniform).unwrap();
+        tr.apply(&[(NodeId(3), NodeId(0))], 50); // f2 moves to node 0
+        let q = tr.link_queues(4);
+        assert_eq!(q.queue(0, 1).unwrap().total_packets(), 150);
+        let gained = tr.apply(&[(NodeId(0), NodeId(1))], 100);
+        assert!((gained - 50.0).abs() < 1e-12);
+        // f1's packets moved (all 100); f2 still waits at node 0.
+        let q = tr.link_queues(4);
+        assert_eq!(q.queue(0, 1).unwrap().total_packets(), 50);
+        assert_eq!(q.queue(1, 2).unwrap().total_packets(), 100);
+    }
+
+    #[test]
+    fn apply_does_not_chain_within_one_configuration() {
+        let load = TrafficLoad::new(vec![Flow::single(
+            FlowId(1),
+            10,
+            Route::from_ids([0, 1, 2]).unwrap(),
+        )])
+        .unwrap();
+        let mut tr = RemainingTraffic::new(&load, HopWeighting::Uniform).unwrap();
+        tr.apply(&[(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))], 10);
+        // Packets advanced exactly one hop despite both links being active.
+        assert_eq!(tr.planned_delivered(), 0);
+        let q = tr.link_queues(3);
+        assert_eq!(q.queue(1, 2).unwrap().total_packets(), 10);
+    }
+
+    #[test]
+    fn plan_psi_and_delivery_accounting() {
+        let mut tr = RemainingTraffic::new(&load_example1(), HopWeighting::Uniform).unwrap();
+        // Deliver f3 completely: (2,1) then (1,0).
+        tr.apply(&[(NodeId(2), NodeId(1))], 50);
+        tr.apply(&[(NodeId(1), NodeId(0))], 50);
+        assert_eq!(tr.planned_delivered(), 50);
+        assert!((tr.planned_psi() - 50.0).abs() < 1e-12);
+        assert_eq!(tr.remaining_packets(), 150);
+        assert!(!tr.is_drained());
+    }
+
+    #[test]
+    fn upper_bound_dominates_matching_weight() {
+        let tr = RemainingTraffic::new(&load_example1(), HopWeighting::Uniform).unwrap();
+        let q = tr.link_queues(4);
+        for alpha in [1, 10, 50, 100] {
+            let edges = q.weighted_edges(alpha);
+            let g = octopus_matching::WeightedBipartiteGraph::from_tuples(4, 4, edges);
+            let m = octopus_matching::maximum_weight_matching(&g);
+            let w = octopus_matching::matching_weight(&g, &m);
+            assert!(q.matching_weight_upper_bound(alpha) + 1e-9 >= w);
+        }
+    }
+
+    #[test]
+    fn rejects_multi_route_load() {
+        let load = TrafficLoad::new(vec![Flow::new(
+            FlowId(1),
+            5,
+            vec![
+                Route::from_ids([0, 1]).unwrap(),
+                Route::from_ids([0, 2, 1]).unwrap(),
+            ],
+        )
+        .unwrap()])
+        .unwrap();
+        assert_eq!(
+            RemainingTraffic::new(&load, HopWeighting::Uniform).err(),
+            Some(SchedError::MultiRouteFlow(FlowId(1)))
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Exponential-time exact reference implementations.
+//!
+//! These exist to validate the polynomial algorithms in this crate (and the
+//! schedulers built on them) on small instances; they are exported so
+//! downstream property tests can use them too.
+
+use crate::WeightedBipartiteGraph;
+
+/// Maximum-weight matching by dynamic programming over subsets of right
+/// vertices: `O(n_left · 2^n_right · deg)`.
+///
+/// # Panics
+/// Panics if `n_right > 20` (the table would not fit in memory).
+pub fn max_weight_matching_brute(g: &WeightedBipartiteGraph) -> f64 {
+    let nl = g.n_left() as usize;
+    let nr = g.n_right() as usize;
+    assert!(nr <= 20, "brute force limited to 20 right vertices");
+    let full = 1usize << nr;
+    // dp[mask] = best weight using left vertices processed so far with the
+    // set of occupied right vertices == mask's subset semantics: we store the
+    // best over "occupied ⊆ mask" by max-subsuming at the end of each row.
+    let mut dp = vec![f64::NEG_INFINITY; full];
+    dp[0] = 0.0;
+    for u in 0..nl as u32 {
+        let mut next = dp.clone(); // leaving u unmatched
+        for e in g.edges_of(u) {
+            let bit = 1usize << e.v;
+            for mask in 0..full {
+                if mask & bit == 0 && dp[mask] > f64::NEG_INFINITY {
+                    let cand = dp[mask] + e.weight;
+                    if cand > next[mask | bit] {
+                        next[mask | bit] = cand;
+                    }
+                }
+            }
+        }
+        dp = next;
+    }
+    dp.iter().copied().fold(0.0, f64::max)
+}
+
+/// Maximum-cardinality matching size by augmenting-path search (Kuhn's
+/// algorithm) — simple and exact, used to validate Hopcroft–Karp.
+pub fn max_cardinality_matching_brute(g: &WeightedBipartiteGraph) -> usize {
+    let nl = g.n_left() as usize;
+    let nr = g.n_right() as usize;
+    let mut match_r: Vec<Option<u32>> = vec![None; nr];
+    let mut size = 0;
+    for u in 0..nl as u32 {
+        let mut seen = vec![false; nr];
+        if try_kuhn(g, u, &mut seen, &mut match_r) {
+            size += 1;
+        }
+    }
+    size
+}
+
+fn try_kuhn(
+    g: &WeightedBipartiteGraph,
+    u: u32,
+    seen: &mut [bool],
+    match_r: &mut [Option<u32>],
+) -> bool {
+    for e in g.edges_of(u) {
+        let v = e.v as usize;
+        if !seen[v] {
+            seen[v] = true;
+            if match_r[v].is_none() || try_kuhn(g, match_r[v].unwrap(), seen, match_r) {
+                match_r[v] = Some(u);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brute_weight_simple() {
+        let g =
+            WeightedBipartiteGraph::from_tuples(2, 2, [(0, 0, 5.0), (0, 1, 6.0), (1, 1, 4.0)]);
+        assert_eq!(max_weight_matching_brute(&g), 9.0);
+    }
+
+    #[test]
+    fn brute_weight_empty() {
+        let g = WeightedBipartiteGraph::from_tuples(2, 2, []);
+        assert_eq!(max_weight_matching_brute(&g), 0.0);
+    }
+
+    #[test]
+    fn brute_cardinality_perfect() {
+        let g = WeightedBipartiteGraph::from_tuples(
+            3,
+            3,
+            [(0, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0), (2, 2, 1.0)],
+        );
+        assert_eq!(max_cardinality_matching_brute(&g), 3);
+    }
+
+    #[test]
+    fn brute_cardinality_bottleneck() {
+        // All lefts compete for right 0.
+        let g = WeightedBipartiteGraph::from_tuples(
+            3,
+            2,
+            [(0, 0, 1.0), (1, 0, 1.0), (2, 0, 1.0)],
+        );
+        assert_eq!(max_cardinality_matching_brute(&g), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests (proptest) for the matching kernels: optimality,
+//! approximation bounds, and cross-kernel agreement on random graphs.
+
+use octopus_matching::{
+    blossom::maximum_weight_matching_general,
+    brute,
+    bvn,
+    general::{general_matching_brute, greedy_general_matching},
+    greedy::{bucket_greedy_matching, greedy_matching},
+    hopcroft_karp::hopcroft_karp,
+    matching_weight, maximum_weight_matching, WeightedBipartiteGraph,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small random weighted bipartite graph.
+fn bipartite() -> impl Strategy<Value = (u32, u32, Vec<(u32, u32, f64)>)> {
+    (1u32..7, 1u32..7)
+        .prop_flat_map(|(nl, nr)| {
+            let edges = prop::collection::vec(
+                (0..nl, 0..nr, 1u32..1000u32).prop_map(|(u, v, w)| (u, v, w as f64)),
+                0..16,
+            );
+            (Just(nl), Just(nr), edges)
+        })
+}
+
+fn is_matching(m: &[(u32, u32)]) -> bool {
+    let mut ls = std::collections::HashSet::new();
+    let mut rs = std::collections::HashSet::new();
+    m.iter().all(|&(u, v)| ls.insert(u) && rs.insert(v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn exact_bipartite_matches_brute_force((nl, nr, edges) in bipartite()) {
+        let g = WeightedBipartiteGraph::from_tuples(nl, nr, edges);
+        let m = maximum_weight_matching(&g);
+        prop_assert!(is_matching(&m));
+        let got = matching_weight(&g, &m);
+        let want = brute::max_weight_matching_brute(&g);
+        prop_assert!((got - want).abs() < 1e-6, "exact {got} vs brute {want}");
+    }
+
+    #[test]
+    fn greedy_is_half_approximate((nl, nr, edges) in bipartite()) {
+        let g = WeightedBipartiteGraph::from_tuples(nl, nr, edges);
+        let greedy = matching_weight(&g, &greedy_matching(&g));
+        let opt = brute::max_weight_matching_brute(&g);
+        prop_assert!(greedy * 2.0 + 1e-9 >= opt);
+        prop_assert!(greedy <= opt + 1e-9);
+    }
+
+    #[test]
+    fn bucket_greedy_equals_sort_greedy_on_integers((nl, nr, edges) in bipartite()) {
+        let g = WeightedBipartiteGraph::from_tuples(nl, nr, edges);
+        let ints: Vec<u64> = g.edges().iter().map(|e| e.weight as u64).collect();
+        prop_assert_eq!(bucket_greedy_matching(&g, &ints), greedy_matching(&g));
+    }
+
+    #[test]
+    fn hopcroft_karp_is_maximum_cardinality((nl, nr, edges) in bipartite()) {
+        let g = WeightedBipartiteGraph::from_tuples(nl, nr, edges);
+        let hk = hopcroft_karp(&g);
+        prop_assert!(is_matching(&hk));
+        prop_assert_eq!(hk.len(), brute::max_cardinality_matching_brute(&g));
+    }
+
+    #[test]
+    fn blossom_matches_brute_on_general_graphs(
+        n in 2u32..8,
+        raw in prop::collection::vec((0u32..8, 0u32..8, 1i64..500), 0..12),
+    ) {
+        let edges: Vec<(u32, u32, i64)> = raw
+            .into_iter()
+            .map(|(a, b, w)| (a % n, b % n, w))
+            .collect();
+        let m = maximum_weight_matching_general(n, &edges);
+        prop_assert!(is_matching(&m));
+        let got: i64 = m
+            .iter()
+            .map(|&(a, b)| {
+                edges
+                    .iter()
+                    .filter(|&&(x, y, _)| (x.min(y), x.max(y)) == (a, b))
+                    .map(|&(_, _, w)| w)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .sum();
+        let fedges: Vec<(u32, u32, f64)> =
+            edges.iter().map(|&(a, b, w)| (a, b, w as f64)).collect();
+        let want = general_matching_brute(n, &fedges);
+        prop_assert!((got as f64 - want).abs() < 1e-9, "blossom {got} vs brute {want}");
+        // And the greedy general matcher stays within its half bound.
+        let gw: f64 = greedy_general_matching(n, &fedges)
+            .iter()
+            .map(|&(a, b)| {
+                fedges
+                    .iter()
+                    .filter(|&&(x, y, _)| (x.min(y), x.max(y)) == (a, b))
+                    .map(|&(_, _, w)| w)
+                    .fold(0.0, f64::max)
+            })
+            .sum();
+        prop_assert!(gw * 2.0 + 1e-9 >= want);
+    }
+
+    #[test]
+    fn bvn_decomposition_reconstructs(
+        n in 2u32..7,
+        raw in prop::collection::vec((0u32..7, 0u32..7, 1u64..200), 0..10),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let demand: Vec<(u32, u32, u64)> = raw
+            .into_iter()
+            .filter_map(|(r, c, d)| {
+                let (r, c) = (r % n, c % n);
+                (r != c && seen.insert((r, c))).then_some((r, c, d))
+            })
+            .collect();
+        let terms = bvn::decompose(n, &demand);
+        let m = bvn::reconstruct(n, &terms);
+        for &(r, c, d) in &demand {
+            prop_assert_eq!(m[r as usize][c as usize], d);
+        }
+        let total: u64 = m.iter().flatten().sum();
+        prop_assert_eq!(total, demand.iter().map(|&(_, _, d)| d).sum::<u64>());
+        // Each term is a valid matching.
+        for t in &terms {
+            prop_assert!(is_matching(&t.matching));
+            prop_assert!(t.duration > 0);
+        }
+    }
+}

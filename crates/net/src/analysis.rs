@@ -1,0 +1,158 @@
+//! Schedule introspection: aggregate statistics and a small ASCII timeline —
+//! handy when debugging a scheduler or eyeballing what a plan does.
+
+use crate::{NodeId, Schedule};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Aggregate statistics of a configuration sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Number of configurations (= reconfigurations paid).
+    pub configurations: usize,
+    /// Total active slots `Σ α`.
+    pub active_slots: u64,
+    /// Smallest configuration duration.
+    pub min_alpha: u64,
+    /// Largest configuration duration.
+    pub max_alpha: u64,
+    /// Mean configuration duration.
+    pub mean_alpha: f64,
+    /// Mean links per configuration.
+    pub mean_links: f64,
+    /// Distinct links used anywhere in the schedule.
+    pub distinct_links: usize,
+    /// Mean fraction of a configuration's links that were already active in
+    /// the previous configuration (0 for single-configuration schedules) —
+    /// the quantity localized reconfiguration monetizes.
+    pub mean_persistence: f64,
+}
+
+impl Schedule {
+    /// Computes aggregate statistics; `None` for an empty schedule.
+    pub fn stats(&self) -> Option<ScheduleStats> {
+        let configs = self.configs();
+        if configs.is_empty() {
+            return None;
+        }
+        let alphas: Vec<u64> = configs.iter().map(|c| c.alpha).collect();
+        let mut persistence = Vec::new();
+        let mut prev: HashSet<(NodeId, NodeId)> = HashSet::new();
+        for c in configs {
+            let links = c.matching.links();
+            if !prev.is_empty() && !links.is_empty() {
+                let kept = links.iter().filter(|l| prev.contains(l)).count();
+                persistence.push(kept as f64 / links.len() as f64);
+            }
+            prev = links.iter().copied().collect();
+        }
+        Some(ScheduleStats {
+            configurations: configs.len(),
+            active_slots: self.total_active_slots(),
+            min_alpha: alphas.iter().copied().min().unwrap_or(0),
+            max_alpha: alphas.iter().copied().max().unwrap_or(0),
+            mean_alpha: alphas.iter().sum::<u64>() as f64 / alphas.len() as f64,
+            mean_links: configs.iter().map(|c| c.matching.len()).sum::<usize>() as f64
+                / configs.len() as f64,
+            distinct_links: self.links_used().len(),
+            mean_persistence: if persistence.is_empty() {
+                0.0
+            } else {
+                persistence.iter().sum::<f64>() / persistence.len() as f64
+            },
+        })
+    }
+
+    /// Renders a compact ASCII timeline: one row per link used, one column
+    /// block per configuration (width proportional to α, total width capped
+    /// at `max_width` characters). `Δ` gaps render as dots. Intended for
+    /// small schedules in examples/tests/debug logs.
+    ///
+    /// ```
+    /// use octopus_net::{Configuration, Matching, Schedule};
+    /// let s = Schedule::from(vec![
+    ///     Configuration::new(Matching::new_free([(0u32, 1u32)]).unwrap(), 30),
+    ///     Configuration::new(Matching::new_free([(1u32, 2u32)]).unwrap(), 30),
+    /// ]);
+    /// let art = s.render_ascii(40, 10);
+    /// assert!(art.contains("n0->n1"));
+    /// assert!(art.contains("#"));
+    /// ```
+    pub fn render_ascii(&self, max_width: usize, delta: u64) -> String {
+        let links = self.links_used();
+        if links.is_empty() {
+            return String::from("(empty schedule)\n");
+        }
+        let total = self.total_cost(delta).max(1);
+        let scale = |slots: u64| -> usize {
+            ((slots as f64 / total as f64) * max_width as f64).round() as usize
+        };
+        let label_width = links
+            .iter()
+            .map(|(i, j)| format!("{i}->{j}").len())
+            .max()
+            .unwrap_or(6);
+        let mut out = String::new();
+        for &(i, j) in &links {
+            let _ = write!(out, "{:>label_width$} |", format!("{i}->{j}"));
+            for c in self.configs() {
+                for _ in 0..scale(delta) {
+                    out.push('.');
+                }
+                let cells = scale(c.alpha).max(1);
+                let ch = if c.matching.contains(i, j) { '#' } else { ' ' };
+                for _ in 0..cells {
+                    out.push(ch);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Configuration, Matching};
+
+    fn mk(alpha: u64, links: &[(u32, u32)]) -> Configuration {
+        Configuration::new(Matching::new_free(links.iter().copied()).unwrap(), alpha)
+    }
+
+    #[test]
+    fn stats_basic() {
+        let s = Schedule::from(vec![
+            mk(10, &[(0, 1), (2, 3)]),
+            mk(30, &[(0, 1)]),
+            mk(20, &[(1, 2)]),
+        ]);
+        let st = s.stats().unwrap();
+        assert_eq!(st.configurations, 3);
+        assert_eq!(st.active_slots, 60);
+        assert_eq!(st.min_alpha, 10);
+        assert_eq!(st.max_alpha, 30);
+        assert!((st.mean_alpha - 20.0).abs() < 1e-12);
+        assert_eq!(st.distinct_links, 3);
+        // Persistence: config2 keeps (0,1) of 1 link -> 1.0; config3 keeps
+        // nothing -> 0.0; mean 0.5.
+        assert!((st.mean_persistence - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule_has_no_stats() {
+        assert!(Schedule::new().stats().is_none());
+        assert_eq!(Schedule::new().render_ascii(40, 5), "(empty schedule)\n");
+    }
+
+    #[test]
+    fn ascii_rows_cover_all_links() {
+        let s = Schedule::from(vec![mk(50, &[(0, 1)]), mk(50, &[(4, 2)])]);
+        let art = s.render_ascii(60, 10);
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.contains("n0->n1"));
+        assert!(art.contains("n4->n2"));
+        assert!(art.contains('.'), "delta gaps render as dots");
+    }
+}

@@ -1,0 +1,221 @@
+use crate::{Matching, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A network configuration `(M, α)`: the matching `M` is held active for `α`
+/// consecutive time slots.
+///
+/// Activating a configuration costs `α + Δ` slots, where `Δ` is the fabric's
+/// reconfiguration delay during which no traffic flows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Configuration {
+    /// The set of simultaneously active links.
+    pub matching: Matching,
+    /// Number of slots the matching stays active.
+    pub alpha: u64,
+}
+
+impl Configuration {
+    /// Creates a configuration. `alpha` may be zero only transiently (e.g.
+    /// when a schedule is truncated to a window); schedulers never emit it.
+    pub fn new(matching: Matching, alpha: u64) -> Self {
+        Configuration { matching, alpha }
+    }
+
+    /// Slots consumed by this configuration for reconfiguration delay `delta`.
+    #[inline]
+    pub fn cost(&self, delta: u64) -> u64 {
+        self.alpha + delta
+    }
+}
+
+/// A sequence of configurations — the solution format of the MHS problem.
+///
+/// The order matters: multi-hop packets traverse later hops only in later
+/// configurations (or later slots of the same configuration, when multi-hop
+/// traversal within a configuration is enabled in the simulator).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schedule {
+    configs: Vec<Configuration>,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// The configurations in order.
+    #[inline]
+    pub fn configs(&self) -> &[Configuration] {
+        &self.configs
+    }
+
+    /// Number of configurations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the schedule has no configurations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Appends a configuration.
+    pub fn push(&mut self, config: Configuration) {
+        self.configs.push(config);
+    }
+
+    /// Total cost `Σ (αᵢ + Δ)` in slots.
+    pub fn total_cost(&self, delta: u64) -> u64 {
+        self.configs.iter().map(|c| c.cost(delta)).sum()
+    }
+
+    /// Total active slots `Σ αᵢ` (excluding reconfiguration).
+    pub fn total_active_slots(&self) -> u64 {
+        self.configs.iter().map(|c| c.alpha).sum()
+    }
+
+    /// Sum over configurations of `αᵢ · |Mᵢ|` — the denominator of the link
+    /// utilization metric (total link-slots offered).
+    pub fn link_slots(&self) -> u64 {
+        self.configs
+            .iter()
+            .map(|c| c.alpha * c.matching.len() as u64)
+            .sum()
+    }
+
+    /// Truncates the schedule so that its total cost is at most `window`
+    /// slots, shortening the last configuration's `α` as the Octopus
+    /// algorithm prescribes ("reduce the number of time slots of the *last*
+    /// configuration appropriately").
+    ///
+    /// A configuration whose reconfiguration delay alone no longer fits is
+    /// dropped entirely. Returns the number of configurations retained.
+    pub fn truncate_to_window(&mut self, window: u64, delta: u64) -> usize {
+        let mut used = 0u64;
+        let mut keep = 0usize;
+        for c in &mut self.configs {
+            if used + delta >= window {
+                break;
+            }
+            let budget = window - used - delta;
+            if c.alpha > budget {
+                c.alpha = budget;
+            }
+            if c.alpha == 0 {
+                break;
+            }
+            used += c.alpha + delta;
+            keep += 1;
+        }
+        self.configs.truncate(keep);
+        keep
+    }
+
+    /// Whether every configuration's links lie within `net` (when `net` is
+    /// given) and every `α > 0`.
+    pub fn validate(&self, net: Option<&crate::Network>) -> Result<(), crate::NetError> {
+        for c in &self.configs {
+            if c.alpha == 0 {
+                return Err(crate::NetError::EmptyConfiguration);
+            }
+            if let Some(net) = net {
+                for &(i, j) in c.matching.links() {
+                    if !net.has_edge(i, j) {
+                        return Err(crate::NetError::LinkNotInNetwork(i, j));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: the set of distinct links used anywhere in the schedule.
+    pub fn links_used(&self) -> Vec<(NodeId, NodeId)> {
+        let mut v: Vec<_> = self
+            .configs
+            .iter()
+            .flat_map(|c| c.matching.links().iter().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl From<Vec<Configuration>> for Schedule {
+    fn from(configs: Vec<Configuration>) -> Self {
+        Schedule { configs }
+    }
+}
+
+impl IntoIterator for Schedule {
+    type Item = Configuration;
+    type IntoIter = std::vec::IntoIter<Configuration>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.configs.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Network;
+
+    fn mk(alpha: u64, links: &[(u32, u32)]) -> Configuration {
+        Configuration::new(Matching::new_free(links.iter().copied()).unwrap(), alpha)
+    }
+
+    #[test]
+    fn cost_accounting() {
+        let s = Schedule::from(vec![mk(50, &[(0, 1), (2, 3)]), mk(30, &[(1, 2)])]);
+        assert_eq!(s.total_cost(20), 50 + 20 + 30 + 20);
+        assert_eq!(s.total_active_slots(), 80);
+        assert_eq!(s.link_slots(), 50 * 2 + 30);
+    }
+
+    #[test]
+    fn truncation_shortens_last_configuration() {
+        let mut s = Schedule::from(vec![mk(50, &[(0, 1)]), mk(50, &[(1, 2)])]);
+        // window 100, delta 10: first costs 60, second gets alpha 30.
+        let kept = s.truncate_to_window(100, 10);
+        assert_eq!(kept, 2);
+        assert_eq!(s.configs()[1].alpha, 30);
+        assert_eq!(s.total_cost(10), 100);
+    }
+
+    #[test]
+    fn truncation_drops_unaffordable_tail() {
+        let mut s = Schedule::from(vec![mk(95, &[(0, 1)]), mk(50, &[(1, 2)])]);
+        let kept = s.truncate_to_window(100, 10);
+        assert_eq!(kept, 1);
+        assert_eq!(s.configs()[0].alpha, 90);
+    }
+
+    #[test]
+    fn truncation_when_nothing_fits() {
+        let mut s = Schedule::from(vec![mk(10, &[(0, 1)])]);
+        let kept = s.truncate_to_window(5, 10);
+        assert_eq!(kept, 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn validate_against_network() {
+        let net = Network::from_edges(3, [(0u32, 1u32)]).unwrap();
+        let good = Schedule::from(vec![mk(5, &[(0, 1)])]);
+        assert!(good.validate(Some(&net)).is_ok());
+        let bad = Schedule::from(vec![mk(5, &[(1, 2)])]);
+        assert!(bad.validate(Some(&net)).is_err());
+        let zero = Schedule::from(vec![mk(0, &[(0, 1)])]);
+        assert!(zero.validate(None).is_err());
+    }
+
+    #[test]
+    fn links_used_dedups() {
+        let s = Schedule::from(vec![mk(5, &[(0, 1), (2, 3)]), mk(5, &[(0, 1)])]);
+        assert_eq!(s.links_used().len(), 2);
+    }
+}

@@ -1,0 +1,55 @@
+use crate::NodeId;
+use std::fmt;
+
+/// Errors produced when constructing or validating network objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A node id is `>= n` for an `n`-node network.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The network size.
+        n: u32,
+    },
+    /// An edge connects a node's output port to its own input port.
+    SelfLoop(NodeId),
+    /// A link in a matching is not an edge of the network graph.
+    LinkNotInNetwork(NodeId, NodeId),
+    /// Two links in a matching share an output port.
+    OutputPortConflict(NodeId),
+    /// Two links in a matching share an input port.
+    InputPortConflict(NodeId),
+    /// A node appears in two links of a duplex matching.
+    DuplexPortConflict(NodeId),
+    /// A configuration was created with zero active slots.
+    EmptyConfiguration,
+    /// The network would have zero nodes.
+    EmptyNetwork,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for a {n}-node network")
+            }
+            NetError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            NetError::LinkNotInNetwork(i, j) => {
+                write!(f, "link ({i}, {j}) is not an edge of the network graph")
+            }
+            NetError::OutputPortConflict(v) => {
+                write!(f, "two links share the output port of node {v}")
+            }
+            NetError::InputPortConflict(v) => {
+                write!(f, "two links share the input port of node {v}")
+            }
+            NetError::DuplexPortConflict(v) => {
+                write!(f, "node {v} appears in two links of a duplex matching")
+            }
+            NetError::EmptyConfiguration => write!(f, "configuration has zero active slots"),
+            NetError::EmptyNetwork => write!(f, "network must have at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

@@ -1,0 +1,70 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a network node (a rack or an individual server).
+///
+/// Nodes of an `n`-node network are numbered `0..n`. The type is a thin
+/// newtype over `u32` so it can be stored and copied freely in hot paths.
+///
+/// ```
+/// use octopus_net::NodeId;
+/// let a = NodeId(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(format!("{a}"), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's position, usable as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        let id = NodeId(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(u32::from(id), 17);
+        assert_eq!(NodeId::from(17u32), id);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(5), NodeId(5));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId(0).to_string(), "n0");
+        assert_eq!(NodeId(123).to_string(), "n123");
+    }
+}

@@ -1,0 +1,150 @@
+//! Packet weights.
+//!
+//! Octopus assigns each packet a weight equal to the inverse of its route's
+//! hop count, so the surrogate objective ψ (total weighted packet-hops)
+//! matches delivered-packet counts when no packet is stranded. The
+//! **Octopus-e** variant additionally boosts hops closer to the destination
+//! by a factor `1 + x·ε` (the hop `x` hops away from the source), nudging the
+//! scheduler to finish journeys it has started.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// A packet (or packet-hop) weight with a total order.
+///
+/// Thin wrapper over `f64` using `total_cmp`, so weights can key ordered
+/// containers. All weights produced by this crate are positive and finite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Weight(pub f64);
+
+impl Weight {
+    /// The numeric value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for Weight {}
+
+impl PartialOrd for Weight {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Weight {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// How per-hop packet weights are derived from a route.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum HopWeighting {
+    /// The base Octopus rule: every hop of a `k`-hop route weighs `1/k`.
+    #[default]
+    Uniform,
+    /// The Octopus-e rule: the hop `x` hops away from the source (x = 0 for
+    /// the first hop) weighs `(1 + x·ε)/k`.
+    EpsilonLater {
+        /// The small bonus ε applied per hop of progress.
+        eps: f64,
+    },
+}
+
+impl HopWeighting {
+    /// Weight of traversing hop `x` (0-based from the source) of a `k`-hop
+    /// route.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `x >= k`.
+    #[inline]
+    pub fn hop_weight(self, k: u32, x: u32) -> Weight {
+        assert!(k > 0, "routes have at least one hop");
+        assert!(x < k, "hop index {x} out of range for a {k}-hop route");
+        match self {
+            HopWeighting::Uniform => Weight(1.0 / k as f64),
+            HopWeighting::EpsilonLater { eps } => {
+                Weight((1.0 + x as f64 * eps) / k as f64)
+            }
+        }
+    }
+
+    /// The per-packet weight used when a packet completes its whole route:
+    /// `Σ_x hop_weight(k, x)`. For [`HopWeighting::Uniform`] this is exactly 1.
+    pub fn full_route_weight(self, k: u32) -> f64 {
+        (0..k).map(|x| self.hop_weight(k, x).0).sum()
+    }
+}
+
+/// Least common multiple of `1..=d` — the scale that makes all
+/// [`HopWeighting::Uniform`] weights integral, enabling the linear-time
+/// bucket-greedy matching of Octopus-G (§8).
+pub fn weight_scale(d: u32) -> u64 {
+    (1..=d.max(1) as u64).fold(1u64, lcm)
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weight_is_inverse_hops() {
+        assert_eq!(HopWeighting::Uniform.hop_weight(1, 0), Weight(1.0));
+        assert_eq!(HopWeighting::Uniform.hop_weight(4, 2), Weight(0.25));
+        assert_eq!(HopWeighting::Uniform.full_route_weight(3), 1.0);
+    }
+
+    #[test]
+    fn epsilon_boosts_later_hops() {
+        let w = HopWeighting::EpsilonLater { eps: 0.1 };
+        assert!(w.hop_weight(3, 2) > w.hop_weight(3, 1));
+        assert!(w.hop_weight(3, 1) > w.hop_weight(3, 0));
+        // First hop matches uniform.
+        assert_eq!(w.hop_weight(3, 0), HopWeighting::Uniform.hop_weight(3, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hop_index_checked() {
+        HopWeighting::Uniform.hop_weight(2, 2);
+    }
+
+    #[test]
+    fn weight_ordering_total() {
+        let mut v = vec![Weight(0.5), Weight(1.0), Weight(1.0 / 3.0)];
+        v.sort();
+        assert_eq!(v, vec![Weight(1.0 / 3.0), Weight(0.5), Weight(1.0)]);
+    }
+
+    #[test]
+    fn scale_makes_weights_integral() {
+        for d in 1..=8u32 {
+            let s = weight_scale(d);
+            for k in 1..=d {
+                let w = HopWeighting::Uniform.hop_weight(k, 0).0;
+                let scaled = w * s as f64;
+                assert!(
+                    (scaled - scaled.round()).abs() < 1e-9,
+                    "1/{k} × {s} not integral"
+                );
+            }
+        }
+        assert_eq!(weight_scale(4), 12);
+        assert_eq!(weight_scale(1), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! FSO data center: scheduling on an **incomplete** fabric — the scenario
+//! that motivates multi-hop scheduling in the first place.
+//!
+//! Free-space-optics fabrics (FireFly-style) cannot offer a complete
+//! topology: each rack sees only a subset of peers, so some traffic *must*
+//! route through intermediate racks. This example builds a random 6-regular
+//! fabric over 60 racks, routes flows along shortest feasible paths, and
+//! compares Octopus against the Eclipse-Based baseline. It then shows the
+//! two §7 generalizations in action: racks with 2 transceivers (K-port) and
+//! bidirectional FSO links (duplex).
+//!
+//! Run with: `cargo run --release --example fso_datacenter`
+
+use octopus_mhs::baselines::eclipse_based_schedule;
+use octopus_mhs::core::{duplex::octopus_duplex, kport::octopus_kport, octopus, OctopusConfig};
+use octopus_mhs::net::duplex::DuplexNetwork;
+use octopus_mhs::net::topology;
+use octopus_mhs::sim::{resolve, SimConfig, Simulator};
+use octopus_mhs::traffic::{synthetic, Flow, FlowId, TrafficLoad};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = 60;
+    let degree = 6;
+    let window = 4_000;
+    let delta = 20;
+    let mut rng = StdRng::seed_from_u64(7);
+    let net = topology::random_regular(n, degree, &mut rng).expect("valid fabric");
+    println!(
+        "FSO fabric: {n} racks, {degree} terminals each, diameter {:?}",
+        net.diameter()
+    );
+
+    // Traffic between random rack pairs; routes sampled inside the sparse
+    // fabric (1-3 hops where feasible).
+    let mut flows = Vec::new();
+    let mut id = 0u64;
+    while flows.len() < 150 {
+        let src = rng.gen_range(0..n);
+        let dst = rng.gen_range(0..n);
+        if src == dst {
+            continue;
+        }
+        let hops = rng.gen_range(1..=3);
+        let route = (hops..=3).find_map(|h| {
+            synthetic::random_route(
+                &net,
+                octopus_mhs::net::NodeId(src),
+                octopus_mhs::net::NodeId(dst),
+                h,
+                &mut rng,
+            )
+        });
+        if let Some(route) = route {
+            flows.push(Flow::single(FlowId(id), rng.gen_range(50..400), route));
+            id += 1;
+        }
+    }
+    let load = TrafficLoad::new(flows).expect("unique ids");
+    println!(
+        "load: {} flows, {} packets",
+        load.len(),
+        load.total_packets()
+    );
+
+    let cfg = OctopusConfig {
+        window,
+        delta,
+        ..OctopusConfig::default()
+    };
+    let sim = Simulator::new(
+        Some(&net),
+        resolve(&load).expect("single routes"),
+        SimConfig {
+            delta,
+            ..SimConfig::default()
+        },
+    )
+    .expect("routes fit fabric");
+
+    let oct = octopus(&net, &load, &cfg).expect("valid instance");
+    let r_oct = sim.run(&oct.schedule).expect("fits window");
+    let ecl = eclipse_based_schedule(&net, &load, &cfg).expect("valid instance");
+    let r_ecl = sim.run(&ecl).expect("fits window");
+    println!(
+        "octopus:        {:.1}% delivered ({:.1}% utilization)",
+        r_oct.delivered_fraction() * 100.0,
+        r_oct.link_utilization() * 100.0
+    );
+    println!(
+        "eclipse-based:  {:.1}% delivered ({:.1}% utilization)",
+        r_ecl.delivered_fraction() * 100.0,
+        r_ecl.link_utilization() * 100.0
+    );
+
+    // §7: each rack has 2 FSO terminals -> 2 ports per node.
+    let k2 = octopus_kport(&net, &load, &cfg, 2).expect("valid instance");
+    println!(
+        "octopus, 2 ports/rack: planned {:.1}% in {} configurations",
+        100.0 * k2.planned_delivered as f64 / load.total_packets() as f64,
+        k2.schedule.len()
+    );
+
+    // §7: bidirectional FSO links -> duplex fabric over the same terminals.
+    let dnet = DuplexNetwork::from_edges(
+        n,
+        net.edges().iter().map(|&(a, b)| (a.0, b.0)),
+    )
+    .expect("valid duplex fabric");
+    let ddir = dnet.to_directed();
+    // Re-check route feasibility in the duplex projection (it is a superset
+    // of the directed fabric, so the same load validates).
+    load.validate(&ddir).expect("superset fabric");
+    let dx = octopus_duplex(&dnet, &load, &cfg).expect("valid instance");
+    println!(
+        "octopus, duplex links: planned {:.1}% in {} configurations",
+        100.0 * dx.planned_delivered as f64 / load.total_packets() as f64,
+        dx.schedule.len()
+    );
+}

@@ -1,0 +1,85 @@
+//! Hybrid circuit + packet scheduling (§7): mice ride the packet switch,
+//! elephants get circuits.
+//!
+//! Run with: `cargo run --release --example hybrid_network`
+
+use octopus_mhs::core::hybrid::{octopus_hybrid, PacketNetModel};
+use octopus_mhs::core::{octopus, OctopusConfig};
+use octopus_mhs::net::topology;
+use octopus_mhs::traffic::{Flow, FlowId, Route, TrafficLoad};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = 30;
+    let window = 1_500;
+    let delta = 40; // an expensive fabric: mice hurt
+    let net = topology::complete(n);
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // Elephants and mice: a few huge flows plus many tiny ones.
+    let mut flows = Vec::new();
+    let mut id = 0u64;
+    for _ in 0..12 {
+        let (s, d) = distinct_pair(&mut rng, n);
+        flows.push(Flow::single(
+            FlowId(id),
+            rng.gen_range(400..900),
+            Route::from_ids([s, d]).expect("distinct"),
+        ));
+        id += 1;
+    }
+    for _ in 0..150 {
+        let (s, d) = distinct_pair(&mut rng, n);
+        flows.push(Flow::single(
+            FlowId(id),
+            rng.gen_range(1..12),
+            Route::from_ids([s, d]).expect("distinct"),
+        ));
+        id += 1;
+    }
+    let load = TrafficLoad::new(flows).expect("unique ids");
+    println!(
+        "load: {} flows, {} packets (12 elephants + 150 mice)",
+        load.len(),
+        load.total_packets()
+    );
+
+    let cfg = OctopusConfig {
+        window,
+        delta,
+        ..OctopusConfig::default()
+    };
+
+    let circuit_only = octopus(&net, &load, &cfg).expect("valid instance");
+    println!(
+        "circuit only:  planned {:>6} packets ({} configurations)",
+        circuit_only.planned_delivered,
+        circuit_only.schedule.len()
+    );
+
+    let hybrid = octopus_hybrid(&net, &load, &cfg, PacketNetModel { bandwidth_ratio: 10 })
+        .expect("valid instance");
+    println!(
+        "hybrid:        planned {:>6} packets ({} offloaded to the packet net, {} circuit configurations)",
+        hybrid.planned_delivered_total(),
+        hybrid.offloaded,
+        hybrid.circuit.schedule.len()
+    );
+    let mice_offloaded = hybrid
+        .packet_offload
+        .iter()
+        .filter(|&&(id, _)| id.0 >= 12)
+        .count();
+    println!("mice offloaded: {mice_offloaded}/150");
+}
+
+fn distinct_pair(rng: &mut StdRng, n: u32) -> (u32, u32) {
+    loop {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        if s != d {
+            return (s, d);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Makespan minimization (§7): find the shortest window that fully
+//! evacuates a traffic burst, and compare the practical Octopus variants on
+//! the way.
+//!
+//! Run with: `cargo run --release --example makespan`
+
+use octopus_mhs::core::makespan::minimize_makespan;
+use octopus_mhs::core::{octopus, OctopusConfig};
+use octopus_mhs::net::topology;
+use octopus_mhs::traffic::{synthetic, synthetic::SyntheticConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let n = 20;
+    let delta = 15;
+    let net = topology::complete(n);
+    let mut rng = StdRng::seed_from_u64(31);
+    let load = synthetic::generate(&SyntheticConfig::paper_default(n, 1_000), &net, &mut rng);
+    println!(
+        "burst: {} flows, {} packets, routes up to {} hops",
+        load.len(),
+        load.total_packets(),
+        load.max_route_hops()
+    );
+
+    let cfg = OctopusConfig {
+        delta,
+        ..OctopusConfig::default()
+    };
+    let t = Instant::now();
+    let ms = minimize_makespan(&net, &load, &cfg).expect("load is servable");
+    println!(
+        "makespan: {} slots ({} configurations, found in {:.2?})",
+        ms.window,
+        ms.output.schedule.len(),
+        t.elapsed()
+    );
+
+    // How do the practical variants trade quality for speed at this window?
+    let at = |cfg: OctopusConfig, label: &str| {
+        let c = OctopusConfig {
+            window: ms.window,
+            ..cfg
+        };
+        let t = Instant::now();
+        let out = octopus(&net, &load, &c).expect("valid instance");
+        println!(
+            "{label:<12} planned {:>6}/{} packets, {:>4} matchings, {:.2?}",
+            out.planned_delivered,
+            load.total_packets(),
+            out.matchings_computed,
+            t.elapsed()
+        );
+    };
+    at(cfg, "octopus");
+    at(cfg.octopus_b(), "octopus-b");
+    at(cfg.octopus_g(load.max_route_hops()), "octopus-g");
+}

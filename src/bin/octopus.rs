@@ -1,0 +1,267 @@
+//! `octopus` — command-line front end for the Octopus multihop circuit
+//! scheduler.
+//!
+//! ```text
+//! octopus demo      --dir DIR [--n N] [--window W] [--seed S]
+//! octopus schedule  --fabric F.json --traffic T.json --window W --delta D
+//!                   [--variant octopus|b|g|e|plus|local] [--out S.json]
+//! octopus simulate  --fabric F.json --traffic T.json --schedule S.json --delta D
+//!                   [--next-config-only] [--localized]
+//! octopus makespan  --fabric F.json --traffic T.json --delta D
+//! octopus routes    --fabric F.json --matrix M.csv --lengths 1,2,3 --seed S
+//!                   [--out T.json]
+//! ```
+//!
+//! Fabrics and traffic are serde JSON (see `demo` for samples); demand
+//! matrices use the `src,dst,packets` CSV of
+//! [`octopus_traffic::DemandMatrix::to_csv_string`], so a real trace export
+//! can be plugged straight in. All randomness is seeded — identical inputs
+//! produce identical schedules.
+
+use octopus_mhs::core::{
+    local::octopus_local, makespan::minimize_makespan, octopus,
+    octopus_plus::{octopus_plus, PlusConfig}, OctopusConfig,
+};
+use octopus_mhs::net::{topology, Network, Schedule};
+use octopus_mhs::sim::{resolve, ForwardingMode, ReconfigModel, SimConfig, Simulator};
+use octopus_mhs::traffic::{synthetic, synthetic::SyntheticConfig, DemandMatrix, TrafficLoad};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let opts = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "demo" => cmd_demo(&opts),
+        "schedule" => cmd_schedule(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "makespan" => cmd_makespan(&opts),
+        "routes" => cmd_routes(&opts),
+        _ => {
+            usage();
+            exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: octopus <demo|schedule|simulate|makespan|routes> [--flag value]...\n\
+         see the crate README for the full flag reference"
+    );
+}
+
+type Fallible = Result<(), Box<dyn std::error::Error>>;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .unwrap_or_else(|| {
+                eprintln!("expected --flag, got {}", args[i]);
+                exit(2);
+            })
+            .to_string();
+        // Boolean flags have no value (next token is another flag or end).
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            out.insert(key, args[i + 1].clone());
+            i += 2;
+        } else {
+            out.insert(key, String::from("true"));
+            i += 1;
+        }
+    }
+    out
+}
+
+fn need<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn num<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
+    opts.get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn load_fabric(path: &str) -> Result<Network, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let net: Network = serde_json::from_str(&text)?;
+    Ok(net.rebuild_indices())
+}
+
+fn load_traffic(path: &str) -> Result<TrafficLoad, Box<dyn std::error::Error>> {
+    Ok(serde_json::from_str(&std::fs::read_to_string(path)?)?)
+}
+
+/// `demo`: writes a sample fabric + traffic pair ready for `schedule`.
+fn cmd_demo(opts: &HashMap<String, String>) -> Fallible {
+    let dir = opts.get("dir").map(String::as_str).unwrap_or(".");
+    std::fs::create_dir_all(dir)?;
+    let n: u32 = num(opts, "n", 24);
+    let window: u64 = num(opts, "window", 2_000);
+    let seed: u64 = num(opts, "seed", 42);
+    let net = topology::complete(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let load = synthetic::generate(&SyntheticConfig::paper_default(n, window), &net, &mut rng);
+    std::fs::write(format!("{dir}/fabric.json"), serde_json::to_string_pretty(&net)?)?;
+    std::fs::write(format!("{dir}/traffic.json"), serde_json::to_string_pretty(&load)?)?;
+    println!(
+        "wrote {dir}/fabric.json ({n} nodes) and {dir}/traffic.json ({} flows, {} packets)",
+        load.len(),
+        load.total_packets()
+    );
+    println!("next: octopus schedule --fabric {dir}/fabric.json --traffic {dir}/traffic.json --window {window} --delta 20 --out {dir}/schedule.json");
+    Ok(())
+}
+
+/// `schedule`: plan a configuration sequence.
+fn cmd_schedule(opts: &HashMap<String, String>) -> Fallible {
+    let net = load_fabric(need(opts, "fabric")?)?;
+    let load = load_traffic(need(opts, "traffic")?)?;
+    let cfg = OctopusConfig {
+        window: need(opts, "window")?.parse()?,
+        delta: need(opts, "delta")?.parse()?,
+        ..OctopusConfig::default()
+    };
+    let variant = opts.get("variant").map(String::as_str).unwrap_or("octopus");
+    let (schedule, planned_delivered, planned_psi) = match variant {
+        "octopus" => {
+            let out = octopus(&net, &load, &cfg)?;
+            (out.schedule, out.planned_delivered, out.planned_psi)
+        }
+        "b" => {
+            let out = octopus(&net, &load, &cfg.octopus_b())?;
+            (out.schedule, out.planned_delivered, out.planned_psi)
+        }
+        "g" => {
+            let out = octopus(&net, &load, &cfg.octopus_g(load.max_route_hops().max(1)))?;
+            (out.schedule, out.planned_delivered, out.planned_psi)
+        }
+        "e" => {
+            let out = octopus(&net, &load, &cfg.octopus_e(num(opts, "eps", 0.05)))?;
+            (out.schedule, out.planned_delivered, out.planned_psi)
+        }
+        "plus" => {
+            let out = octopus_plus(&net, &load, &PlusConfig { base: cfg, backtracking: true })?;
+            (out.schedule, out.planned_delivered, out.planned_psi)
+        }
+        "local" => {
+            let out = octopus_local(&net, &load, &cfg)?;
+            (out.schedule, out.planned_delivered, out.planned_psi)
+        }
+        other => return Err(format!("unknown variant {other}").into()),
+    };
+    eprintln!(
+        "planned: {} configurations, {}/{} packets, psi {:.1}, cost {}/{}",
+        schedule.len(),
+        planned_delivered,
+        load.total_packets(),
+        planned_psi,
+        schedule.total_cost(cfg.delta),
+        cfg.window
+    );
+    let json = serde_json::to_string_pretty(&schedule)?;
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, json)?;
+            eprintln!("schedule written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// `simulate`: replay a schedule and report measured metrics as JSON.
+fn cmd_simulate(opts: &HashMap<String, String>) -> Fallible {
+    let net = load_fabric(need(opts, "fabric")?)?;
+    let load = load_traffic(need(opts, "traffic")?)?;
+    let schedule: Schedule =
+        serde_json::from_str(&std::fs::read_to_string(need(opts, "schedule")?)?)?;
+    let cfg = SimConfig {
+        delta: need(opts, "delta")?.parse()?,
+        forwarding: if opts.contains_key("next-config-only") {
+            ForwardingMode::NextConfigOnly
+        } else {
+            ForwardingMode::default()
+        },
+        reconfig: if opts.contains_key("localized") {
+            ReconfigModel::Localized
+        } else {
+            ReconfigModel::Global
+        },
+        ..SimConfig::default()
+    };
+    let sim = Simulator::new(Some(&net), resolve(&load)?, cfg)?;
+    let report = sim.run(&schedule)?;
+    eprintln!(
+        "delivered {:.2}%, utilization {:.2}%, psi {:.1}{}",
+        report.delivered_fraction() * 100.0,
+        report.link_utilization() * 100.0,
+        report.psi,
+        report
+            .mean_fct()
+            .map(|f| format!(", mean FCT {f:.0} slots"))
+            .unwrap_or_default()
+    );
+    println!("{}", serde_json::to_string_pretty(&report)?);
+    Ok(())
+}
+
+/// `makespan`: shortest window fully serving the load.
+fn cmd_makespan(opts: &HashMap<String, String>) -> Fallible {
+    let net = load_fabric(need(opts, "fabric")?)?;
+    let load = load_traffic(need(opts, "traffic")?)?;
+    let cfg = OctopusConfig {
+        delta: need(opts, "delta")?.parse()?,
+        ..OctopusConfig::default()
+    };
+    let out = minimize_makespan(&net, &load, &cfg)?;
+    println!(
+        "{{\"makespan_slots\": {}, \"configurations\": {}}}",
+        out.window,
+        out.output.schedule.len()
+    );
+    Ok(())
+}
+
+/// `routes`: turn a CSV demand matrix into a routed traffic load.
+fn cmd_routes(opts: &HashMap<String, String>) -> Fallible {
+    let net = load_fabric(need(opts, "fabric")?)?;
+    let csv = std::fs::read_to_string(need(opts, "matrix")?)?;
+    let matrix = DemandMatrix::from_csv_str(&csv, net.num_nodes())?;
+    let lengths: Vec<u32> = opts
+        .get("lengths")
+        .map(String::as_str)
+        .unwrap_or("1,2,3")
+        .split(',')
+        .map(|s| s.trim().parse())
+        .collect::<Result<_, _>>()?;
+    let mut rng = StdRng::seed_from_u64(num(opts, "seed", 0));
+    let load = synthetic::load_from_matrix(&matrix, &net, &lengths, &mut rng);
+    eprintln!(
+        "routed {} flows / {} packets over the fabric",
+        load.len(),
+        load.total_packets()
+    );
+    let json = serde_json::to_string_pretty(&load)?;
+    match opts.get("out") {
+        Some(path) => std::fs::write(path, json)?,
+        None => println!("{json}"),
+    }
+    Ok(())
+}

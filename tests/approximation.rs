@@ -1,0 +1,112 @@
+//! Approximation-guarantee smoke tests: on instances where full delivery is
+//! feasible within the window (so OPT_ψ equals the total packet weight),
+//! Octopus's ψ must clear the Theorem 1 floor
+//! `(1 − e^{−1/𝒟}) · W/(W+Δ) · OPT_ψ`.
+
+use octopus_mhs::core::{makespan::minimize_makespan, octopus, OctopusConfig};
+use octopus_mhs::net::topology;
+use octopus_mhs::traffic::{synthetic, synthetic::SyntheticConfig, Flow, FlowId, Route, TrafficLoad};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn theorem1_floor(d: u32, window: u64, delta: u64) -> f64 {
+    (1.0 - (-1.0 / d as f64).exp()) * window as f64 / (window + delta) as f64
+}
+
+/// Runs the check on one instance. `opt_psi` is the full-delivery ψ (every
+/// packet's weights sum to 1, so OPT_ψ = total packets when the makespan
+/// fits the window).
+fn check(net: &octopus_mhs::net::Network, load: &TrafficLoad, delta: u64) {
+    let cfg = OctopusConfig {
+        delta,
+        window: u64::MAX / 4, // probe: find a window with full delivery
+        ..OctopusConfig::default()
+    };
+    let ms = minimize_makespan(net, load, &cfg).expect("servable");
+    let window = ms.window * 2; // comfortably feasible
+    let out = octopus(
+        net,
+        load,
+        &OctopusConfig {
+            delta,
+            window,
+            ..OctopusConfig::default()
+        },
+    )
+    .unwrap();
+    let opt_psi = load.total_packets() as f64;
+    let floor = theorem1_floor(load.max_route_hops(), window, delta) * opt_psi;
+    assert!(
+        out.planned_psi + 1e-9 >= floor,
+        "psi {} below Theorem 1 floor {} (D={}, W={}, delta={})",
+        out.planned_psi,
+        floor,
+        load.max_route_hops(),
+        window,
+        delta
+    );
+}
+
+#[test]
+fn guarantee_holds_on_synthetic_instances() {
+    let net = topology::complete(12);
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let load = synthetic::generate(
+            &SyntheticConfig::paper_default(12, 600),
+            &net,
+            &mut rng,
+        );
+        check(&net, &load, 10);
+    }
+}
+
+#[test]
+fn guarantee_holds_with_long_routes() {
+    // D = 4 routes on a sparse ring-with-chords fabric.
+    let net = topology::chordal_ring(10, &[3]).unwrap();
+    let load = TrafficLoad::new(vec![
+        Flow::single(FlowId(1), 40, Route::from_ids([0, 1, 2, 3, 4]).unwrap()),
+        Flow::single(FlowId(2), 30, Route::from_ids([5, 6, 7]).unwrap()),
+        Flow::single(FlowId(3), 20, Route::from_ids([2, 5]).unwrap()),
+        Flow::single(FlowId(4), 50, Route::from_ids([8, 9, 0]).unwrap()),
+    ])
+    .unwrap();
+    check(&net, &load, 25);
+}
+
+#[test]
+fn guarantee_holds_under_heavy_delta() {
+    let net = topology::complete(8);
+    let mut rng = StdRng::seed_from_u64(99);
+    let load = synthetic::generate(&SyntheticConfig::paper_default(8, 400), &net, &mut rng);
+    check(&net, &load, 200);
+}
+
+#[test]
+fn greedy_score_never_negative_and_psi_matches_benefit_sum() {
+    // Internal consistency: planned psi equals the sum of configuration
+    // benefits (definition of B and psi).
+    let net = topology::complete(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    let load = synthetic::generate(&SyntheticConfig::paper_default(10, 500), &net, &mut rng);
+    let cfg = OctopusConfig {
+        delta: 10,
+        window: 500,
+        ..OctopusConfig::default()
+    };
+    let out = octopus(&net, &load, &cfg).unwrap();
+    // Replay the schedule through fresh bookkeeping and compare.
+    use octopus_mhs::core::{HopWeighting, RemainingTraffic};
+    let mut tr = RemainingTraffic::new(&load, HopWeighting::Uniform).unwrap();
+    let mut benefit_sum = 0.0;
+    for c in out.schedule.configs() {
+        benefit_sum += tr.apply(c.matching.links(), c.alpha);
+    }
+    assert!(
+        (benefit_sum - out.planned_psi).abs() < 1e-6,
+        "replayed benefit {} vs planned psi {}",
+        benefit_sum,
+        out.planned_psi
+    );
+}

@@ -1,0 +1,159 @@
+//! Integration tests driving the `octopus` CLI binary end to end.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_octopus"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("octopus-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn demo_schedule_simulate_round_trip() {
+    let dir = tmp_dir("roundtrip");
+    let d = dir.to_str().unwrap();
+
+    let out = bin()
+        .args(["demo", "--dir", d, "--n", "10", "--window", "600", "--seed", "3"])
+        .output()
+        .expect("run demo");
+    assert!(out.status.success(), "demo failed: {out:?}");
+    assert!(dir.join("fabric.json").exists());
+    assert!(dir.join("traffic.json").exists());
+
+    let out = bin()
+        .args([
+            "schedule",
+            "--fabric", &format!("{d}/fabric.json"),
+            "--traffic", &format!("{d}/traffic.json"),
+            "--window", "600",
+            "--delta", "10",
+            "--out", &format!("{d}/schedule.json"),
+        ])
+        .output()
+        .expect("run schedule");
+    assert!(out.status.success(), "schedule failed: {out:?}");
+
+    let out = bin()
+        .args([
+            "simulate",
+            "--fabric", &format!("{d}/fabric.json"),
+            "--traffic", &format!("{d}/traffic.json"),
+            "--schedule", &format!("{d}/schedule.json"),
+            "--delta", "10",
+        ])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success(), "simulate failed: {out:?}");
+    let report: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("simulate prints JSON report");
+    assert!(report["delivered"].as_u64().unwrap() > 0);
+    assert_eq!(
+        report["delivered"].as_u64().unwrap()
+            + report["stranded"].as_u64().unwrap()
+            + report["never_moved"].as_u64().unwrap(),
+        report["total_packets"].as_u64().unwrap(),
+        "conservation holds through the CLI"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn all_scheduler_variants_run() {
+    let dir = tmp_dir("variants");
+    let d = dir.to_str().unwrap();
+    assert!(bin()
+        .args(["demo", "--dir", d, "--n", "8", "--window", "400", "--seed", "5"])
+        .status()
+        .unwrap()
+        .success());
+    for variant in ["octopus", "b", "g", "e", "plus", "local"] {
+        let out = bin()
+            .args([
+                "schedule",
+                "--fabric", &format!("{d}/fabric.json"),
+                "--traffic", &format!("{d}/traffic.json"),
+                "--window", "400",
+                "--delta", "10",
+                "--variant", variant,
+            ])
+            .output()
+            .expect("run schedule");
+        assert!(out.status.success(), "variant {variant} failed: {out:?}");
+        let schedule: serde_json::Value =
+            serde_json::from_slice(&out.stdout).expect("schedule JSON on stdout");
+        assert!(schedule["configs"].as_array().is_some());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn routes_consumes_csv_matrices() {
+    let dir = tmp_dir("routes");
+    let d = dir.to_str().unwrap();
+    assert!(bin()
+        .args(["demo", "--dir", d, "--n", "6", "--window", "100"])
+        .status()
+        .unwrap()
+        .success());
+    std::fs::write(
+        dir.join("matrix.csv"),
+        "src,dst,packets\n0,1,120\n2,5,44\n# comment\n4,0,9\n",
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "routes",
+            "--fabric", &format!("{d}/fabric.json"),
+            "--matrix", &format!("{d}/matrix.csv"),
+            "--lengths", "1,2",
+            "--seed", "1",
+            "--out", &format!("{d}/traffic2.json"),
+        ])
+        .output()
+        .expect("run routes");
+    assert!(out.status.success(), "routes failed: {out:?}");
+    let load: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("traffic2.json")).unwrap())
+            .unwrap();
+    assert_eq!(load["flows"].as_array().unwrap().len(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn makespan_reports_a_window() {
+    let dir = tmp_dir("makespan");
+    let d = dir.to_str().unwrap();
+    assert!(bin()
+        .args(["demo", "--dir", d, "--n", "6", "--window", "200", "--seed", "9"])
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args([
+            "makespan",
+            "--fabric", &format!("{d}/fabric.json"),
+            "--traffic", &format!("{d}/traffic.json"),
+            "--delta", "5",
+        ])
+        .output()
+        .expect("run makespan");
+    assert!(out.status.success(), "makespan failed: {out:?}");
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert!(v["makespan_slots"].as_u64().unwrap() > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_flags_fail_cleanly() {
+    let out = bin().args(["schedule"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("missing required flag"), "stderr: {err}");
+}

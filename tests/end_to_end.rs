@@ -1,0 +1,174 @@
+//! Cross-crate end-to-end tests on realistic (small) synthetic instances:
+//! algorithm orderings, bounds, determinism and schedule validity.
+
+use octopus_mhs::baselines::{
+    absolute_upper_bound, eclipse_based_schedule, rotornet_schedule, ub_evaluate,
+};
+use octopus_mhs::core::{octopus, OctopusConfig};
+use octopus_mhs::net::topology;
+use octopus_mhs::sim::{resolve, SimConfig, Simulator};
+use octopus_mhs::traffic::{synthetic, synthetic::SyntheticConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct World {
+    net: octopus_mhs::net::Network,
+    load: octopus_mhs::traffic::TrafficLoad,
+    cfg: OctopusConfig,
+}
+
+fn world(seed: u64) -> World {
+    let n = 20;
+    let window = 1_200;
+    let delta = 15;
+    let net = topology::complete(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let load = synthetic::generate(&SyntheticConfig::paper_default(n, window), &net, &mut rng);
+    World {
+        net,
+        load,
+        cfg: OctopusConfig {
+            window,
+            delta,
+            ..OctopusConfig::default()
+        },
+    }
+}
+
+fn simulate(w: &World, schedule: &octopus_mhs::net::Schedule) -> octopus_mhs::sim::SimReport {
+    let sim = Simulator::new(
+        Some(&w.net),
+        resolve(&w.load).unwrap(),
+        SimConfig {
+            delta: w.cfg.delta,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    sim.run(schedule).unwrap()
+}
+
+#[test]
+fn octopus_beats_eclipse_based_and_rotornet() {
+    for seed in [1, 2, 3] {
+        let w = world(seed);
+        let oct = octopus(&w.net, &w.load, &w.cfg).unwrap();
+        let r_oct = simulate(&w, &oct.schedule);
+
+        let ecl = eclipse_based_schedule(&w.net, &w.load, &w.cfg).unwrap();
+        let r_ecl = simulate(&w, &ecl);
+
+        let rot = rotornet_schedule(w.net.num_nodes(), w.cfg.delta, w.cfg.window, 0);
+        let sim_free = Simulator::new(
+            None,
+            resolve(&w.load).unwrap(),
+            SimConfig {
+                delta: w.cfg.delta,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let r_rot = sim_free.run(&rot).unwrap();
+
+        assert!(
+            r_oct.delivered as f64 >= 0.95 * r_ecl.delivered as f64,
+            "seed {seed}: octopus {} vs eclipse-based {}",
+            r_oct.delivered,
+            r_ecl.delivered
+        );
+        assert!(
+            r_oct.delivered > r_rot.delivered,
+            "seed {seed}: octopus {} vs rotornet {}",
+            r_oct.delivered,
+            r_rot.delivered
+        );
+        assert!(r_oct.link_utilization() > r_rot.link_utilization());
+    }
+}
+
+#[test]
+fn bounds_dominate_octopus() {
+    for seed in [4, 5] {
+        let w = world(seed);
+        let oct = octopus(&w.net, &w.load, &w.cfg).unwrap();
+        let r = simulate(&w, &oct.schedule);
+        let abs = absolute_upper_bound(&w.net, &w.load, w.cfg.window);
+        assert!(
+            r.delivered_fraction() <= abs + 1e-9,
+            "seed {seed}: delivered {} above absolute bound {}",
+            r.delivered_fraction(),
+            abs
+        );
+        let ub = ub_evaluate(&w.net, &w.load, &w.cfg);
+        // UB relaxes ordering; it tracks or beats Octopus (both greedy, so a
+        // small tolerance).
+        assert!(
+            ub.delivered_fraction() + 0.1 >= r.delivered_fraction(),
+            "seed {seed}: UB {} vs octopus {}",
+            ub.delivered_fraction(),
+            r.delivered_fraction()
+        );
+    }
+}
+
+#[test]
+fn schedules_are_valid_and_within_window() {
+    let w = world(6);
+    let oct = octopus(&w.net, &w.load, &w.cfg).unwrap();
+    oct.schedule.validate(Some(&w.net)).unwrap();
+    assert!(oct.schedule.total_cost(w.cfg.delta) <= w.cfg.window);
+    let ecl = eclipse_based_schedule(&w.net, &w.load, &w.cfg).unwrap();
+    ecl.validate(Some(&w.net)).unwrap();
+    assert!(ecl.total_cost(w.cfg.delta) <= w.cfg.window);
+}
+
+#[test]
+fn everything_is_deterministic() {
+    let w1 = world(7);
+    let w2 = world(7);
+    assert_eq!(w1.load, w2.load, "generation is seed-deterministic");
+    let a = octopus(&w1.net, &w1.load, &w1.cfg).unwrap();
+    let b = octopus(&w2.net, &w2.load, &w2.cfg).unwrap();
+    assert_eq!(a.schedule, b.schedule, "scheduling is deterministic");
+    assert_eq!(simulate(&w1, &a.schedule), simulate(&w2, &b.schedule));
+}
+
+#[test]
+fn variants_stay_close_to_octopus() {
+    let w = world(8);
+    let oct = simulate(&w, &octopus(&w.net, &w.load, &w.cfg).unwrap().schedule);
+    let b = simulate(
+        &w,
+        &octopus(&w.net, &w.load, &w.cfg.octopus_b()).unwrap().schedule,
+    );
+    let g = simulate(
+        &w,
+        &octopus(&w.net, &w.load, &w.cfg.octopus_g(w.load.max_route_hops()))
+            .unwrap()
+            .schedule,
+    );
+    // The paper: Octopus-B near-identical; Octopus-G >= 95% of Octopus.
+    assert!(
+        b.delivered as f64 >= 0.9 * oct.delivered as f64,
+        "octopus-b {} vs {}",
+        b.delivered,
+        oct.delivered
+    );
+    assert!(
+        g.delivered as f64 >= 0.85 * oct.delivered as f64,
+        "octopus-g {} vs {}",
+        g.delivered,
+        oct.delivered
+    );
+}
+
+#[test]
+fn schedule_serde_round_trip() {
+    let w = world(9);
+    let out = octopus(&w.net, &w.load, &w.cfg).unwrap();
+    let json = serde_json::to_string(&out.schedule).unwrap();
+    let back: octopus_mhs::net::Schedule = serde_json::from_str(&json).unwrap();
+    assert_eq!(out.schedule, back);
+    // A deserialized schedule drives the simulator identically.
+    assert_eq!(simulate(&w, &out.schedule), simulate(&w, &back));
+}

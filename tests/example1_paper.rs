@@ -1,0 +1,98 @@
+//! End-to-end check of the paper's worked Example 1 (Figure 1), spanning
+//! the scheduler, the baselines and the simulator.
+
+use octopus_mhs::baselines::eclipse_based_schedule;
+use octopus_mhs::core::{octopus, OctopusConfig};
+use octopus_mhs::net::{Network, NodeId};
+use octopus_mhs::sim::{resolve, SimConfig, Simulator};
+use octopus_mhs::traffic::{Flow, FlowId, Route, TrafficLoad};
+
+/// Nodes a=0, b=1, c=2, d=3 and the five links Figure 1 uses.
+fn net() -> Network {
+    Network::from_edges(4, [(3u32, 0u32), (0, 1), (2, 1), (1, 0), (1, 2)]).unwrap()
+}
+
+fn load() -> TrafficLoad {
+    TrafficLoad::new(vec![
+        Flow::single(FlowId(1), 100, Route::from_ids([0, 1, 2]).unwrap()),
+        Flow::single(FlowId(2), 50, Route::from_ids([3, 0, 1]).unwrap()),
+        Flow::single(FlowId(3), 50, Route::from_ids([2, 1, 0]).unwrap()),
+    ])
+    .unwrap()
+}
+
+fn cfg() -> OctopusConfig {
+    OctopusConfig {
+        window: 300,
+        delta: 0,
+        ..OctopusConfig::default()
+    }
+}
+
+fn simulate(schedule: &octopus_mhs::net::Schedule) -> octopus_mhs::sim::SimReport {
+    let sim = Simulator::new(
+        Some(&net()),
+        resolve(&load()).unwrap(),
+        SimConfig {
+            delta: 0,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    sim.run(schedule).unwrap()
+}
+
+#[test]
+fn octopus_finds_the_optimal_plan() {
+    let out = octopus(&net(), &load(), &cfg()).unwrap();
+    // The optimum delivers all 200 packets with psi = 200 (paper, §4).
+    assert_eq!(out.planned_delivered, 200);
+    assert!((out.planned_psi - 200.0).abs() < 1e-9);
+    let r = simulate(&out.schedule);
+    assert_eq!(r.delivered, 200);
+    assert!((r.psi - 200.0).abs() < 1e-9);
+    assert_eq!(r.stranded + r.never_moved, 0);
+}
+
+#[test]
+fn octopus_uses_the_window_efficiently() {
+    let out = octopus(&net(), &load(), &cfg()).unwrap();
+    assert!(out.schedule.total_cost(0) <= 300);
+    // The optimal solution needs only 300 slots of work; Octopus should not
+    // need more configurations than the 4 of the paper's optimal sequence
+    // plus small change.
+    assert!(out.schedule.len() <= 6, "got {}", out.schedule.len());
+}
+
+#[test]
+fn eclipse_based_is_strictly_worse_here() {
+    let ecl = eclipse_based_schedule(&net(), &load(), &cfg()).unwrap();
+    let r = simulate(&ecl);
+    let oct = octopus(&net(), &load(), &cfg()).unwrap();
+    let r_oct = simulate(&oct.schedule);
+    assert!(
+        r.delivered <= r_oct.delivered,
+        "eclipse-based {} vs octopus {}",
+        r.delivered,
+        r_oct.delivered
+    );
+}
+
+#[test]
+fn benefit_example_from_section_4() {
+    // B((M4,50), <>) = 0 and B((M4,50), <(M3,50)>) = 25 (paper, §4.1).
+    use octopus_mhs::core::{HopWeighting, RemainingTraffic};
+    let mut tr = RemainingTraffic::new(&load(), HopWeighting::Uniform).unwrap();
+    // M4 = {(b,a)} = {(1,0)}: benefit with nothing scheduled is zero.
+    let q = tr.link_queues(4);
+    assert_eq!(q.g(1, 0, 50), 0.0);
+    // After (M3,50) = {(c,b)}: 50 packets of weight 1/2 wait at b toward a.
+    tr.apply(&[(NodeId(2), NodeId(1))], 50);
+    let q = tr.link_queues(4);
+    assert!((q.g(1, 0, 50) - 25.0).abs() < 1e-12);
+    // More generally B((M4,50),(M3,alpha)) = alpha/2 for alpha <= 50.
+    let mut tr2 = RemainingTraffic::new(&load(), HopWeighting::Uniform).unwrap();
+    tr2.apply(&[(NodeId(2), NodeId(1))], 30);
+    let q2 = tr2.link_queues(4);
+    assert!((q2.g(1, 0, 50) - 15.0).abs() < 1e-12);
+}

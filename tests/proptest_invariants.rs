@@ -1,0 +1,157 @@
+//! Property-based invariants across the whole stack: random small fabrics
+//! and loads, checking schedule validity, packet conservation, objective
+//! accounting and monotonicity.
+
+use octopus_mhs::core::{octopus, OctopusConfig};
+use octopus_mhs::net::{topology, Configuration, Schedule};
+use octopus_mhs::sim::{resolve, SimConfig, Simulator};
+use octopus_mhs::traffic::{Flow, FlowId, Route, TrafficLoad};
+use proptest::prelude::*;
+
+/// Strategy: a small complete fabric plus a random single-route load on it.
+fn instance() -> impl Strategy<Value = (u32, TrafficLoad, u64, u64)> {
+    (4u32..10)
+        .prop_flat_map(|n| {
+            let flows = prop::collection::vec(
+                (0u32..n, 0u32..n, 1u64..80, 0u32..3u32, 0u32..n),
+                1..12,
+            );
+            (Just(n), flows, 200u64..1500, 0u64..40)
+        })
+        .prop_map(|(n, raw, window, delta)| {
+            let mut flows = Vec::new();
+            let mut id = 0u64;
+            for (src, dst, size, extra_hops, via) in raw {
+                if src == dst {
+                    continue;
+                }
+                // Build a route of 1..=3 hops through distinct nodes.
+                let mut nodes = vec![src];
+                if extra_hops >= 1 && via != src && via != dst {
+                    nodes.push(via);
+                }
+                if extra_hops >= 2 {
+                    let w = (via + 1) % n;
+                    if w != src && w != dst && !nodes.contains(&w) {
+                        nodes.push(w);
+                    }
+                }
+                nodes.push(dst);
+                if let Ok(route) = Route::from_ids(nodes) {
+                    flows.push(Flow::single(FlowId(id), size, route));
+                    id += 1;
+                }
+            }
+            (
+                n,
+                TrafficLoad::new(flows).expect("sequential ids"),
+                window,
+                delta,
+            )
+        })
+        .prop_filter("need at least one flow and room for a config", |(_, load, w, d)| {
+            !load.is_empty() && *w > *d + 1
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn octopus_schedules_are_valid_and_conservative(
+        (n, load, window, delta) in instance()
+    ) {
+        let net = topology::complete(n);
+        let cfg = OctopusConfig { window, delta, ..OctopusConfig::default() };
+        let out = octopus(&net, &load, &cfg).unwrap();
+
+        // Schedule validity: matchings in the fabric, positive alphas,
+        // window respected.
+        out.schedule.validate(Some(&net)).unwrap();
+        prop_assert!(out.schedule.total_cost(delta) <= window);
+
+        // Simulator conservation (with the default within-configuration
+        // chaining, which may deviate from the plan in either direction).
+        let sim = Simulator::new(
+            Some(&net),
+            resolve(&load).unwrap(),
+            SimConfig { delta, ..SimConfig::default() },
+        ).unwrap();
+        let r = sim.run(&out.schedule).unwrap();
+        prop_assert!(r.conserves_packets());
+        prop_assert!(r.delivered <= load.total_packets());
+
+        // Under NextConfigOnly forwarding the simulator implements exactly
+        // the plan's bookkeeping semantics: psi and delivered must agree.
+        let sim_plan = Simulator::new(
+            Some(&net),
+            resolve(&load).unwrap(),
+            SimConfig {
+                delta,
+                forwarding: octopus_mhs::sim::ForwardingMode::NextConfigOnly,
+                ..SimConfig::default()
+            },
+        ).unwrap();
+        let rp = sim_plan.run(&out.schedule).unwrap();
+        prop_assert!(
+            (rp.psi - out.planned_psi).abs() < 1e-6,
+            "plan psi {} vs NextConfigOnly sim psi {}", out.planned_psi, rp.psi
+        );
+        prop_assert_eq!(rp.delivered, out.planned_delivered);
+    }
+
+    #[test]
+    fn psi_is_monotone_under_schedule_extension(
+        (n, load, window, delta) in instance()
+    ) {
+        let net = topology::complete(n);
+        let cfg = OctopusConfig { window, delta, ..OctopusConfig::default() };
+        let out = octopus(&net, &load, &cfg).unwrap();
+        let sim = Simulator::new(
+            Some(&net),
+            resolve(&load).unwrap(),
+            SimConfig { delta, ..SimConfig::default() },
+        ).unwrap();
+        // Every prefix of the schedule has psi <= the full schedule's psi.
+        let configs: Vec<Configuration> = out.schedule.configs().to_vec();
+        let mut prev = 0.0;
+        for k in 0..=configs.len() {
+            let prefix = Schedule::from(configs[..k].to_vec());
+            let r = sim.run(&prefix).unwrap();
+            prop_assert!(r.psi + 1e-9 >= prev, "psi dropped: {} -> {}", prev, r.psi);
+            prev = r.psi;
+        }
+    }
+
+    #[test]
+    fn delivered_never_exceeds_psi_headroom(
+        (n, load, window, delta) in instance()
+    ) {
+        // Every delivered packet contributes its full weight (1.0 summed
+        // over hops) to psi, so delivered <= psi + epsilon.
+        let net = topology::complete(n);
+        let cfg = OctopusConfig { window, delta, ..OctopusConfig::default() };
+        let out = octopus(&net, &load, &cfg).unwrap();
+        let sim = Simulator::new(
+            Some(&net),
+            resolve(&load).unwrap(),
+            SimConfig { delta, ..SimConfig::default() },
+        ).unwrap();
+        let r = sim.run(&out.schedule).unwrap();
+        prop_assert!(r.delivered as f64 <= r.psi + 1e-6);
+    }
+
+    #[test]
+    fn variants_respect_the_same_invariants(
+        (n, load, window, delta) in instance()
+    ) {
+        let net = topology::complete(n);
+        let base = OctopusConfig { window, delta, ..OctopusConfig::default() };
+        for cfg in [base.octopus_b(), base.octopus_g(load.max_route_hops().max(1))] {
+            let out = octopus(&net, &load, &cfg).unwrap();
+            out.schedule.validate(Some(&net)).unwrap();
+            prop_assert!(out.schedule.total_cost(delta) <= window);
+            prop_assert!(out.planned_delivered <= load.total_packets());
+        }
+    }
+}
