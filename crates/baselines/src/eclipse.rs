@@ -20,12 +20,7 @@ use octopus_net::{Network, Schedule};
 use octopus_traffic::{FlowId, TrafficLoad};
 
 /// Runs plain Eclipse over explicit one-hop demands (unit weights).
-pub fn eclipse_schedule(
-    n: u32,
-    demands: &[OneHopDemand],
-    delta: u64,
-    window: u64,
-) -> OneHopOutput {
+pub fn eclipse_schedule(n: u32, demands: &[OneHopDemand], delta: u64, window: u64) -> OneHopOutput {
     one_hop_schedule(
         n,
         demands,

@@ -8,8 +8,11 @@
 //! which is what the UB upper bound needs to decide whether all hops of a
 //! multi-hop packet were covered.
 
-use octopus_core::{best_configuration, AlphaSearch, LinkQueues, MatchingKind};
-use octopus_net::{Configuration, Matching, NodeId, Schedule};
+use octopus_core::{
+    AlphaSearch, BipartiteFabric, CandidateExtension, LinkQueue, LinkQueues, MatchingKind,
+    ScheduleEngine, SearchPolicy, TrafficSource,
+};
+use octopus_net::{Configuration, NodeId, Schedule};
 use octopus_traffic::Weight;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -56,7 +59,6 @@ pub fn one_hop_schedule(
     alpha_search: AlphaSearch,
     matching: MatchingKind,
 ) -> OneHopOutput {
-    let mut remaining: Vec<u64> = demands.iter().map(|d| d.size).collect();
     // Demand indices per link, pre-sorted by (weight desc, tag asc).
     let mut by_link: HashMap<(u32, u32), Vec<usize>> = HashMap::new();
     for (idx, d) in demands.iter().enumerate() {
@@ -73,61 +75,105 @@ pub fn one_hop_schedule(
         });
     }
 
+    let source = DemandSource {
+        demands,
+        by_link,
+        remaining: demands.iter().map(|d| d.size).collect(),
+        served: vec![0u64; demands.len()],
+        psi: 0.0,
+    };
+    let fabric = BipartiteFabric { kind: matching };
+    let policy = SearchPolicy {
+        search: alpha_search,
+        parallel: false,
+        prefer_larger_alpha: false,
+    };
+    let mut engine = ScheduleEngine::new(source, n, delta);
     let mut schedule = Schedule::new();
-    let mut served = vec![0u64; demands.len()];
-    let mut psi = 0.0;
     let mut used = 0u64;
 
-    loop {
-        if used + delta >= window {
-            break;
-        }
+    while !engine.is_drained() && used + delta < window {
         let budget = window - used - delta;
-        let rem = &remaining;
-        let queues = LinkQueues::from_weighted_counts(
-            n,
-            by_link.iter().flat_map(|(&link, idxs)| {
-                idxs.iter().filter_map(move |&i| {
-                    (rem[i] > 0).then_some((link, demands[i].weight, rem[i]))
-                })
-            }),
-        );
-        let Some(choice) = best_configuration(&queues, delta, budget, alpha_search, matching, false)
-        else {
+        let Some(choice) = engine.select(&fabric, budget, CandidateExtension::None, &policy) else {
             break;
         };
-        for &(i, j) in &choice.matching {
-            let Some(idxs) = by_link.get(&(i, j)) else {
+        let m = engine.commit(&fabric, &choice.matching, choice.alpha);
+        schedule.push(Configuration::new(m, choice.alpha));
+        used += choice.alpha + delta;
+    }
+
+    let source = engine.into_source();
+    OneHopOutput {
+        schedule,
+        served: source.served,
+        psi: source.psi,
+    }
+}
+
+/// [`TrafficSource`] over explicit one-hop demands. Serving a link only
+/// drains that link's own demands, so the dirty set of a commit is exactly
+/// the matched links — the engine re-derives those queues and leaves the
+/// rest of the snapshot untouched.
+struct DemandSource<'a> {
+    demands: &'a [OneHopDemand],
+    /// Demand indices per link, sorted by (weight desc, tag asc) — the
+    /// priority order packets drain in.
+    by_link: HashMap<(u32, u32), Vec<usize>>,
+    remaining: Vec<u64>,
+    served: Vec<u64>,
+    psi: f64,
+}
+
+impl TrafficSource for DemandSource<'_> {
+    fn snapshot_queues(&self, n: u32) -> LinkQueues {
+        let rem = &self.remaining;
+        LinkQueues::from_weighted_counts(
+            n,
+            self.by_link.iter().flat_map(|(&link, idxs)| {
+                idxs.iter().filter_map(move |&i| {
+                    (rem[i] > 0).then_some((link, self.demands[i].weight, rem[i]))
+                })
+            }),
+        )
+    }
+
+    fn apply_served(&mut self, budgets: &[(NodeId, NodeId, u64)]) -> Option<Vec<(u32, u32)>> {
+        let mut dirty = Vec::with_capacity(budgets.len());
+        for &(i, j, alpha) in budgets {
+            let Some(idxs) = self.by_link.get(&(i.0, j.0)) else {
                 continue;
             };
-            let mut left = choice.alpha;
+            let mut left = alpha;
             for &idx in idxs {
                 if left == 0 {
                     break;
                 }
-                let take = remaining[idx].min(left);
+                let take = self.remaining[idx].min(left);
                 if take == 0 {
                     continue;
                 }
-                remaining[idx] -= take;
-                served[idx] += take;
+                self.remaining[idx] -= take;
+                self.served[idx] += take;
                 left -= take;
-                psi += demands[idx].weight * take as f64;
+                self.psi += self.demands[idx].weight * take as f64;
             }
+            dirty.push((i.0, j.0));
         }
-        let m = Matching::new_free(choice.matching.iter().copied())
-            .expect("kernel outputs matchings");
-        schedule.push(Configuration::new(m, choice.alpha));
-        used += choice.alpha + delta;
-        if remaining.iter().all(|&r| r == 0) {
-            break;
-        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        Some(dirty)
     }
 
-    OneHopOutput {
-        schedule,
-        served,
-        psi,
+    fn refresh_link(&self, link: (u32, u32)) -> Option<LinkQueue> {
+        let idxs = self.by_link.get(&link)?;
+        LinkQueue::from_weighted_counts(
+            idxs.iter()
+                .map(|&i| (self.demands[i].weight, self.remaining[i])),
+        )
+    }
+
+    fn is_drained(&self) -> bool {
+        self.remaining.iter().all(|&r| r == 0)
     }
 }
 
@@ -225,14 +271,7 @@ mod tests {
 
     #[test]
     fn empty_demands() {
-        let out = one_hop_schedule(
-            3,
-            &[],
-            2,
-            100,
-            AlphaSearch::Exhaustive,
-            MatchingKind::Exact,
-        );
+        let out = one_hop_schedule(3, &[], 2, 100, AlphaSearch::Exhaustive, MatchingKind::Exact);
         assert!(out.schedule.is_empty());
         assert_eq!(out.psi, 0.0);
     }

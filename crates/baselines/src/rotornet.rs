@@ -39,7 +39,10 @@ pub fn rotornet_schedule(n: u32, delta: u64, window: u64, slots_per_matching: u6
     let mut idx = 0usize;
     while used + delta < window {
         let alpha = hold.min(window - used - delta);
-        schedule.push(Configuration::new(family[idx % family.len()].clone(), alpha));
+        schedule.push(Configuration::new(
+            family[idx % family.len()].clone(),
+            alpha,
+        ));
         used += alpha + delta;
         idx += 1;
     }

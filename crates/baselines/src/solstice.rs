@@ -45,12 +45,7 @@ pub struct SolsticeOutput {
 /// stops emitting configurations whose duration no longer amortizes the
 /// reconfiguration delay (the paper's "leave small stuff to the packet
 /// switch" rule; a common choice is `delta`).
-pub fn solstice(
-    demand: &DemandMatrix,
-    window: u64,
-    delta: u64,
-    min_alpha: u64,
-) -> SolsticeOutput {
+pub fn solstice(demand: &DemandMatrix, window: u64, delta: u64, min_alpha: u64) -> SolsticeOutput {
     let n = demand.n;
     // Real demand per pair.
     let mut real: BTreeMap<(u32, u32), u64> = demand
@@ -63,9 +58,8 @@ pub fn solstice(
     let mut virt: BTreeMap<(u32, u32), u64> = BTreeMap::new();
     stuff(n, &real, &mut virt);
 
-    let total = |m: &BTreeMap<(u32, u32), u64>, k: &(u32, u32)| -> u64 {
-        m.get(k).copied().unwrap_or(0)
-    };
+    let total =
+        |m: &BTreeMap<(u32, u32), u64>, k: &(u32, u32)| -> u64 { m.get(k).copied().unwrap_or(0) };
 
     let mut schedule = Schedule::new();
     let mut used = 0u64;
@@ -107,11 +101,7 @@ pub fn solstice(
         let matching = chosen.unwrap_or_else(|| {
             // No perfect matching at any threshold (imperfect stuffing):
             // fall back to a maximum-cardinality matching over everything.
-            let g = WeightedBipartiteGraph::from_tuples(
-                n,
-                n,
-                keys_with_at_least(&real, &virt, 1),
-            );
+            let g = WeightedBipartiteGraph::from_tuples(n, n, keys_with_at_least(&real, &virt, 1));
             hopcroft_karp(&g)
         });
         if matching.is_empty() {
@@ -359,7 +349,10 @@ mod tests {
 
     #[test]
     fn skewed_demand_is_fully_evacuated() {
-        let d = dm(4, &[(0, 1, 100), (0, 2, 0), (1, 0, 30), (2, 3, 55), (3, 2, 5)]);
+        let d = dm(
+            4,
+            &[(0, 1, 100), (0, 2, 0), (1, 0, 30), (2, 3, 55), (3, 2, 5)],
+        );
         let out = solstice(&d, 10_000, 5, 1);
         assert_eq!(out.residual, 0, "window is generous: everything evacuates");
         assert_eq!(out.real_served, 190);
@@ -369,8 +362,9 @@ mod tests {
 
     #[test]
     fn stuffed_matrix_has_equal_sums() {
-        let real: BTreeMap<(u32, u32), u64> =
-            [((0, 1), 10), ((1, 0), 4), ((2, 0), 7)].into_iter().collect();
+        let real: BTreeMap<(u32, u32), u64> = [((0, 1), 10), ((1, 0), 4), ((2, 0), 7)]
+            .into_iter()
+            .collect();
         let mut virt = BTreeMap::new();
         stuff(3, &real, &mut virt);
         let mut row = [0u64; 3];

@@ -1,0 +1,103 @@
+//! Criterion benchmark of the incremental [`ScheduleEngine`] against the
+//! historical full-rebuild greedy loop: both run the complete Octopus
+//! schedule for one synthetic instance, but the old loop re-derives every
+//! link's queue from `RemainingTraffic` at the top of each iteration while
+//! the engine patches only the links the committed matching touched.
+//!
+//! Both arms use the same α search and matching kernel, so the measured gap
+//! is purely snapshot maintenance. Results are recorded in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use octopus_bench::runners::synthetic_instance;
+use octopus_bench::Env;
+use octopus_core::{
+    best_configuration, AlphaSearch, BipartiteFabric, CandidateExtension, HopWeighting,
+    MatchingKind, RemainingTraffic, ScheduleEngine, SearchPolicy,
+};
+use octopus_net::NodeId;
+use octopus_traffic::TrafficLoad;
+
+const DELTA: u64 = 20;
+const WINDOW: u64 = 10_000;
+const KIND: MatchingKind = MatchingKind::GreedySort;
+
+/// The pre-engine loop: rebuild all link queues from scratch each iteration.
+fn run_full_rebuild(load: &TrafficLoad, n: u32) -> usize {
+    let mut tr = RemainingTraffic::new(load, HopWeighting::Uniform).unwrap();
+    let mut used = 0u64;
+    let mut iterations = 0usize;
+    while !tr.is_drained() && used + DELTA < WINDOW {
+        let budget = WINDOW - used - DELTA;
+        let queues = tr.link_queues(n);
+        let Some(choice) =
+            best_configuration(&queues, DELTA, budget, AlphaSearch::Exhaustive, KIND, false)
+        else {
+            break;
+        };
+        let links: Vec<(NodeId, NodeId)> = choice
+            .matching
+            .iter()
+            .map(|&(i, j)| (NodeId(i), NodeId(j)))
+            .collect();
+        tr.apply(&links, choice.alpha);
+        used += choice.alpha + DELTA;
+        iterations += 1;
+    }
+    iterations
+}
+
+/// The engine loop: one snapshot, patched on the committed links only.
+fn run_incremental(load: &TrafficLoad, n: u32) -> usize {
+    let mut tr = RemainingTraffic::new(load, HopWeighting::Uniform).unwrap();
+    let fabric = BipartiteFabric { kind: KIND };
+    let policy = SearchPolicy::exhaustive();
+    let mut engine = ScheduleEngine::new(&mut tr, n, DELTA);
+    let mut used = 0u64;
+    let mut iterations = 0usize;
+    while !engine.is_drained() && used + DELTA < WINDOW {
+        let budget = WINDOW - used - DELTA;
+        let Some(choice) = engine.select(&fabric, budget, CandidateExtension::None, &policy) else {
+            break;
+        };
+        engine.commit(&fabric, &choice.matching, choice.alpha);
+        used += choice.alpha + DELTA;
+        iterations += 1;
+    }
+    iterations
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_schedule");
+    for n in [32u32, 64, 128] {
+        let env = Env {
+            n,
+            window: WINDOW,
+            delta: DELTA,
+            instances: 1,
+            seed: 11,
+        };
+        let inst = synthetic_instance(&env, 0, |c| c);
+        // Both arms walk the identical greedy trajectory.
+        assert_eq!(
+            run_full_rebuild(&inst.load, n),
+            run_incremental(&inst.load, n),
+            "arms diverged at n = {n}"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_rebuild", n),
+            &inst.load,
+            |b, load| b.iter(|| run_full_rebuild(load, n)),
+        );
+        group.bench_with_input(BenchmarkId::new("incremental", n), &inst.load, |b, load| {
+            b.iter(|| run_incremental(load, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine
+}
+criterion_main!(benches);

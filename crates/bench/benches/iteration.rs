@@ -6,9 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use octopus_bench::runners::synthetic_instance;
 use octopus_bench::Env;
-use octopus_core::{
-    best_configuration, AlphaSearch, HopWeighting, MatchingKind, RemainingTraffic,
-};
+use octopus_core::{best_configuration, AlphaSearch, HopWeighting, MatchingKind, RemainingTraffic};
 
 fn bench_iteration(c: &mut Criterion) {
     let mut group = c.benchmark_group("octopus_iteration");
@@ -51,19 +49,23 @@ fn bench_iteration(c: &mut Criterion) {
         // Ablation: the same exhaustive search without upper-bound pruning,
         // fanned out over rayon (the paper's multi-core framing) — shows what
         // the pruning in best_config.rs buys on a small machine.
-        group.bench_with_input(BenchmarkId::new("exact_unpruned_parallel", n), &tr, |b, tr| {
-            b.iter(|| {
-                let queues = tr.link_queues(n);
-                best_configuration(
-                    &queues,
-                    20,
-                    10_000,
-                    AlphaSearch::Exhaustive,
-                    MatchingKind::Exact,
-                    true,
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exact_unpruned_parallel", n),
+            &tr,
+            |b, tr| {
+                b.iter(|| {
+                    let queues = tr.link_queues(n);
+                    best_configuration(
+                        &queues,
+                        20,
+                        10_000,
+                        AlphaSearch::Exhaustive,
+                        MatchingKind::Exact,
+                        true,
+                    )
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("octopus_b", n), &tr, |b, tr| {
             b.iter(|| {
                 let queues = tr.link_queues(n);

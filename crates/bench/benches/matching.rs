@@ -66,7 +66,13 @@ fn bench_blossom(c: &mut Criterion) {
             state
         };
         let edges: Vec<(u32, u32, i64)> = (0..(n as usize * 8))
-            .map(|_| (next() as u32 % n, next() as u32 % n, (1 + next() % 10_000) as i64))
+            .map(|_| {
+                (
+                    next() as u32 % n,
+                    next() as u32 % n,
+                    (1 + next() % 10_000) as i64,
+                )
+            })
             .collect();
         let f_edges: Vec<(u32, u32, f64)> =
             edges.iter().map(|&(a, b, w)| (a, b, w as f64)).collect();

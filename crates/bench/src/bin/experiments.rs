@@ -149,7 +149,11 @@ fn ext_local(opts: &Opts) -> Vec<Series> {
         "ext-local",
         "Extension: localized reconfiguration (Octopus-L vs Octopus)",
         "delta",
-        &["Octopus (global hw)", "Octopus (local hw)", "Octopus-L (local hw)"],
+        &[
+            "Octopus (global hw)",
+            "Octopus (local hw)",
+            "Octopus-L (local hw)",
+        ],
     );
     for &d in deltas {
         let e = Env { delta: d, ..base };
@@ -186,7 +190,10 @@ fn ext_local(opts: &Opts) -> Vec<Series> {
         let global_hw = avg(&e, |i| run(i, false, false));
         let global_plan_local_hw = avg(&e, |i| run(i, false, true));
         let local_plan_local_hw = avg(&e, |i| run(i, true, true));
-        s.push(d, vec![global_hw, global_plan_local_hw, local_plan_local_hw]);
+        s.push(
+            d,
+            vec![global_hw, global_plan_local_hw, local_plan_local_hw],
+        );
     }
     vec![s]
 }
@@ -239,7 +246,11 @@ fn probe(opts: &Opts) {
     );
     let t = Instant::now();
     let m = run_ub(&e, &inst);
-    eprintln!("[probe] ub: {:.2?} delivered {:.1}%", t.elapsed(), m.delivered * 100.0);
+    eprintln!(
+        "[probe] ub: {:.2?} delivered {:.1}%",
+        t.elapsed(),
+        m.delivered * 100.0
+    );
 }
 
 /// Averages a per-instance closure over `env.instances` runs.
@@ -251,10 +262,16 @@ fn avg(env: &Env, mut f: impl FnMut(u32) -> Metrics) -> Metrics {
 const COLS_MAIN: [&str; 4] = ["Octopus", "Eclipse-Based", "UB", "Absolute"];
 
 fn point_main(e: &Env, tweak: impl Fn(SyntheticConfig) -> SyntheticConfig + Copy) -> Vec<Metrics> {
-    let oct = avg(e, |i| run_octopus(e, &synthetic_instance(e, i, tweak), &e.octopus_cfg()));
-    let ecl = avg(e, |i| run_eclipse_based(e, &synthetic_instance(e, i, tweak)));
+    let oct = avg(e, |i| {
+        run_octopus(e, &synthetic_instance(e, i, tweak), &e.octopus_cfg())
+    });
+    let ecl = avg(e, |i| {
+        run_eclipse_based(e, &synthetic_instance(e, i, tweak))
+    });
     let ub = avg(e, |i| run_ub(e, &synthetic_instance(e, i, tweak)));
-    let abs = avg(e, |i| run_absolute_bound(e, &synthetic_instance(e, i, tweak)));
+    let abs = avg(e, |i| {
+        run_absolute_bound(e, &synthetic_instance(e, i, tweak))
+    });
     vec![oct, ecl, ub, abs]
 }
 
@@ -270,7 +287,12 @@ fn fig45(opts: &Opts) -> Vec<Series> {
     } else {
         &[25, 50, 100, 200, 300]
     };
-    let mut s = Series::new("fig4a", "Fig 4(a)/5(a): varying number of nodes", "nodes", &COLS_MAIN);
+    let mut s = Series::new(
+        "fig4a",
+        "Fig 4(a)/5(a): varying number of nodes",
+        "nodes",
+        &COLS_MAIN,
+    );
     for &n in nodes {
         let e = Env { n, ..base };
         eprintln!("[fig4a] n={n}");
@@ -284,7 +306,12 @@ fn fig45(opts: &Opts) -> Vec<Series> {
     } else {
         &[1, 10, 20, 50, 100, 500, 1000]
     };
-    let mut s = Series::new("fig4b", "Fig 4(b)/5(b): varying reconfiguration delay", "delta", &COLS_MAIN);
+    let mut s = Series::new(
+        "fig4b",
+        "Fig 4(b)/5(b): varying reconfiguration delay",
+        "delta",
+        &COLS_MAIN,
+    );
     for &d in deltas {
         let e = Env { delta: d, ..base };
         eprintln!("[fig4b] delta={d}");
@@ -294,7 +321,12 @@ fn fig45(opts: &Opts) -> Vec<Series> {
 
     // (c) skew: c_S as % of total.
     let skews: &[u32] = &[0, 10, 20, 30, 40, 50];
-    let mut s = Series::new("fig4c", "Fig 4(c)/5(c): varying traffic skew (c_S %)", "skew%", &COLS_MAIN);
+    let mut s = Series::new(
+        "fig4c",
+        "Fig 4(c)/5(c): varying traffic skew (c_S %)",
+        "skew%",
+        &COLS_MAIN,
+    );
     for &k in skews {
         eprintln!("[fig4c] skew={k}%");
         let frac = k as f64 / 100.0;
@@ -304,7 +336,12 @@ fn fig45(opts: &Opts) -> Vec<Series> {
 
     // (d) sparsity: flows per port.
     let sparsity: &[u32] = &[4, 8, 16, 24, 32];
-    let mut s = Series::new("fig4d", "Fig 4(d)/5(d): varying sparsity (flows/port)", "flows", &COLS_MAIN);
+    let mut s = Series::new(
+        "fig4d",
+        "Fig 4(d)/5(d): varying sparsity (flows/port)",
+        "flows",
+        &COLS_MAIN,
+    );
     for &k in sparsity {
         eprintln!("[fig4d] flows/port={k}");
         s.push(k, point_main(&base, move |c| c.with_flows_per_port(k)));
@@ -324,7 +361,9 @@ fn fig6(opts: &Opts) -> Vec<Series> {
     );
     for kind in TraceKind::ALL {
         eprintln!("[fig6] {}", kind.label());
-        let oct = avg(&e, |i| run_octopus(&e, &trace_instance(&e, i, kind), &e.octopus_cfg()));
+        let oct = avg(&e, |i| {
+            run_octopus(&e, &trace_instance(&e, i, kind), &e.octopus_cfg())
+        });
         let ecl = avg(&e, |i| run_eclipse_based(&e, &trace_instance(&e, i, kind)));
         let ub = avg(&e, |i| run_ub(&e, &trace_instance(&e, i, kind)));
         let abs = avg(&e, |i| run_absolute_bound(&e, &trace_instance(&e, i, kind)));
@@ -350,8 +389,12 @@ fn fig7a(opts: &Opts) -> Vec<Series> {
     for &d in deltas {
         let e = Env { delta: d, ..base };
         eprintln!("[fig7a] delta={d}");
-        let oct = avg(&e, |i| run_octopus(&e, &synthetic_instance(&e, i, |c| c), &e.octopus_cfg()));
-        let ecl = avg(&e, |i| run_eclipse_based(&e, &synthetic_instance(&e, i, |c| c)));
+        let oct = avg(&e, |i| {
+            run_octopus(&e, &synthetic_instance(&e, i, |c| c), &e.octopus_cfg())
+        });
+        let ecl = avg(&e, |i| {
+            run_eclipse_based(&e, &synthetic_instance(&e, i, |c| c))
+        });
         let ub = avg(&e, |i| run_ub(&e, &synthetic_instance(&e, i, |c| c)));
         s.push(d, vec![oct, ecl, ub]);
     }
@@ -371,14 +414,20 @@ fn fig7b(opts: &Opts) -> Vec<Series> {
         eprintln!("[fig7b] hops={hops}");
         let tweak = move |c: SyntheticConfig| c.with_uniform_route_length(hops);
         let oct = avg(&base, |i| {
-            run_octopus(&base, &synthetic_instance(&base, i, tweak), &base.octopus_cfg())
+            run_octopus(
+                &base,
+                &synthetic_instance(&base, i, tweak),
+                &base.octopus_cfg(),
+            )
         });
         let e_cfg = base.octopus_cfg().octopus_e(0.05);
         let octe = avg(&base, |i| {
             let inst = synthetic_instance(&base, i, tweak);
             run_octopus(&base, &inst, &e_cfg)
         });
-        let ub = avg(&base, |i| run_ub(&base, &synthetic_instance(&base, i, tweak)));
+        let ub = avg(&base, |i| {
+            run_ub(&base, &synthetic_instance(&base, i, tweak))
+        });
         s.push(hops, vec![oct, octe, ub]);
     }
     vec![s]
@@ -401,7 +450,9 @@ fn fig8(opts: &Opts) -> Vec<Series> {
     for &d in deltas {
         let e = Env { delta: d, ..base };
         eprintln!("[fig8] delta={d}");
-        let oct = avg(&e, |i| run_octopus(&e, &synthetic_instance(&e, i, |c| c), &e.octopus_cfg()));
+        let oct = avg(&e, |i| {
+            run_octopus(&e, &synthetic_instance(&e, i, |c| c), &e.octopus_cfg())
+        });
         let rot = avg(&e, |i| run_rotornet(&e, &synthetic_instance(&e, i, |c| c)));
         s.push(d, vec![oct, rot]);
     }
@@ -425,9 +476,13 @@ fn fig9a(opts: &Opts) -> Vec<Series> {
     for &d in deltas {
         let e = Env { delta: d, ..base };
         eprintln!("[fig9a] delta={d}");
-        let oct = avg(&e, |i| run_octopus(&e, &synthetic_instance(&e, i, |c| c), &e.octopus_cfg()));
+        let oct = avg(&e, |i| {
+            run_octopus(&e, &synthetic_instance(&e, i, |c| c), &e.octopus_cfg())
+        });
         let b_cfg = e.octopus_cfg().octopus_b();
-        let octb = avg(&e, |i| run_octopus(&e, &synthetic_instance(&e, i, |c| c), &b_cfg));
+        let octb = avg(&e, |i| {
+            run_octopus(&e, &synthetic_instance(&e, i, |c| c), &b_cfg)
+        });
         s.push(d, vec![oct, octb]);
     }
     vec![s]
@@ -547,9 +602,13 @@ fn fig10b(opts: &Opts) -> Vec<Series> {
     for &d in deltas {
         let e = Env { delta: d, ..base };
         eprintln!("[fig10b] delta={d}");
-        let oct = avg(&e, |i| run_octopus(&e, &synthetic_instance(&e, i, |c| c), &e.octopus_cfg()));
+        let oct = avg(&e, |i| {
+            run_octopus(&e, &synthetic_instance(&e, i, |c| c), &e.octopus_cfg())
+        });
         let g_cfg = e.octopus_cfg().octopus_g(max_hops);
-        let octg = avg(&e, |i| run_octopus(&e, &synthetic_instance(&e, i, |c| c), &g_cfg));
+        let octg = avg(&e, |i| {
+            run_octopus(&e, &synthetic_instance(&e, i, |c| c), &g_cfg)
+        });
         s.push(d, vec![oct, octg]);
     }
     vec![s]

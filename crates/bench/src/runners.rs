@@ -4,8 +4,8 @@
 use crate::{Env, Metrics};
 use octopus_baselines::{eclipse_based_schedule, rotornet_schedule, ub_evaluate};
 use octopus_core::{
-    octopus, octopus_plus::octopus_plus, octopus_plus::octopus_random,
-    octopus_plus::PlusConfig, OctopusConfig,
+    octopus, octopus_plus::octopus_plus, octopus_plus::octopus_random, octopus_plus::PlusConfig,
+    OctopusConfig,
 };
 use octopus_net::{topology, Network, Schedule};
 use octopus_sim::{resolve, ResolvedFlow, SimConfig, Simulator};

@@ -64,7 +64,9 @@ impl Series {
 
     /// Renders CSV with all metrics (long format).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("experiment,x,algorithm,delivered,utilization,delivered_over_psi,psi_fraction\n");
+        let mut out = String::from(
+            "experiment,x,algorithm,delivered,utilization,delivered_over_psi,psi_fraction\n",
+        );
         for (x, ms) in &self.rows {
             for (c, m) in self.columns.iter().zip(ms) {
                 out.push_str(&format!(

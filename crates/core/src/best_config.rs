@@ -3,8 +3,9 @@
 //! For a given α, the best matching is a maximum-weight matching of the
 //! fabric graph weighted by `g(i, j, α)`. Only class-boundary α values need
 //! to be considered (Procedure 1 / Lemma 3: benefit-per-unit-cost is
-//! monotone between boundaries). This module layers the paper's practical
-//! variants on that core:
+//! monotone between boundaries). This module holds the *search machinery*
+//! shared by every scheduler variant via
+//! [`crate::engine::ScheduleEngine`]:
 //!
 //! * [`AlphaSearch::Exhaustive`] evaluates every candidate α, with a cheap
 //!   matching-weight upper bound used to prune hopeless candidates — exact
@@ -17,7 +18,14 @@
 //! * [`MatchingKind`] switches the matching kernel: exact Hungarian,
 //!   comparison-sort greedy, or the linear-time bucket greedy of
 //!   **Octopus-G**.
+//!
+//! The search functions are generic over the per-α evaluation (a closure
+//! returning a [`BestChoice`]), so fabrics other than the plain bipartite
+//! one (K-port unions, duplex general graphs, persistence-aware local
+//! reconfiguration, chained multihop) reuse the identical candidate
+//! enumeration, pruning, tie-breaking and parallelism.
 
+use crate::engine::SearchPolicy;
 use crate::state::LinkQueues;
 use octopus_matching::{
     greedy::{bucket_greedy_matching, greedy_matching},
@@ -69,14 +77,13 @@ pub struct BestChoice {
     pub matchings_computed: usize,
 }
 
-fn evaluate(
-    queues: &LinkQueues,
-    alpha: u64,
-    delta: u64,
+/// Runs one matching kernel on an explicit weighted edge list.
+pub(crate) fn run_kernel(
+    n: u32,
+    edges: Vec<(u32, u32, f64)>,
     kind: MatchingKind,
-) -> (Vec<(u32, u32)>, f64, f64) {
-    let n = queues.n();
-    let g = WeightedBipartiteGraph::from_tuples(n, n, queues.weighted_edges(alpha));
+) -> (Vec<(u32, u32)>, f64) {
+    let g = WeightedBipartiteGraph::from_tuples(n, n, edges);
     let matching = match kind {
         MatchingKind::Exact => maximum_weight_matching(&g),
         MatchingKind::GreedySort => greedy_matching(&g),
@@ -90,8 +97,24 @@ fn evaluate(
         }
     };
     let benefit = matching_weight(&g, &matching);
-    let score = benefit / (alpha + delta) as f64;
-    (matching, benefit, score)
+    (matching, benefit)
+}
+
+/// Evaluates one α on the plain bipartite fabric.
+pub(crate) fn eval_bipartite(
+    queues: &LinkQueues,
+    alpha: u64,
+    delta: u64,
+    kind: MatchingKind,
+) -> BestChoice {
+    let (matching, benefit) = run_kernel(queues.n(), queues.weighted_edges(alpha), kind);
+    BestChoice {
+        matching,
+        alpha,
+        benefit,
+        score: benefit / (alpha + delta) as f64,
+        matchings_computed: 1,
+    }
 }
 
 /// Picks the configuration with the highest benefit per unit cost.
@@ -111,47 +134,78 @@ pub fn best_configuration(
         return None;
     }
     let candidates = queues.alpha_candidates(alpha_cap);
-    if candidates.is_empty() {
-        return None;
-    }
-    let choice = match search {
-        AlphaSearch::Exhaustive if parallel => exhaustive_parallel(queues, delta, &candidates, kind),
-        AlphaSearch::Exhaustive => exhaustive_pruned(queues, delta, &candidates, kind),
-        AlphaSearch::Binary => ternary(queues, delta, &candidates, kind),
+    let policy = SearchPolicy {
+        search,
+        parallel,
+        prefer_larger_alpha: false,
     };
-    choice.filter(|c| c.benefit > 0.0)
+    let ub = |alpha: u64| queues.matching_weight_upper_bound(alpha) / (alpha + delta) as f64;
+    search_alpha(&candidates, &policy, Some(&ub), &|alpha| {
+        eval_bipartite(queues, alpha, delta, kind)
+    })
+    .filter(|c| c.benefit > 0.0)
 }
 
-/// Better-score comparator with deterministic tie-breaks (smaller α, then
-/// lexicographically smaller matching).
-fn better(a: &BestChoice, b: &BestChoice) -> bool {
+/// Better-score comparator with deterministic tie-breaks: on equal score the
+/// smaller α wins (larger with `prefer_larger_alpha`, used by the localized
+/// reconfiguration planner, which keeps links busy during Δ), then the
+/// lexicographically smaller matching.
+fn better(a: &BestChoice, b: &BestChoice, policy: &SearchPolicy) -> bool {
     match a.score.total_cmp(&b.score) {
         std::cmp::Ordering::Greater => true,
         std::cmp::Ordering::Less => false,
-        std::cmp::Ordering::Equal => match b.alpha.cmp(&a.alpha) {
-            std::cmp::Ordering::Greater => true,
-            std::cmp::Ordering::Less => false,
-            std::cmp::Ordering::Equal => a.matching < b.matching,
-        },
+        std::cmp::Ordering::Equal => {
+            let ord = if policy.prefer_larger_alpha {
+                b.alpha.cmp(&a.alpha)
+            } else {
+                a.alpha.cmp(&b.alpha)
+            };
+            match ord {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => a.matching < b.matching,
+            }
+        }
     }
 }
 
-fn exhaustive_pruned(
-    queues: &LinkQueues,
-    delta: u64,
+/// Searches the sorted candidate α list for the best-scoring choice.
+///
+/// `ub` is an optional optimistic score bound per α; when present (and the
+/// search is exhaustive-sequential) candidates are visited in decreasing
+/// bound order and the scan stops as soon as the bound can no longer beat
+/// the incumbent. `eval` must be deterministic; its `matchings_computed`
+/// values are summed into the winner.
+pub(crate) fn search_alpha<E>(
     candidates: &[u64],
-    kind: MatchingKind,
+    policy: &SearchPolicy,
+    ub: Option<&(dyn Fn(u64) -> f64 + Sync)>,
+    eval: &E,
+) -> Option<BestChoice>
+where
+    E: Fn(u64) -> BestChoice + Sync,
+{
+    if candidates.is_empty() {
+        return None;
+    }
+    match policy.search {
+        AlphaSearch::Exhaustive if policy.parallel => exhaustive_parallel(candidates, policy, eval),
+        AlphaSearch::Exhaustive => match ub {
+            Some(ub) => exhaustive_pruned(candidates, policy, ub, eval),
+            None => exhaustive_plain(candidates, policy, eval),
+        },
+        AlphaSearch::Binary => ternary(candidates, policy, eval),
+    }
+}
+
+fn exhaustive_pruned<E: Fn(u64) -> BestChoice>(
+    candidates: &[u64],
+    policy: &SearchPolicy,
+    ub: &dyn Fn(u64) -> f64,
+    eval: &E,
 ) -> Option<BestChoice> {
     // Order candidates by optimistic score so pruning bites early.
-    let mut order: Vec<(u64, f64)> = candidates
-        .iter()
-        .map(|&a| {
-            (
-                a,
-                queues.matching_weight_upper_bound(a) / (a + delta) as f64,
-            )
-        })
-        .collect();
+    let mut order: Vec<(u64, f64)> = candidates.iter().map(|&a| (a, ub(a))).collect();
     order.sort_unstable_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
 
     let mut best: Option<BestChoice> = None;
@@ -162,16 +216,9 @@ fn exhaustive_pruned(
                 break; // all remaining candidates are dominated
             }
         }
-        let (matching, benefit, score) = evaluate(queues, alpha, delta, kind);
-        computed += 1;
-        let cand = BestChoice {
-            matching,
-            alpha,
-            benefit,
-            score,
-            matchings_computed: 0,
-        };
-        if best.as_ref().map_or(true, |b| better(&cand, b)) {
+        let cand = eval(alpha);
+        computed += cand.matchings_computed;
+        if best.as_ref().map_or(true, |b| better(&cand, b, policy)) {
             best = Some(cand);
         }
     }
@@ -181,52 +228,57 @@ fn exhaustive_pruned(
     })
 }
 
-fn exhaustive_parallel(
-    queues: &LinkQueues,
-    delta: u64,
+fn exhaustive_plain<E: Fn(u64) -> BestChoice>(
     candidates: &[u64],
-    kind: MatchingKind,
+    policy: &SearchPolicy,
+    eval: &E,
 ) -> Option<BestChoice> {
-    let computed = candidates.len();
+    let mut best: Option<BestChoice> = None;
+    let mut computed = 0usize;
+    for &alpha in candidates {
+        let cand = eval(alpha);
+        computed += cand.matchings_computed;
+        if best.as_ref().map_or(true, |b| better(&cand, b, policy)) {
+            best = Some(cand);
+        }
+    }
+    best.map(|mut b| {
+        b.matchings_computed = computed;
+        b
+    })
+}
+
+fn exhaustive_parallel<E>(candidates: &[u64], policy: &SearchPolicy, eval: &E) -> Option<BestChoice>
+where
+    E: Fn(u64) -> BestChoice + Sync,
+{
+    let computed: usize = candidates
+        .par_iter()
+        .map(|&alpha| eval(alpha).matchings_computed)
+        .sum();
     candidates
         .par_iter()
-        .map(|&alpha| {
-            let (matching, benefit, score) = evaluate(queues, alpha, delta, kind);
-            BestChoice {
-                matching,
-                alpha,
-                benefit,
-                score,
-                matchings_computed: 0,
-            }
-        })
-        .reduce_with(|a, b| if better(&a, &b) { a } else { b })
+        .map(|&alpha| eval(alpha))
+        .reduce_with(|a, b| if better(&a, &b, policy) { a } else { b })
         .map(|mut b| {
             b.matchings_computed = computed;
             b
         })
 }
 
-fn ternary(
-    queues: &LinkQueues,
-    delta: u64,
+fn ternary<E: Fn(u64) -> BestChoice>(
     candidates: &[u64],
-    kind: MatchingKind,
+    policy: &SearchPolicy,
+    eval: &E,
 ) -> Option<BestChoice> {
     let mut computed = 0usize;
     let mut memo: std::collections::HashMap<u64, BestChoice> = std::collections::HashMap::new();
     let mut eval = |alpha: u64, computed: &mut usize| -> BestChoice {
         memo.entry(alpha)
             .or_insert_with(|| {
-                *computed += 1;
-                let (matching, benefit, score) = evaluate(queues, alpha, delta, kind);
-                BestChoice {
-                    matching,
-                    alpha,
-                    benefit,
-                    score,
-                    matchings_computed: 0,
-                }
+                let c = eval(alpha);
+                *computed += c.matchings_computed;
+                c
             })
             .clone()
     };
@@ -245,7 +297,7 @@ fn ternary(
     let mut best: Option<BestChoice> = None;
     for &alpha in &candidates[lo..=hi] {
         let cand = eval(alpha, &mut computed);
-        if best.as_ref().map_or(true, |b| better(&cand, b)) {
+        if best.as_ref().map_or(true, |b| better(&cand, b, policy)) {
             best = Some(cand);
         }
     }
@@ -264,11 +316,7 @@ mod tests {
     fn sample_queues() -> LinkQueues {
         LinkQueues::from_weighted_counts(
             4,
-            [
-                ((0, 1), 1.0, 100u64),
-                ((0, 1), 0.5, 50),
-                ((2, 3), 0.5, 80),
-            ],
+            [((0, 1), 1.0, 100u64), ((0, 1), 0.5, 50), ((2, 3), 0.5, 80)],
         )
     }
 
@@ -352,10 +400,24 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let q = sample_queues();
-        let a = best_configuration(&q, 7, 10_000, AlphaSearch::Exhaustive, MatchingKind::Exact, false)
-            .unwrap();
-        let b = best_configuration(&q, 7, 10_000, AlphaSearch::Exhaustive, MatchingKind::Exact, true)
-            .unwrap();
+        let a = best_configuration(
+            &q,
+            7,
+            10_000,
+            AlphaSearch::Exhaustive,
+            MatchingKind::Exact,
+            false,
+        )
+        .unwrap();
+        let b = best_configuration(
+            &q,
+            7,
+            10_000,
+            AlphaSearch::Exhaustive,
+            MatchingKind::Exact,
+            true,
+        )
+        .unwrap();
         assert_eq!(a.alpha, b.alpha);
         assert_eq!(a.matching, b.matching);
         assert!((a.score - b.score).abs() < 1e-12);
@@ -364,10 +426,24 @@ mod tests {
     #[test]
     fn binary_search_finds_a_good_local_maximum() {
         let q = sample_queues();
-        let exact = best_configuration(&q, 10, 10_000, AlphaSearch::Exhaustive, MatchingKind::Exact, false)
-            .unwrap();
-        let binary = best_configuration(&q, 10, 10_000, AlphaSearch::Binary, MatchingKind::Exact, false)
-            .unwrap();
+        let exact = best_configuration(
+            &q,
+            10,
+            10_000,
+            AlphaSearch::Exhaustive,
+            MatchingKind::Exact,
+            false,
+        )
+        .unwrap();
+        let binary = best_configuration(
+            &q,
+            10,
+            10_000,
+            AlphaSearch::Binary,
+            MatchingKind::Exact,
+            false,
+        )
+        .unwrap();
         assert!(binary.score > 0.0);
         assert!(binary.score <= exact.score + 1e-12);
         assert!(binary.matchings_computed >= 1);
@@ -404,8 +480,15 @@ mod tests {
     #[test]
     fn greedy_is_within_half_of_exact() {
         let q = sample_queues();
-        let exact = best_configuration(&q, 3, 10_000, AlphaSearch::Exhaustive, MatchingKind::Exact, false)
-            .unwrap();
+        let exact = best_configuration(
+            &q,
+            3,
+            10_000,
+            AlphaSearch::Exhaustive,
+            MatchingKind::Exact,
+            false,
+        )
+        .unwrap();
         let greedy = best_configuration(
             &q,
             3,

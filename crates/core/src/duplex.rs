@@ -13,16 +13,11 @@
 //! `lcm(1..=𝒟)` scale; [`GeneralMatcherKind::Greedy`] trades exactness for
 //! speed, mirroring Octopus-G.
 
+use crate::engine::{CandidateExtension, DuplexFabric, ScheduleEngine, SearchPolicy};
 use crate::{OctopusConfig, RemainingTraffic, SchedError};
-use octopus_matching::blossom::maximum_weight_matching_general;
-use octopus_matching::general::greedy_general_matching;
-use octopus_net::duplex::{DuplexMatching, DuplexNetwork};
-use octopus_net::{Configuration, NodeId, Schedule};
+use octopus_net::duplex::DuplexNetwork;
+use octopus_net::{Configuration, Schedule};
 use octopus_traffic::TrafficLoad;
-
-/// The per-α winner during configuration search: `(α, links, benefit,
-/// score)`.
-type AlphaChoice = (u64, Vec<(u32, u32)>, f64, f64);
 
 /// Which general-graph matching kernel the duplex scheduler uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,68 +66,28 @@ pub fn octopus_duplex_with(
         octopus_traffic::HopWeighting::EpsilonLater { .. } => (1u64 << 20) as f64,
     };
     let mut tr = RemainingTraffic::new(load, cfg.weighting)?;
+    let fabric = DuplexFabric {
+        net,
+        matcher,
+        scale,
+    };
+    let policy = SearchPolicy::exhaustive();
+    let mut engine = ScheduleEngine::new(&mut tr, n, cfg.delta);
     let mut schedule = Schedule::new();
     let mut used = 0u64;
     let mut iterations = 0usize;
     let mut matchings_computed = 0usize;
 
-    while !tr.is_drained() && used + cfg.delta < cfg.window {
+    while !engine.is_drained() && used + cfg.delta < cfg.window {
         let budget = cfg.window - used - cfg.delta;
-        let queues = tr.link_queues(n);
-        let candidates = queues.alpha_candidates(budget);
-        if candidates.is_empty() {
-            break;
-        }
-        let mut best: Option<AlphaChoice> = None;
-        for &alpha in &candidates {
-            // Undirected edge weight: both directions together.
-            let mut undirected: std::collections::BTreeMap<(u32, u32), f64> =
-                std::collections::BTreeMap::new();
-            for (i, j, w) in queues.weighted_edges(alpha) {
-                let key = if i < j { (i, j) } else { (j, i) };
-                *undirected.entry(key).or_insert(0.0) += w;
-            }
-            let edges: Vec<(u32, u32, f64)> = undirected
-                .into_iter()
-                .map(|((a, b), w)| (a, b, w))
-                .collect();
-            let m = match matcher {
-                GeneralMatcherKind::Greedy => greedy_general_matching(n, &edges),
-                GeneralMatcherKind::ExactBlossom => {
-                    let int_edges: Vec<(u32, u32, i64)> = edges
-                        .iter()
-                        .map(|&(a, b, w)| (a, b, (w * scale).round() as i64))
-                        .collect();
-                    maximum_weight_matching_general(n, &int_edges)
-                }
-            };
-            matchings_computed += 1;
-            let benefit: f64 = m
-                .iter()
-                .map(|&(a, b)| queues.g(a, b, alpha) + queues.g(b, a, alpha))
-                .sum();
-            let score = benefit / (alpha + cfg.delta) as f64;
-            if best
-                .as_ref()
-                .map_or(true, |&(ba, _, _, bs)| score > bs || (score == bs && alpha < ba))
-            {
-                best = Some((alpha, m, benefit, score));
-            }
-        }
-        let Some((alpha, pairs, benefit, _)) = best else {
+        let Some(choice) = engine.select(&fabric, budget, CandidateExtension::None, &policy) else {
             break;
         };
-        if benefit <= 0.0 {
-            break;
-        }
+        matchings_computed += choice.matchings_computed;
         iterations += 1;
-        let dm = DuplexMatching::new(net, pairs.iter().copied())
-            .expect("matcher returns edges of the duplex graph");
-        let directed_m = dm.to_directed();
-        let links: Vec<(NodeId, NodeId)> = directed_m.links().to_vec();
-        tr.apply(&links, alpha);
-        schedule.push(Configuration::new(directed_m, alpha));
-        used += alpha + cfg.delta;
+        let directed_m = engine.commit(&fabric, &choice.matching, choice.alpha);
+        schedule.push(Configuration::new(directed_m, choice.alpha));
+        used += choice.alpha + cfg.delta;
     }
 
     Ok(crate::OctopusOutput {
@@ -177,8 +132,7 @@ mod tests {
     fn duplex_matching_is_node_disjoint() {
         // Triangle with traffic on all three edges: only one edge can be
         // active per configuration.
-        let net =
-            DuplexNetwork::from_edges(3, [(0u32, 1u32), (1, 2), (0, 2)]).unwrap();
+        let net = DuplexNetwork::from_edges(3, [(0u32, 1u32), (1, 2), (0, 2)]).unwrap();
         let load = TrafficLoad::new(vec![
             Flow::single(FlowId(1), 10, Route::from_ids([0, 1]).unwrap()),
             Flow::single(FlowId(2), 10, Route::from_ids([1, 2]).unwrap()),
@@ -237,11 +191,8 @@ mod matcher_kind_tests {
     /// blossom finds the two-edge matching.
     #[test]
     fn blossom_beats_greedy_on_odd_cycles() {
-        let net = DuplexNetwork::from_edges(
-            5,
-            [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0)],
-        )
-        .unwrap();
+        let net =
+            DuplexNetwork::from_edges(5, [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
         // Traffic on edges (0,1) and (2,3): a single configuration can carry
         // both (they are node-disjoint) — exact matching must find that.
         let load = TrafficLoad::new(vec![
@@ -249,8 +200,9 @@ mod matcher_kind_tests {
             Flow::single(FlowId(2), 10, Route::from_ids([2, 3]).unwrap()),
         ])
         .unwrap();
-        let exact = octopus_duplex_with(&net, &load, &cfg(100, 5), GeneralMatcherKind::ExactBlossom)
-            .unwrap();
+        let exact =
+            octopus_duplex_with(&net, &load, &cfg(100, 5), GeneralMatcherKind::ExactBlossom)
+                .unwrap();
         assert_eq!(exact.planned_delivered, 20);
         assert_eq!(exact.iterations, 1, "one configuration serves both edges");
         let greedy =
@@ -271,8 +223,13 @@ mod matcher_kind_tests {
             Flow::single(FlowId(3), 10, Route::from_ids([2, 3]).unwrap()),
         ])
         .unwrap();
-        let exact = octopus_duplex_with(&net, &load, &cfg(1_000, 50), GeneralMatcherKind::ExactBlossom)
-            .unwrap();
+        let exact = octopus_duplex_with(
+            &net,
+            &load,
+            &cfg(1_000, 50),
+            GeneralMatcherKind::ExactBlossom,
+        )
+        .unwrap();
         let greedy =
             octopus_duplex_with(&net, &load, &cfg(1_000, 50), GeneralMatcherKind::Greedy).unwrap();
         // Both eventually deliver everything (window is large), but exact

@@ -1,0 +1,801 @@
+//! The **incremental scheduling engine** shared by every Octopus variant.
+//!
+//! All schedulers in this crate are instances of one greedy loop: snapshot
+//! the per-link queues of the remaining traffic `T^r`, enumerate the
+//! candidate durations α (Procedure 1), evaluate a matching for each
+//! candidate on some *fabric*, commit the winner, repeat. Historically each
+//! variant module carried a private copy of that loop; they now share
+//! [`ScheduleEngine`], which owns the traffic source and a persistently
+//! maintained [`LinkQueues`] snapshot:
+//!
+//! * [`TrafficSource`] abstracts the `T^r` bookkeeping. The canonical
+//!   implementation is [`RemainingTraffic`]; Octopus+ adapts its multi-route
+//!   plan state through the same interface.
+//! * [`Fabric`] abstracts what a *configuration* is — a plain bipartite
+//!   matching ([`BipartiteFabric`]), a union of `r` edge-disjoint matchings
+//!   ([`KPortFabric`]), a general-graph matching on an undirected duplex
+//!   fabric ([`DuplexFabric`]), or a persistence-aware matching for
+//!   localized reconfiguration ([`LocalFabric`]).
+//! * [`ScheduleEngine::commit`] applies the chosen `(M, α)` and patches the
+//!   queue snapshot **incrementally**: the source reports exactly which
+//!   links gained or lost packets, and only those links' queues are
+//!   re-derived ([`TrafficSource::refresh_link`]) instead of rebuilding all
+//!   `O(n²)` queues. A link's aggregated weight classes depend only on that
+//!   link's waiting packets, so the patched snapshot is identical to a
+//!   from-scratch rebuild (property-tested in `tests/proptest_invariants.rs`).
+//!
+//! The α search itself (exhaustive with upper-bound pruning, rayon-parallel,
+//! or ternary) lives in [`crate::best_config`] and is driven through
+//! [`SearchPolicy`].
+
+use crate::best_config::{run_kernel, search_alpha, AlphaSearch, BestChoice, MatchingKind};
+use crate::duplex::GeneralMatcherKind;
+use crate::state::{LinkQueue, LinkQueues, RemainingTraffic};
+use octopus_matching::blossom::maximum_weight_matching_general;
+use octopus_matching::general::greedy_general_matching;
+use octopus_matching::{
+    greedy::greedy_matching, matching_weight, maximum_weight_matching, WeightedBipartiteGraph,
+};
+use octopus_net::duplex::{DuplexMatching, DuplexNetwork};
+use octopus_net::{Matching, NodeId};
+use octopus_traffic::{FlowId, Route};
+use std::borrow::Borrow;
+use std::collections::HashSet;
+
+/// How one iteration's α-candidate search runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchPolicy {
+    /// Exhaustive or ternary (Octopus-B) candidate search.
+    pub search: AlphaSearch,
+    /// Fan per-α evaluation out over rayon (disables upper-bound pruning).
+    pub parallel: bool,
+    /// Break score ties toward the *larger* α. The localized-reconfiguration
+    /// planner prefers longer configurations (persistent links serve through
+    /// Δ); every other variant prefers the smaller α.
+    pub prefer_larger_alpha: bool,
+}
+
+impl SearchPolicy {
+    /// Sequential exhaustive search with smaller-α tie-breaks — the search
+    /// the non-bipartite variants historically used.
+    pub fn exhaustive() -> Self {
+        SearchPolicy {
+            search: AlphaSearch::Exhaustive,
+            parallel: false,
+            prefer_larger_alpha: false,
+        }
+    }
+}
+
+/// Extra α candidates beyond the Procedure-1 class boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateExtension {
+    /// Just the class-boundary prefix counts.
+    None,
+    /// Each boundary also shifted *down* by Δ: links persisting from the
+    /// previous configuration serve `α + Δ` slots, so their class boundaries
+    /// are reached Δ slots early (localized reconfiguration).
+    ShiftDown(u64),
+    /// Each boundary also extended by `1..=lead` slots: chained packets lag
+    /// one slot per upstream hop, so maxima can sit up to `𝒟 − 1` slots past
+    /// a boundary (§5 multi-hop-per-configuration benefit).
+    Lead(u64),
+}
+
+/// A `T^r` bookkeeping backend the engine can drive.
+///
+/// Implementations report, on every commit, which links' queues changed —
+/// or `None` to request a full snapshot rebuild (for representations where
+/// dirty tracking is not worth it, like the Octopus+ multi-route plan).
+pub trait TrafficSource {
+    /// Builds the full per-link queue snapshot for an `n`-node fabric.
+    fn snapshot_queues(&self, n: u32) -> LinkQueues;
+
+    /// Applies one committed configuration as per-link slot budgets.
+    /// Returns the sorted, deduplicated links whose queues changed, or
+    /// `None` when the caller must rebuild the snapshot from scratch.
+    fn apply_served(&mut self, served: &[(NodeId, NodeId, u64)]) -> Option<Vec<(u32, u32)>>;
+
+    /// Re-derives one link's queue from the current state (`None` when the
+    /// link is now empty). Called only for links reported dirty by
+    /// [`TrafficSource::apply_served`] / [`TrafficSource::apply_chained`].
+    fn refresh_link(&self, link: (u32, u32)) -> Option<LinkQueue> {
+        let _ = link;
+        unreachable!("source reported dirty links but does not refresh them")
+    }
+
+    /// Whether every packet has (planned to) come home.
+    fn is_drained(&self) -> bool;
+
+    /// Applies chained movements `(flow, route, from-position, hops-advanced,
+    /// count)` where a packet may cross several hops in one configuration
+    /// (§5). Same return contract as [`TrafficSource::apply_served`].
+    fn apply_chained(
+        &mut self,
+        moves: &[(FlowId, Route, u32, u32, u64)],
+    ) -> Option<Vec<(u32, u32)>> {
+        let _ = moves;
+        unimplemented!("this traffic source does not support chained movement")
+    }
+}
+
+impl TrafficSource for RemainingTraffic {
+    fn snapshot_queues(&self, n: u32) -> LinkQueues {
+        self.link_queues(n)
+    }
+
+    fn apply_served(&mut self, served: &[(NodeId, NodeId, u64)]) -> Option<Vec<(u32, u32)>> {
+        let (_, moves) = self.apply_budgets_tracked(served);
+        Some(self.dirty_links(&moves))
+    }
+
+    fn refresh_link(&self, link: (u32, u32)) -> Option<LinkQueue> {
+        RemainingTraffic::refresh_link(self, link)
+    }
+
+    fn is_drained(&self) -> bool {
+        RemainingTraffic::is_drained(self)
+    }
+
+    fn apply_chained(
+        &mut self,
+        moves: &[(FlowId, Route, u32, u32, u64)],
+    ) -> Option<Vec<(u32, u32)>> {
+        Some(self.advance_chained(moves))
+    }
+}
+
+impl<T: TrafficSource + ?Sized> TrafficSource for &mut T {
+    fn snapshot_queues(&self, n: u32) -> LinkQueues {
+        (**self).snapshot_queues(n)
+    }
+
+    fn apply_served(&mut self, served: &[(NodeId, NodeId, u64)]) -> Option<Vec<(u32, u32)>> {
+        (**self).apply_served(served)
+    }
+
+    fn refresh_link(&self, link: (u32, u32)) -> Option<LinkQueue> {
+        (**self).refresh_link(link)
+    }
+
+    fn is_drained(&self) -> bool {
+        (**self).is_drained()
+    }
+
+    fn apply_chained(
+        &mut self,
+        moves: &[(FlowId, Route, u32, u32, u64)],
+    ) -> Option<Vec<(u32, u32)>> {
+        (**self).apply_chained(moves)
+    }
+}
+
+/// What a *configuration* is on a given fabric: how one candidate α is
+/// evaluated into a [`BestChoice`], and how a chosen link set is realized
+/// into a [`Matching`] plus the per-link slot budgets `T^r` should serve.
+pub trait Fabric<S> {
+    /// Evaluates the best configuration of this fabric for one α.
+    fn evaluate(&self, source: &S, queues: &LinkQueues, alpha: u64, delta: u64) -> BestChoice;
+
+    /// Turns the winning link set into the matching pushed onto the schedule
+    /// and the `(src, dst, slots)` budgets applied to the traffic source.
+    fn realize(
+        &self,
+        source: &S,
+        links: &[(u32, u32)],
+        alpha: u64,
+    ) -> (Matching, Vec<(NodeId, NodeId, u64)>);
+
+    /// Whether [`LinkQueues::matching_weight_upper_bound`] bounds this
+    /// fabric's per-α benefit (enables pruning in the exhaustive search).
+    fn upper_bound_valid(&self) -> bool {
+        false
+    }
+}
+
+/// The plain bipartite fabric of core Octopus: one transceiver per port,
+/// configurations are maximum-weight matchings of `g(i, j, α)`.
+#[derive(Debug, Clone, Copy)]
+pub struct BipartiteFabric {
+    /// The matching kernel (exact Hungarian, sort-greedy, bucket-greedy).
+    pub kind: MatchingKind,
+}
+
+impl<S> Fabric<S> for BipartiteFabric {
+    fn evaluate(&self, _source: &S, queues: &LinkQueues, alpha: u64, delta: u64) -> BestChoice {
+        let (matching, benefit) = run_kernel(queues.n(), queues.weighted_edges(alpha), self.kind);
+        BestChoice {
+            matching,
+            alpha,
+            benefit,
+            score: benefit / (alpha + delta) as f64,
+            matchings_computed: 1,
+        }
+    }
+
+    fn realize(
+        &self,
+        _source: &S,
+        links: &[(u32, u32)],
+        alpha: u64,
+    ) -> (Matching, Vec<(NodeId, NodeId, u64)>) {
+        let matching = Matching::new_free(links.iter().copied()).expect("kernel outputs matchings");
+        let budgets = links
+            .iter()
+            .map(|&(i, j)| (NodeId(i), NodeId(j), alpha))
+            .collect();
+        (matching, budgets)
+    }
+
+    fn upper_bound_valid(&self) -> bool {
+        true
+    }
+}
+
+/// The §7 K-port fabric: each node has `r` transceivers, a configuration is
+/// a union of up to `r` edge-disjoint matchings built greedily with
+/// intermediate `g` updates against a cloned `T^r`.
+#[derive(Debug, Clone, Copy)]
+pub struct KPortFabric {
+    /// The per-round matching kernel (`Exact` or greedy — the bucket kernel
+    /// falls back to sort-greedy here, as the union rounds re-weight edges).
+    pub kind: MatchingKind,
+    /// Transceivers per node.
+    pub r: u32,
+}
+
+impl<S: Borrow<RemainingTraffic>> Fabric<S> for KPortFabric {
+    fn evaluate(&self, source: &S, queues: &LinkQueues, alpha: u64, delta: u64) -> BestChoice {
+        let (matching, benefit) =
+            union_matching(source.borrow(), queues.n(), alpha, self.r, self.kind);
+        BestChoice {
+            matching,
+            alpha,
+            benefit,
+            score: benefit / (alpha + delta) as f64,
+            matchings_computed: 1,
+        }
+    }
+
+    fn realize(
+        &self,
+        _source: &S,
+        links: &[(u32, u32)],
+        alpha: u64,
+    ) -> (Matching, Vec<(NodeId, NodeId, u64)>) {
+        let matching = Matching::new_free_with_capacity(links.iter().copied(), self.r)
+            .expect("union of r edge-disjoint matchings");
+        let budgets = links
+            .iter()
+            .map(|&(i, j)| (NodeId(i), NodeId(j), alpha))
+            .collect();
+        (matching, budgets)
+    }
+}
+
+/// Greedily builds a union of up to `r` edge-disjoint matchings for duration
+/// `alpha`, recomputing `g` against a cloned `T^r` after each matching so the
+/// later matchings only claim residual packets.
+fn union_matching(
+    tr: &RemainingTraffic,
+    n: u32,
+    alpha: u64,
+    r: u32,
+    kind: MatchingKind,
+) -> (Vec<(u32, u32)>, f64) {
+    let mut shadow = tr.clone();
+    let mut all_links: Vec<(u32, u32)> = Vec::new();
+    let mut taken: HashSet<(u32, u32)> = HashSet::new();
+    let mut total_benefit = 0.0;
+    for _ in 0..r {
+        let queues = shadow.link_queues(n);
+        let edges: Vec<(u32, u32, f64)> = queues
+            .weighted_edges(alpha)
+            .into_iter()
+            .filter(|&(i, j, _)| !taken.contains(&(i, j)))
+            .collect();
+        if edges.is_empty() {
+            break;
+        }
+        let g = WeightedBipartiteGraph::from_tuples(n, n, edges);
+        let m = match kind {
+            MatchingKind::Exact => maximum_weight_matching(&g),
+            _ => greedy_matching(&g),
+        };
+        if m.is_empty() {
+            break;
+        }
+        total_benefit += matching_weight(&g, &m);
+        let node_links: Vec<(NodeId, NodeId)> =
+            m.iter().map(|&(i, j)| (NodeId(i), NodeId(j))).collect();
+        shadow.apply(&node_links, alpha);
+        for &(i, j) in &m {
+            taken.insert((i, j));
+            all_links.push((i, j));
+        }
+    }
+    all_links.sort_unstable();
+    (all_links, total_benefit)
+}
+
+/// The §7 full-duplex fabric: an undirected general graph where edge
+/// `{a, b}` is worth `g(a→b, α) + g(b→a, α)` and configurations are
+/// general-graph matchings (exact blossom or greedy).
+#[derive(Debug, Clone, Copy)]
+pub struct DuplexFabric<'a> {
+    /// The undirected fabric the matchings must live on.
+    pub net: &'a DuplexNetwork,
+    /// General-graph matching kernel.
+    pub matcher: GeneralMatcherKind,
+    /// Scale making the rational edge weights integral for the blossom's
+    /// integer duals.
+    pub scale: f64,
+}
+
+impl<S> Fabric<S> for DuplexFabric<'_> {
+    fn evaluate(&self, _source: &S, queues: &LinkQueues, alpha: u64, delta: u64) -> BestChoice {
+        // Undirected edge weight: both directions together.
+        let mut undirected: std::collections::BTreeMap<(u32, u32), f64> =
+            std::collections::BTreeMap::new();
+        for (i, j, w) in queues.weighted_edges(alpha) {
+            let key = if i < j { (i, j) } else { (j, i) };
+            *undirected.entry(key).or_insert(0.0) += w;
+        }
+        let edges: Vec<(u32, u32, f64)> = undirected
+            .into_iter()
+            .map(|((a, b), w)| (a, b, w))
+            .collect();
+        let n = queues.n();
+        let m = match self.matcher {
+            GeneralMatcherKind::Greedy => greedy_general_matching(n, &edges),
+            GeneralMatcherKind::ExactBlossom => {
+                let int_edges: Vec<(u32, u32, i64)> = edges
+                    .iter()
+                    .map(|&(a, b, w)| (a, b, (w * self.scale).round() as i64))
+                    .collect();
+                maximum_weight_matching_general(n, &int_edges)
+            }
+        };
+        let benefit: f64 = m
+            .iter()
+            .map(|&(a, b)| queues.g(a, b, alpha) + queues.g(b, a, alpha))
+            .sum();
+        BestChoice {
+            matching: m,
+            alpha,
+            benefit,
+            score: benefit / (alpha + delta) as f64,
+            matchings_computed: 1,
+        }
+    }
+
+    fn realize(
+        &self,
+        _source: &S,
+        links: &[(u32, u32)],
+        alpha: u64,
+    ) -> (Matching, Vec<(NodeId, NodeId, u64)>) {
+        let dm = DuplexMatching::new(self.net, links.iter().copied())
+            .expect("matcher returns edges of the duplex graph");
+        let directed = dm.to_directed();
+        let budgets = directed
+            .links()
+            .iter()
+            .map(|&(i, j)| (i, j, alpha))
+            .collect();
+        (directed, budgets)
+    }
+}
+
+/// The localized-reconfiguration fabric (§9 future work): links persisting
+/// from the previous matching keep serving through the Δ transition, so a
+/// persistent link is worth `g(i, j, α + Δ)` and gets an `α + Δ` budget.
+#[derive(Debug, Clone)]
+pub struct LocalFabric {
+    /// The matching kernel.
+    pub kind: MatchingKind,
+    /// Reconfiguration delay Δ (the persistent-link bonus).
+    pub delta: u64,
+    /// Links of the previously committed matching. The variant wrapper
+    /// updates this after every commit.
+    pub prev: HashSet<(u32, u32)>,
+}
+
+impl LocalFabric {
+    /// The slot budget link `(i, j)` serves under duration `alpha`.
+    fn slots(&self, link: (u32, u32), alpha: u64) -> u64 {
+        if self.prev.contains(&link) {
+            alpha + self.delta
+        } else {
+            alpha
+        }
+    }
+}
+
+impl<S> Fabric<S> for LocalFabric {
+    fn evaluate(&self, _source: &S, queues: &LinkQueues, alpha: u64, delta: u64) -> BestChoice {
+        let edges: Vec<(u32, u32, f64)> = queues
+            .links()
+            .map(|(i, j)| (i, j, queues.g(i, j, self.slots((i, j), alpha))))
+            .filter(|&(_, _, w)| w > 0.0)
+            .collect();
+        let (matching, benefit) = run_kernel(queues.n(), edges, self.kind);
+        BestChoice {
+            matching,
+            alpha,
+            benefit,
+            score: benefit / (alpha + delta) as f64,
+            matchings_computed: 1,
+        }
+    }
+
+    fn realize(
+        &self,
+        _source: &S,
+        links: &[(u32, u32)],
+        alpha: u64,
+    ) -> (Matching, Vec<(NodeId, NodeId, u64)>) {
+        let matching = Matching::new_free(links.iter().copied()).expect("kernel outputs matchings");
+        let budgets = links
+            .iter()
+            .map(|&(i, j)| (NodeId(i), NodeId(j), self.slots((i, j), alpha)))
+            .collect();
+        (matching, budgets)
+    }
+}
+
+/// The shared greedy-iteration engine: a traffic source plus a persistently
+/// maintained queue snapshot, patched link-by-link on every commit.
+///
+/// ```
+/// use octopus_core::engine::{BipartiteFabric, CandidateExtension, ScheduleEngine, SearchPolicy};
+/// use octopus_core::{MatchingKind, RemainingTraffic};
+/// use octopus_traffic::{Flow, FlowId, HopWeighting, Route, TrafficLoad};
+///
+/// let load = TrafficLoad::new(vec![Flow::single(
+///     FlowId(1), 10, Route::from_ids([0, 1]).unwrap(),
+/// )]).unwrap();
+/// let mut tr = RemainingTraffic::new(&load, HopWeighting::Uniform).unwrap();
+/// let fabric = BipartiteFabric { kind: MatchingKind::Exact };
+/// let mut engine = ScheduleEngine::new(&mut tr, 2, 0);
+/// let choice = engine
+///     .select(&fabric, 100, CandidateExtension::None, &SearchPolicy::exhaustive())
+///     .unwrap();
+/// assert_eq!(choice.alpha, 10);
+/// engine.commit(&fabric, &choice.matching, choice.alpha);
+/// assert!(engine.is_drained());
+/// ```
+#[derive(Debug)]
+pub struct ScheduleEngine<S: TrafficSource> {
+    source: S,
+    /// Lazily built, incrementally patched snapshot (`None` = needs rebuild).
+    queues: Option<LinkQueues>,
+    n: u32,
+    delta: u64,
+}
+
+impl<S: TrafficSource> ScheduleEngine<S> {
+    /// Creates an engine over `source` for an `n`-node fabric with
+    /// reconfiguration delay `delta`.
+    pub fn new(source: S, n: u32, delta: u64) -> Self {
+        ScheduleEngine {
+            source,
+            queues: None,
+            n,
+            delta,
+        }
+    }
+
+    /// Fabric size the engine plans for.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The reconfiguration delay Δ.
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+
+    /// Read access to the traffic source.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Mutable access to the traffic source. Callers that mutate the source
+    /// behind the engine's back must [`ScheduleEngine::invalidate`] after.
+    pub fn source_mut(&mut self) -> &mut S {
+        &mut self.source
+    }
+
+    /// Consumes the engine, returning the traffic source.
+    pub fn into_source(self) -> S {
+        self.source
+    }
+
+    /// Whether the source has no packets left to move.
+    pub fn is_drained(&self) -> bool {
+        self.source.is_drained()
+    }
+
+    /// Drops the cached snapshot; the next access rebuilds from scratch.
+    pub fn invalidate(&mut self) {
+        self.queues = None;
+    }
+
+    fn ensure_queues(&mut self) {
+        if self.queues.is_none() {
+            self.queues = Some(self.source.snapshot_queues(self.n));
+        }
+    }
+
+    /// The current queue snapshot (built on first use, patched afterwards).
+    pub fn queues(&mut self) -> &LinkQueues {
+        self.ensure_queues();
+        self.queues.as_ref().expect("just ensured")
+    }
+
+    /// The candidate α values for this iteration, capped by `budget` and
+    /// extended per `ext`. Sorted ascending, deduplicated.
+    pub fn candidates(&mut self, budget: u64, ext: CandidateExtension) -> Vec<u64> {
+        self.ensure_queues();
+        let base = self
+            .queues
+            .as_ref()
+            .expect("just ensured")
+            .alpha_candidates(budget);
+        extend_candidates(base, budget, ext)
+    }
+
+    /// Evaluates one α on `fabric` against the current snapshot.
+    pub fn evaluate<F: Fabric<S>>(&mut self, fabric: &F, alpha: u64) -> BestChoice {
+        self.ensure_queues();
+        fabric.evaluate(
+            &self.source,
+            self.queues.as_ref().expect("just ensured"),
+            alpha,
+            self.delta,
+        )
+    }
+
+    /// One iteration's configuration selection: enumerates candidates,
+    /// searches them under `policy` (with upper-bound pruning when the
+    /// fabric supports it), and returns the winner — or `None` when no
+    /// configuration has positive benefit.
+    pub fn select<F>(
+        &mut self,
+        fabric: &F,
+        budget: u64,
+        ext: CandidateExtension,
+        policy: &SearchPolicy,
+    ) -> Option<BestChoice>
+    where
+        F: Fabric<S> + Sync,
+        S: Sync,
+    {
+        if budget == 0 {
+            return None;
+        }
+        self.ensure_queues();
+        let queues = self.queues.as_ref().expect("just ensured");
+        let source = &self.source;
+        let delta = self.delta;
+        let candidates = extend_candidates(queues.alpha_candidates(budget), budget, ext);
+        let ub = |alpha: u64| queues.matching_weight_upper_bound(alpha) / (alpha + delta) as f64;
+        let ub_ref: Option<&(dyn Fn(u64) -> f64 + Sync)> = if fabric.upper_bound_valid() {
+            Some(&ub)
+        } else {
+            None
+        };
+        search_alpha(&candidates, policy, ub_ref, &|alpha| {
+            fabric.evaluate(source, queues, alpha, delta)
+        })
+        .filter(|c| c.benefit > 0.0)
+    }
+
+    /// Like [`ScheduleEngine::select`], but with a caller-supplied per-α
+    /// evaluation (no upper bound) — used by the chain-aware §5 variant
+    /// whose benefit comes from a mini-simulation, not the queue snapshot.
+    pub fn select_with<E>(
+        &mut self,
+        budget: u64,
+        ext: CandidateExtension,
+        policy: &SearchPolicy,
+        eval: &E,
+    ) -> Option<BestChoice>
+    where
+        E: Fn(u64) -> BestChoice + Sync,
+    {
+        if budget == 0 {
+            return None;
+        }
+        self.ensure_queues();
+        let queues = self.queues.as_ref().expect("just ensured");
+        let candidates = extend_candidates(queues.alpha_candidates(budget), budget, ext);
+        search_alpha(&candidates, policy, None, eval).filter(|c| c.benefit > 0.0)
+    }
+
+    /// Commits a chosen configuration: realizes it on `fabric`, applies the
+    /// resulting budgets to the source, and patches the snapshot on exactly
+    /// the dirty links. Returns the matching to push onto the schedule.
+    pub fn commit<F: Fabric<S>>(
+        &mut self,
+        fabric: &F,
+        links: &[(u32, u32)],
+        alpha: u64,
+    ) -> Matching {
+        let (matching, budgets) = fabric.realize(&self.source, links, alpha);
+        self.commit_budgets(&budgets);
+        matching
+    }
+
+    /// Applies explicit per-link slot budgets to the source and patches the
+    /// snapshot (used by the hysteresis baseline, which serves an incumbent
+    /// matching rather than a freshly selected one).
+    pub fn commit_budgets(&mut self, budgets: &[(NodeId, NodeId, u64)]) {
+        match self.source.apply_served(budgets) {
+            Some(dirty) => {
+                if let Some(queues) = self.queues.as_mut() {
+                    for link in dirty {
+                        queues.set_link(link, self.source.refresh_link(link));
+                    }
+                }
+            }
+            None => self.queues = None,
+        }
+    }
+
+    /// Commits chained movements (§5) and patches the snapshot.
+    pub fn commit_chained(&mut self, moves: &[(FlowId, Route, u32, u32, u64)]) {
+        match self.source.apply_chained(moves) {
+            Some(dirty) => {
+                if let Some(queues) = self.queues.as_mut() {
+                    for link in dirty {
+                        queues.set_link(link, self.source.refresh_link(link));
+                    }
+                }
+            }
+            None => self.queues = None,
+        }
+    }
+}
+
+/// Extends the Procedure-1 candidate set per `ext`; result stays sorted
+/// ascending and deduplicated, capped by `budget`.
+fn extend_candidates(mut set: Vec<u64>, budget: u64, ext: CandidateExtension) -> Vec<u64> {
+    match ext {
+        CandidateExtension::None => return set,
+        CandidateExtension::ShiftDown(delta) => {
+            let shifted: Vec<u64> = set
+                .iter()
+                .filter_map(|&a| a.checked_sub(delta))
+                .filter(|&a| a > 0)
+                .collect();
+            set.extend(shifted);
+        }
+        CandidateExtension::Lead(lead) => {
+            let base = set.clone();
+            for a in base {
+                for l in 1..=lead {
+                    if a + l <= budget {
+                        set.push(a + l);
+                    }
+                }
+            }
+        }
+    }
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_traffic::{Flow, HopWeighting, TrafficLoad};
+
+    fn load_example1() -> TrafficLoad {
+        TrafficLoad::new(vec![
+            Flow::single(FlowId(1), 100, Route::from_ids([0, 1, 2]).unwrap()),
+            Flow::single(FlowId(2), 50, Route::from_ids([3, 0, 1]).unwrap()),
+            Flow::single(FlowId(3), 50, Route::from_ids([2, 1, 0]).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    /// The patched snapshot must equal a from-scratch rebuild after every
+    /// commit (same links, same weight classes, same g values).
+    fn assert_snapshot_matches_rebuild(engine: &mut ScheduleEngine<&mut RemainingTraffic>) {
+        let n = engine.n();
+        let rebuilt = engine.source().snapshot_queues(n);
+        let patched = engine.queues();
+        let patched_links: Vec<(u32, u32)> = patched.links().collect();
+        let rebuilt_links: Vec<(u32, u32)> = rebuilt.links().collect();
+        assert_eq!(patched_links, rebuilt_links);
+        for (i, j) in rebuilt_links {
+            let a = patched.queue(i, j).unwrap();
+            let b = rebuilt.queue(i, j).unwrap();
+            assert_eq!(a.classes(), b.classes(), "link ({i}, {j})");
+        }
+    }
+
+    #[test]
+    fn incremental_patch_matches_full_rebuild() {
+        let mut tr = RemainingTraffic::new(&load_example1(), HopWeighting::Uniform).unwrap();
+        let fabric = BipartiteFabric {
+            kind: MatchingKind::Exact,
+        };
+        let policy = SearchPolicy {
+            search: AlphaSearch::Exhaustive,
+            parallel: false,
+            prefer_larger_alpha: false,
+        };
+        let mut engine = ScheduleEngine::new(&mut tr, 4, 5);
+        let mut budget = 295u64;
+        while let Some(choice) = engine.select(&fabric, budget, CandidateExtension::None, &policy) {
+            engine.commit(&fabric, &choice.matching, choice.alpha);
+            assert_snapshot_matches_rebuild(&mut engine);
+            budget = budget.saturating_sub(choice.alpha + 5);
+            if budget == 0 {
+                break;
+            }
+        }
+        assert!(engine.is_drained());
+    }
+
+    #[test]
+    fn select_matches_best_configuration() {
+        let mut tr = RemainingTraffic::new(&load_example1(), HopWeighting::Uniform).unwrap();
+        let queues = tr.link_queues(4);
+        let expected = crate::best_configuration(
+            &queues,
+            5,
+            250,
+            AlphaSearch::Exhaustive,
+            MatchingKind::Exact,
+            false,
+        )
+        .unwrap();
+        let fabric = BipartiteFabric {
+            kind: MatchingKind::Exact,
+        };
+        let mut engine = ScheduleEngine::new(&mut tr, 4, 5);
+        let got = engine
+            .select(
+                &fabric,
+                250,
+                CandidateExtension::None,
+                &SearchPolicy::exhaustive(),
+            )
+            .unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn candidate_extensions_extend_and_dedup() {
+        assert_eq!(
+            extend_candidates(vec![10, 30], 100, CandidateExtension::None),
+            vec![10, 30]
+        );
+        assert_eq!(
+            extend_candidates(vec![10, 30], 100, CandidateExtension::ShiftDown(5)),
+            vec![5, 10, 25, 30]
+        );
+        assert_eq!(
+            extend_candidates(vec![10, 30], 31, CandidateExtension::Lead(2)),
+            vec![10, 11, 12, 30, 31]
+        );
+    }
+
+    #[test]
+    fn commit_budgets_patches_served_links() {
+        let mut tr = RemainingTraffic::new(&load_example1(), HopWeighting::Uniform).unwrap();
+        let mut engine = ScheduleEngine::new(&mut tr, 4, 0);
+        let before = engine.queues().queue(0, 1).unwrap().total_packets();
+        assert_eq!(before, 100);
+        engine.commit_budgets(&[(NodeId(3), NodeId(0), 50)]);
+        // (3,0) emptied, its packets landed on (0,1).
+        assert!(engine.queues().queue(3, 0).is_none());
+        assert_eq!(engine.queues().queue(0, 1).unwrap().total_packets(), 150);
+        assert_snapshot_matches_rebuild(&mut engine);
+    }
+}

@@ -28,7 +28,9 @@ pub struct PacketNetModel {
 
 impl Default for PacketNetModel {
     fn default() -> Self {
-        PacketNetModel { bandwidth_ratio: 10 }
+        PacketNetModel {
+            bandwidth_ratio: 10,
+        }
     }
 }
 

@@ -8,23 +8,18 @@
 //! combined; this greedy is `(1 − 1/e)`-approximate per configuration,
 //! degrading the overall guarantee to `(1 − e^{−(1−1/e)/𝒟}) · W/(W+Δ)`.
 
-use crate::{AlphaSearch, MatchingKind, OctopusConfig, RemainingTraffic, SchedError};
-use octopus_matching::{
-    greedy::greedy_matching, matching_weight, maximum_weight_matching, WeightedBipartiteGraph,
-};
-use octopus_net::{Configuration, Matching, Network, NodeId, Schedule};
+use crate::engine::{CandidateExtension, KPortFabric, ScheduleEngine, SearchPolicy};
+use crate::{OctopusConfig, RemainingTraffic, SchedError};
+use octopus_net::{Configuration, Network, Schedule};
 use octopus_traffic::TrafficLoad;
-
-/// The per-α winner during configuration search: `(α, links, benefit,
-/// score)`.
-type AlphaChoice = (u64, Vec<(u32, u32)>, f64, f64);
 
 /// Octopus for fabrics with `r` ports per node.
 ///
-/// Identical greedy outer loop to [`crate::octopus`], but each candidate
-/// configuration for a given α is a union of up to `r` edge-disjoint
-/// matchings selected greedily with intermediate `g` updates. The α search is
-/// exhaustive over the Procedure-1 candidate set; `cfg.alpha_search ==
+/// Identical greedy outer loop to [`crate::octopus`] (shared via
+/// [`ScheduleEngine`]), but each candidate configuration for a given α is a
+/// union of up to `r` edge-disjoint matchings selected greedily with
+/// intermediate `g` updates ([`KPortFabric`]). The α search is exhaustive
+/// over the Procedure-1 candidate set; `cfg.alpha_search ==
 /// AlphaSearch::Binary` switches to ternary search as in Octopus-B.
 pub fn octopus_kport(
     net: &Network,
@@ -44,84 +39,31 @@ pub fn octopus_kport(
         _ => SchedError::InvalidRoute(octopus_traffic::FlowId(u64::MAX)),
     })?;
     let mut tr = RemainingTraffic::new(load, cfg.weighting)?;
+    let fabric = KPortFabric {
+        kind: cfg.matching,
+        r,
+    };
+    let policy = SearchPolicy {
+        search: cfg.alpha_search,
+        parallel: false,
+        prefer_larger_alpha: false,
+    };
+    let mut engine = ScheduleEngine::new(&mut tr, net.num_nodes(), cfg.delta);
     let mut schedule = Schedule::new();
     let mut used = 0u64;
     let mut iterations = 0usize;
     let mut matchings_computed = 0usize;
 
-    while !tr.is_drained() && used + cfg.delta < cfg.window {
+    while !engine.is_drained() && used + cfg.delta < cfg.window {
         let budget = cfg.window - used - cfg.delta;
-        let queues = tr.link_queues(net.num_nodes());
-        let candidates = queues.alpha_candidates(budget);
-        if candidates.is_empty() {
-            break;
-        }
-        let eval = |alpha: u64| -> (Vec<(u32, u32)>, f64) {
-            union_matching(&tr, net.num_nodes(), alpha, r, cfg.matching, &mut 0)
-        };
-        let mut best: Option<AlphaChoice> = None;
-        let mut consider = |alpha: u64, computed: &mut usize| {
-            let (links, benefit) = eval(alpha);
-            *computed += 1;
-            let score = benefit / (alpha + cfg.delta) as f64;
-            if best
-                .as_ref()
-                .map_or(true, |&(ba, _, _, bs)| {
-                    score > bs || (score == bs && alpha < ba)
-                })
-            {
-                best = Some((alpha, links, benefit, score));
-            }
-        };
-        match cfg.alpha_search {
-            AlphaSearch::Exhaustive => {
-                for &alpha in &candidates {
-                    consider(alpha, &mut matchings_computed);
-                }
-            }
-            AlphaSearch::Binary => {
-                let (mut lo, mut hi) = (0usize, candidates.len() - 1);
-                // Coarse ternary: evaluate probe points, then the final span.
-                while hi - lo > 2 {
-                    let m1 = lo + (hi - lo) / 3;
-                    let m2 = hi - (hi - lo) / 3;
-                    let s1 = {
-                        let (links, b) = eval(candidates[m1]);
-                        matchings_computed += 1;
-                        let _ = links;
-                        b / (candidates[m1] + cfg.delta) as f64
-                    };
-                    let s2 = {
-                        let (links, b) = eval(candidates[m2]);
-                        matchings_computed += 1;
-                        let _ = links;
-                        b / (candidates[m2] + cfg.delta) as f64
-                    };
-                    if s1 >= s2 {
-                        hi = m2 - 1;
-                    } else {
-                        lo = m1 + 1;
-                    }
-                }
-                for &alpha in &candidates[lo..=hi] {
-                    consider(alpha, &mut matchings_computed);
-                }
-            }
-        }
-        let Some((alpha, links, benefit, _)) = best else {
+        let Some(choice) = engine.select(&fabric, budget, CandidateExtension::None, &policy) else {
             break;
         };
-        if benefit <= 0.0 {
-            break;
-        }
+        matchings_computed += choice.matchings_computed;
         iterations += 1;
-        let node_links: Vec<(NodeId, NodeId)> =
-            links.iter().map(|&(i, j)| (NodeId(i), NodeId(j))).collect();
-        tr.apply(&node_links, alpha);
-        let matching = Matching::new_free_with_capacity(links.iter().copied(), r)
-            .expect("union of r edge-disjoint matchings");
-        schedule.push(Configuration::new(matching, alpha));
-        used += alpha + cfg.delta;
+        let matching = engine.commit(&fabric, &choice.matching, choice.alpha);
+        schedule.push(Configuration::new(matching, choice.alpha));
+        used += choice.alpha + cfg.delta;
     }
 
     Ok(crate::OctopusOutput {
@@ -131,52 +73,6 @@ pub fn octopus_kport(
         iterations,
         matchings_computed,
     })
-}
-
-/// Greedily builds a union of up to `r` edge-disjoint matchings for duration
-/// `alpha`, recomputing `g` against a cloned `T^r` after each matching so the
-/// later matchings only claim residual packets.
-fn union_matching(
-    tr: &RemainingTraffic,
-    n: u32,
-    alpha: u64,
-    r: u32,
-    kind: MatchingKind,
-    _scratch: &mut usize,
-) -> (Vec<(u32, u32)>, f64) {
-    let mut shadow = tr.clone();
-    let mut all_links: Vec<(u32, u32)> = Vec::new();
-    let mut taken: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
-    let mut total_benefit = 0.0;
-    for _ in 0..r {
-        let queues = shadow.link_queues(n);
-        let edges: Vec<(u32, u32, f64)> = queues
-            .weighted_edges(alpha)
-            .into_iter()
-            .filter(|&(i, j, _)| !taken.contains(&(i, j)))
-            .collect();
-        if edges.is_empty() {
-            break;
-        }
-        let g = WeightedBipartiteGraph::from_tuples(n, n, edges);
-        let m = match kind {
-            MatchingKind::Exact => maximum_weight_matching(&g),
-            _ => greedy_matching(&g),
-        };
-        if m.is_empty() {
-            break;
-        }
-        total_benefit += matching_weight(&g, &m);
-        let node_links: Vec<(NodeId, NodeId)> =
-            m.iter().map(|&(i, j)| (NodeId(i), NodeId(j))).collect();
-        shadow.apply(&node_links, alpha);
-        for &(i, j) in &m {
-            taken.insert((i, j));
-            all_links.push((i, j));
-        }
-    }
-    all_links.sort_unstable();
-    (all_links, total_benefit)
 }
 
 #[cfg(test)]

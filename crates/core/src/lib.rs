@@ -59,6 +59,7 @@ mod octopus;
 mod state;
 
 pub mod duplex;
+pub mod engine;
 pub mod hybrid;
 pub mod kport;
 pub mod local;
@@ -68,7 +69,11 @@ pub mod octopus_plus;
 pub mod online;
 
 pub use best_config::{best_configuration, AlphaSearch, BestChoice, MatchingKind};
+pub use engine::{
+    BipartiteFabric, CandidateExtension, DuplexFabric, Fabric, KPortFabric, LocalFabric,
+    ScheduleEngine, SearchPolicy, TrafficSource,
+};
 pub use error::SchedError;
 pub use octopus::{octopus, octopus_on, OctopusConfig, OctopusOutput};
 pub use octopus_traffic::HopWeighting;
-pub use state::{LinkQueues, RemainingTraffic};
+pub use state::{LinkQueue, LinkQueues, RemainingTraffic};

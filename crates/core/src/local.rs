@@ -18,18 +18,11 @@
 //! [`octopus_sim::ReconfigModel::Localized`], which realizes exactly this
 //! transition behavior, so gains are measured honestly end to end.
 
-use crate::{MatchingKind, OctopusConfig, OctopusOutput, RemainingTraffic, SchedError};
-use octopus_matching::{
-    greedy::{bucket_greedy_matching, greedy_matching},
-    matching_weight, maximum_weight_matching, WeightedBipartiteGraph,
-};
-use octopus_net::{Configuration, Matching, Network, NodeId, Schedule};
+use crate::engine::{CandidateExtension, LocalFabric, ScheduleEngine, SearchPolicy};
+use crate::{AlphaSearch, OctopusConfig, OctopusOutput, RemainingTraffic, SchedError};
+use octopus_net::{Configuration, Network, Schedule};
 use octopus_traffic::TrafficLoad;
 use std::collections::HashSet;
-
-/// The per-α winner during configuration search: `(α, links, benefit,
-/// score)`.
-type AlphaChoice = (u64, Vec<(u32, u32)>, f64, f64);
 
 /// Octopus with persistence-aware benefits for localized-reconfiguration
 /// fabrics. Pair its schedule with
@@ -50,97 +43,43 @@ pub fn octopus_local(
         _ => SchedError::InvalidRoute(octopus_traffic::FlowId(u64::MAX)),
     })?;
     let mut tr = RemainingTraffic::new(load, cfg.weighting)?;
+    // Ties break toward the *larger* α: with persistent service, a longer
+    // configuration at equal per-slot value also leaves less unusable tail
+    // at the end of the window.
+    let policy = SearchPolicy {
+        search: AlphaSearch::Exhaustive,
+        parallel: false,
+        prefer_larger_alpha: true,
+    };
+    let mut fabric = LocalFabric {
+        kind: cfg.matching,
+        delta: cfg.delta,
+        prev: HashSet::new(),
+    };
+    let mut engine = ScheduleEngine::new(&mut tr, net.num_nodes(), cfg.delta);
     let mut schedule = Schedule::new();
-    let mut prev: HashSet<(u32, u32)> = HashSet::new();
     let mut used = 0u64;
     let mut iterations = 0usize;
     let mut matchings_computed = 0usize;
-    let n = net.num_nodes();
 
-    while !tr.is_drained() && used + cfg.delta < cfg.window {
+    while !engine.is_drained() && used + cfg.delta < cfg.window {
         let budget = cfg.window - used - cfg.delta;
-        let queues = tr.link_queues(n);
-        let mut candidates = queues.alpha_candidates(budget);
-        if candidates.is_empty() {
-            break;
-        }
         // Persistent links serve α + Δ slots, so boundaries shifted down by
         // Δ are also candidate maxima.
-        if cfg.delta > 0 && !prev.is_empty() {
-            let shifted: Vec<u64> = candidates
-                .iter()
-                .filter_map(|&a| a.checked_sub(cfg.delta))
-                .filter(|&a| a > 0)
-                .collect();
-            candidates.extend(shifted);
-            candidates.sort_unstable();
-            candidates.dedup();
-        }
-
-        let mut best: Option<AlphaChoice> = None;
-        for &alpha in &candidates {
-            let edges: Vec<(u32, u32, f64)> = queues
-                .links()
-                .map(|(i, j)| {
-                    let slots = if prev.contains(&(i, j)) {
-                        alpha + cfg.delta
-                    } else {
-                        alpha
-                    };
-                    (i, j, queues.g(i, j, slots))
-                })
-                .filter(|&(_, _, w)| w > 0.0)
-                .collect();
-            let g = WeightedBipartiteGraph::from_tuples(n, n, edges);
-            let m = match cfg.matching {
-                MatchingKind::Exact => maximum_weight_matching(&g),
-                MatchingKind::GreedySort => greedy_matching(&g),
-                MatchingKind::BucketGreedy { scale } => {
-                    let ints: Vec<u64> = g
-                        .edges()
-                        .iter()
-                        .map(|e| (e.weight * scale as f64).round() as u64)
-                        .collect();
-                    bucket_greedy_matching(&g, &ints)
-                }
-            };
-            matchings_computed += 1;
-            let benefit = matching_weight(&g, &m);
-            let score = benefit / (alpha + cfg.delta) as f64;
-            // Ties break toward the *larger* α: with persistent service, a
-            // longer configuration at equal per-slot value also leaves less
-            // unusable tail at the end of the window.
-            if best
-                .as_ref()
-                .map_or(true, |&(ba, _, _, bs)| score > bs || (score == bs && alpha > ba))
-            {
-                best = Some((alpha, m, benefit, score));
-            }
-        }
-        let Some((alpha, links, benefit, _)) = best else {
+        let ext = if cfg.delta > 0 && !fabric.prev.is_empty() {
+            CandidateExtension::ShiftDown(cfg.delta)
+        } else {
+            CandidateExtension::None
+        };
+        let Some(choice) = engine.select(&fabric, budget, ext, &policy) else {
             break;
         };
-        if benefit <= 0.0 {
-            break;
-        }
+        matchings_computed += choice.matchings_computed;
         iterations += 1;
-        let budgets: Vec<(NodeId, NodeId, u64)> = links
-            .iter()
-            .map(|&(i, j)| {
-                let slots = if prev.contains(&(i, j)) {
-                    alpha + cfg.delta
-                } else {
-                    alpha
-                };
-                (NodeId(i), NodeId(j), slots)
-            })
-            .collect();
-        tr.apply_budgets(&budgets);
-        prev = links.iter().copied().collect();
-        let matching =
-            Matching::new_free(links.iter().copied()).expect("kernel outputs matchings");
-        schedule.push(Configuration::new(matching, alpha));
-        used += alpha + cfg.delta;
+        let matching = engine.commit(&fabric, &choice.matching, choice.alpha);
+        fabric.prev = choice.matching.iter().copied().collect();
+        schedule.push(Configuration::new(matching, choice.alpha));
+        used += choice.alpha + cfg.delta;
     }
 
     Ok(OctopusOutput {

@@ -32,10 +32,7 @@ pub fn minimize_makespan(
         let mut c = *cfg;
         c.window = cfg.delta + 1;
         let output = octopus(net, load, &c)?;
-        return Ok(MakespanOutput {
-            window: 0,
-            output,
-        });
+        return Ok(MakespanOutput { window: 0, output });
     }
 
     let serves = |window: u64| -> Result<Option<OctopusOutput>, SchedError> {

@@ -18,14 +18,12 @@
 //! headline experiments use the one-hop-per-configuration bookkeeping whose
 //! guarantee Theorem 1 covers.
 
+use crate::best_config::BestChoice;
+use crate::engine::{CandidateExtension, ScheduleEngine, SearchPolicy};
 use crate::{RemainingTraffic, SchedError};
 use octopus_net::{Configuration, Matching, Network, Schedule};
 use octopus_traffic::{FlowId, HopWeighting, Route, TrafficLoad, Weight};
 use std::collections::{BTreeMap, HashSet};
-
-/// The per-α winner during configuration search: `(α, links, benefit,
-/// score)`.
-type AlphaChoice = (u64, Vec<(u32, u32)>, f64, f64);
 
 /// Octopus with chain-aware (multi-hop within a configuration) benefit and
 /// greedy edge-by-edge matchings — the modified algorithm of Theorem 2.
@@ -45,57 +43,43 @@ pub fn octopus_multihop(
         _ => SchedError::InvalidRoute(FlowId(u64::MAX)),
     })?;
     let mut tr = RemainingTraffic::new(load, cfg.weighting)?;
+    let policy = SearchPolicy::exhaustive();
+    // Chained packets lag one slot per upstream hop, so the useful α values
+    // extend past each class boundary by up to 𝒟−1 lead slots.
+    let lead = load.max_route_hops().saturating_sub(1) as u64;
+    let mut engine = ScheduleEngine::new(&mut tr, net.num_nodes(), cfg.delta);
     let mut schedule = Schedule::new();
     let mut used = 0u64;
     let mut iterations = 0usize;
     let mut matchings_computed = 0usize;
 
-    while !tr.is_drained() && used + cfg.delta < cfg.window {
+    while !engine.is_drained() && used + cfg.delta < cfg.window {
         let budget = cfg.window - used - cfg.delta;
-        let snap = Snapshot::from_traffic(&tr, cfg.weighting);
-        let queues = tr.link_queues(net.num_nodes());
-        let mut candidates = queues.alpha_candidates(budget);
-        if candidates.is_empty() {
-            break;
-        }
-        // Chained packets lag one slot per upstream hop, so the useful α
-        // values extend past each class boundary by up to 𝒟−1 lead slots.
-        let lead = load.max_route_hops().saturating_sub(1) as u64;
-        let base = candidates.clone();
-        for a in base {
-            for l in 1..=lead {
-                if a + l <= budget {
-                    candidates.push(a + l);
-                }
-            }
-        }
-        candidates.sort_unstable();
-        candidates.dedup();
-        let mut best: Option<AlphaChoice> = None;
-        for &alpha in &candidates {
+        let snap = Snapshot::from_traffic(engine.source(), cfg.weighting);
+        let eval = |alpha: u64| {
             let (edges, benefit) = greedy_chain_matching(&snap, net, alpha);
-            matchings_computed += 1;
-            let score = benefit / (alpha + cfg.delta) as f64;
-            if best
-                .as_ref()
-                .map_or(true, |&(ba, _, _, bs)| score > bs || (score == bs && alpha < ba))
-            {
-                best = Some((alpha, edges, benefit, score));
+            BestChoice {
+                matching: edges,
+                alpha,
+                benefit,
+                score: benefit / (alpha + cfg.delta) as f64,
+                matchings_computed: 1,
             }
-        }
-        let Some((alpha, edges, benefit, _)) = best else {
+        };
+        let Some(choice) =
+            engine.select_with(budget, CandidateExtension::Lead(lead), &policy, &eval)
+        else {
             break;
         };
-        if benefit <= 0.0 {
-            break;
-        }
+        matchings_computed += choice.matchings_computed;
         iterations += 1;
         // Advance the plan with chaining: packets move as the mini-sim says.
-        let moved = snap.simulate(&edges, alpha).moves;
-        tr.advance_chained(&moved);
-        let matching = Matching::new_free(edges.iter().copied()).expect("greedy keeps ports free");
-        schedule.push(Configuration::new(matching, alpha));
-        used += alpha + cfg.delta;
+        let moved = snap.simulate(&choice.matching, choice.alpha).moves;
+        engine.commit_chained(&moved);
+        let matching =
+            Matching::new_free(choice.matching.iter().copied()).expect("greedy keeps ports free");
+        schedule.push(Configuration::new(matching, choice.alpha));
+        used += choice.alpha + cfg.delta;
     }
 
     Ok(crate::OctopusOutput {
@@ -175,7 +159,9 @@ impl Snapshot {
                     let key = (w, *fid, idx);
                     let better = match &bestk {
                         None => true,
-                        Some((bk, _)) => key.0 > bk.0 || (key.0 == bk.0 && (key.1, key.2) < (bk.1, bk.2)),
+                        Some((bk, _)) => {
+                            key.0 > bk.0 || (key.0 == bk.0 && (key.1, key.2) < (bk.1, bk.2))
+                        }
                     };
                     if better {
                         bestk = Some((key, (idx, pos)));
@@ -247,9 +233,9 @@ fn greedy_chain_matching(snap: &Snapshot, net: &Network, alpha: u64) -> (Vec<(u3
             let b = snap.simulate(&trial, alpha).benefit;
             let marginal = b - current;
             if marginal > 1e-12
-                && best
-                    .as_ref()
-                    .map_or(true, |&(be, bm)| marginal > bm || (marginal == bm && (i, j) < be))
+                && best.as_ref().map_or(true, |&(be, bm)| {
+                    marginal > bm || (marginal == bm && (i, j) < be)
+                })
             {
                 best = Some(((i, j), marginal));
             }
@@ -307,9 +293,7 @@ mod tests {
         let plain = crate::octopus(&net, &load, &cfg(200, 50)).unwrap();
         assert!(plain.iterations >= 2);
         // Chained variant pays one delta instead of two.
-        assert!(
-            out.schedule.total_cost(50) <= plain.schedule.total_cost(50),
-        );
+        assert!(out.schedule.total_cost(50) <= plain.schedule.total_cost(50),);
     }
 
     #[test]

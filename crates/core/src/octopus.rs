@@ -1,7 +1,8 @@
 //! The main Octopus greedy loop (§4.1).
 
-use crate::{best_configuration, AlphaSearch, MatchingKind, RemainingTraffic, SchedError};
-use octopus_net::{Configuration, Matching, Network, NodeId, Schedule};
+use crate::engine::{BipartiteFabric, CandidateExtension, ScheduleEngine, SearchPolicy};
+use crate::{AlphaSearch, MatchingKind, RemainingTraffic, SchedError};
+use octopus_net::{Configuration, Network, Schedule};
 use octopus_traffic::{HopWeighting, TrafficLoad};
 use serde::{Deserialize, Serialize};
 
@@ -96,11 +97,10 @@ pub fn octopus(
             delta: cfg.delta,
         });
     }
-    load.validate(net)
-        .map_err(|e| match e {
-            octopus_traffic::TrafficError::InvalidRoute(id, _) => SchedError::InvalidRoute(id),
-            _ => SchedError::InvalidRoute(octopus_traffic::FlowId(u64::MAX)),
-        })?;
+    load.validate(net).map_err(|e| match e {
+        octopus_traffic::TrafficError::InvalidRoute(id, _) => SchedError::InvalidRoute(id),
+        _ => SchedError::InvalidRoute(octopus_traffic::FlowId(u64::MAX)),
+    })?;
     let mut tr = RemainingTraffic::new(load, cfg.weighting)?;
     Ok(octopus_on(net, &mut tr, cfg))
 }
@@ -108,41 +108,29 @@ pub fn octopus(
 /// Runs the Octopus greedy loop against an existing `T^r` state, advancing
 /// it in place — the building block for multi-window (online) operation.
 /// The reported ψ/delivered figures cover only this call's gains.
-pub fn octopus_on(
-    net: &Network,
-    tr: &mut RemainingTraffic,
-    cfg: &OctopusConfig,
-) -> OctopusOutput {
+pub fn octopus_on(net: &Network, tr: &mut RemainingTraffic, cfg: &OctopusConfig) -> OctopusOutput {
     let psi_before = tr.planned_psi();
     let delivered_before = tr.planned_delivered();
+    let fabric = BipartiteFabric { kind: cfg.matching };
+    let policy = SearchPolicy {
+        search: cfg.alpha_search,
+        parallel: cfg.parallel,
+        prefer_larger_alpha: false,
+    };
+    let mut engine = ScheduleEngine::new(&mut *tr, net.num_nodes(), cfg.delta);
     let mut schedule = Schedule::new();
     let mut used = 0u64;
     let mut iterations = 0usize;
     let mut matchings_computed = 0usize;
 
-    while !tr.is_drained() && used + cfg.delta < cfg.window {
+    while !engine.is_drained() && used + cfg.delta < cfg.window {
         let budget = cfg.window - used - cfg.delta;
-        let queues = tr.link_queues(net.num_nodes());
-        let Some(choice) = best_configuration(
-            &queues,
-            cfg.delta,
-            budget,
-            cfg.alpha_search,
-            cfg.matching,
-            cfg.parallel,
-        ) else {
+        let Some(choice) = engine.select(&fabric, budget, CandidateExtension::None, &policy) else {
             break; // no packet can move on any link
         };
         matchings_computed += choice.matchings_computed;
         iterations += 1;
-        let links: Vec<(NodeId, NodeId)> = choice
-            .matching
-            .iter()
-            .map(|&(i, j)| (NodeId(i), NodeId(j)))
-            .collect();
-        tr.apply(&links, choice.alpha);
-        let matching =
-            Matching::new_free(choice.matching.iter().copied()).expect("kernel outputs matchings");
+        let matching = engine.commit(&fabric, &choice.matching, choice.alpha);
         schedule.push(Configuration::new(matching, choice.alpha));
         used += choice.alpha + cfg.delta;
     }
@@ -166,11 +154,7 @@ mod tests {
 
     fn example1_net() -> Network {
         // Nodes a=0, b=1, c=2, d=3; the links used by Figure 1.
-        Network::from_edges(
-            4,
-            [(3u32, 0u32), (0, 1), (2, 1), (1, 0), (1, 2)],
-        )
-        .unwrap()
+        Network::from_edges(4, [(3u32, 0u32), (0, 1), (2, 1), (1, 0), (1, 2)]).unwrap()
     }
 
     fn example1_load() -> TrafficLoad {

@@ -20,8 +20,12 @@
 //! final; different packets of one flow may commit to different routes
 //! (out-of-order delivery is the receiver's problem, as the paper notes).
 
-use crate::{best_configuration, OctopusConfig, SchedError};
-use octopus_net::{Configuration, Matching, Network, Schedule};
+use crate::engine::{
+    BipartiteFabric, CandidateExtension, ScheduleEngine, SearchPolicy, TrafficSource,
+};
+use crate::state::LinkQueues;
+use crate::{OctopusConfig, SchedError};
+use octopus_net::{Configuration, Network, NodeId, Schedule};
 use octopus_sim::ResolvedFlow;
 use octopus_traffic::{Flow, FlowId, HopWeighting, Route, TrafficLoad, Weight};
 use rand::seq::SliceRandom;
@@ -145,11 +149,7 @@ impl<'a> PlusState<'a> {
 
     /// Enumerates `(link, weight, count, portion, action)` candidates for the
     /// current `T^r` (the Octopus+ `g`/`h` inputs).
-    fn candidates(
-        &self,
-        net: &Network,
-        backtracking: bool,
-    ) -> Vec<Candidate> {
+    fn candidates(&self, net: &Network, backtracking: bool) -> Vec<Candidate> {
         let mut out = Vec::new();
         for (&portion, &count) in &self.portions {
             if count == 0 {
@@ -222,9 +222,7 @@ impl<'a> PlusState<'a> {
                 continue;
             };
             // Weight desc, then flow ID asc, then Backtrack > Commit > Advance.
-            cands.sort_unstable_by(|a, b| {
-                b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
-            });
+            cands.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
             let mut budget = alpha;
             for (_, _, action, portion, count) in cands {
                 if budget == 0 {
@@ -247,10 +245,7 @@ impl<'a> PlusState<'a> {
     }
 
     fn commit_move(&mut self, portion: Portion, action: Action, take: u64) {
-        let c = self
-            .portions
-            .get_mut(&portion)
-            .expect("move source exists");
+        let c = self.portions.get_mut(&portion).expect("move source exists");
         debug_assert!(*c >= take);
         *c -= take;
         if *c == 0 {
@@ -354,6 +349,41 @@ impl<'a> PlusState<'a> {
     }
 }
 
+/// [`TrafficSource`] adapter over the Octopus+ plan state. The candidate
+/// weights at a link depend on route commitments made *anywhere* (a source
+/// packet's options collapse once its first hop is served), so per-link dirty
+/// tracking is not worth it: every commit requests a full snapshot rebuild
+/// by returning `None`.
+struct PlusSource<'a> {
+    net: &'a Network,
+    st: PlusState<'a>,
+    backtracking: bool,
+}
+
+impl TrafficSource for PlusSource<'_> {
+    fn snapshot_queues(&self, n: u32) -> LinkQueues {
+        LinkQueues::from_weighted_counts(
+            n,
+            self.st
+                .candidates(self.net, self.backtracking)
+                .into_iter()
+                .map(|(link, w, count, _, _)| (link, w.value(), count)),
+        )
+    }
+
+    fn apply_served(&mut self, served: &[(NodeId, NodeId, u64)]) -> Option<Vec<(u32, u32)>> {
+        let &(_, _, alpha) = served.first()?;
+        debug_assert!(served.iter().all(|&(_, _, a)| a == alpha));
+        let links: Vec<(u32, u32)> = served.iter().map(|&(i, j, _)| (i.0, j.0)).collect();
+        self.st.apply(self.net, &links, alpha, self.backtracking);
+        None
+    }
+
+    fn is_drained(&self) -> bool {
+        self.st.is_drained()
+    }
+}
+
 /// Runs Octopus+ on a (possibly multi-route) load.
 pub fn octopus_plus(
     net: &Network,
@@ -371,36 +401,35 @@ pub fn octopus_plus(
         octopus_traffic::TrafficError::InvalidRoute(id, _) => SchedError::InvalidRoute(id),
         _ => SchedError::InvalidRoute(FlowId(u64::MAX)),
     })?;
-    let mut st = PlusState::new(load, base.weighting);
+    let fabric = BipartiteFabric {
+        kind: base.matching,
+    };
+    let policy = SearchPolicy {
+        search: base.alpha_search,
+        parallel: base.parallel,
+        prefer_larger_alpha: false,
+    };
+    let source = PlusSource {
+        net,
+        st: PlusState::new(load, base.weighting),
+        backtracking: cfg.backtracking,
+    };
+    let mut engine = ScheduleEngine::new(source, net.num_nodes(), base.delta);
     let mut schedule = Schedule::new();
     let mut used = 0u64;
     let mut iterations = 0usize;
 
-    while !st.is_drained() && used + base.delta < base.window {
+    while !engine.is_drained() && used + base.delta < base.window {
         let budget = base.window - used - base.delta;
-        let queues = crate::state::LinkQueues::from_weighted_counts(
-            net.num_nodes(),
-            st.candidates(net, cfg.backtracking)
-                .into_iter()
-                .map(|(link, w, count, _, _)| (link, w.value(), count)),
-        );
-        let Some(choice) = best_configuration(
-            &queues,
-            base.delta,
-            budget,
-            base.alpha_search,
-            base.matching,
-            base.parallel,
-        ) else {
+        let Some(choice) = engine.select(&fabric, budget, CandidateExtension::None, &policy) else {
             break;
         };
         iterations += 1;
-        st.apply(net, &choice.matching, choice.alpha, cfg.backtracking);
-        let matching =
-            Matching::new_free(choice.matching.iter().copied()).expect("kernel outputs matchings");
+        let matching = engine.commit(&fabric, &choice.matching, choice.alpha);
         schedule.push(Configuration::new(matching, choice.alpha));
         used += choice.alpha + base.delta;
     }
+    let st = engine.into_source().st;
 
     Ok(PlusOutput {
         schedule,
@@ -578,8 +607,7 @@ mod tests {
         let net = topology::complete(8);
         let mut rng = StdRng::seed_from_u64(42);
         let synth = octopus_traffic::synthetic::SyntheticConfig::paper_default(8, 500);
-        let load =
-            octopus_traffic::synthetic::generate_with_routes(&synth, &net, &mut rng, 4);
+        let load = octopus_traffic::synthetic::generate_with_routes(&synth, &net, &mut rng, 4);
         let out = octopus_plus(&net, &load, &cfg(500, 5)).unwrap();
         let total: u64 = out.resolved.iter().map(|f| f.size).sum();
         assert_eq!(total, load.total_packets(), "resolution conserves packets");
@@ -611,8 +639,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let synth = octopus_traffic::synthetic::SyntheticConfig::paper_default(6, 300);
         let load = octopus_traffic::synthetic::generate_with_routes(&synth, &net, &mut rng, 5);
-        let (out, resolved) =
-            octopus_random(&net, &load, &cfg(300, 5).base, &mut rng).unwrap();
+        let (out, resolved) = octopus_random(&net, &load, &cfg(300, 5).base, &mut rng).unwrap();
         assert!(resolved.is_single_route());
         assert_eq!(resolved.len(), load.len());
         assert!(out.schedule.total_cost(5) <= 300);

@@ -111,8 +111,7 @@ impl OnlineScheduler {
             }
         }
 
-        let mut tr =
-            RemainingTraffic::from_subflows(self.backlog.drain(..), self.cfg.weighting);
+        let mut tr = RemainingTraffic::from_subflows(self.backlog.drain(..), self.cfg.weighting);
         let output = octopus_on(&self.net, &mut tr, &self.cfg);
         let delivered = output.planned_delivered;
         self.backlog = tr.subflows();
@@ -148,7 +147,11 @@ mod tests {
     }
 
     fn flow(id: u64, size: u64, route: &[u32]) -> Flow {
-        Flow::single(FlowId(id), size, Route::from_ids(route.iter().copied()).unwrap())
+        Flow::single(
+            FlowId(id),
+            size,
+            Route::from_ids(route.iter().copied()).unwrap(),
+        )
     }
 
     #[test]
@@ -175,7 +178,9 @@ mod tests {
         let net = topology::ring(3).unwrap();
         // One 2-hop flow; the epoch window only fits the first hop.
         let mut sched = OnlineScheduler::new(net, cfg(14, 2));
-        let r1 = sched.run_epoch(&load(vec![flow(1, 12, &[0, 1, 2])])).unwrap();
+        let r1 = sched
+            .run_epoch(&load(vec![flow(1, 12, &[0, 1, 2])]))
+            .unwrap();
         assert_eq!(r1.delivered, 0, "first hop only");
         assert_eq!(r1.backlog, 12);
         // Next epoch finishes the journey.
@@ -299,55 +304,59 @@ impl HysteresisScheduler {
                 self.backlog.push((f.id, f.routes[0].clone(), 0, f.size));
             }
         }
-        let mut tr =
-            RemainingTraffic::from_subflows(self.backlog.drain(..), self.cfg.weighting);
-        let queues = tr.link_queues(self.net.num_nodes());
+        let mut tr = RemainingTraffic::from_subflows(self.backlog.drain(..), self.cfg.weighting);
+        let mut engine = crate::ScheduleEngine::new(&mut tr, self.net.num_nodes(), self.cfg.delta);
 
         // Value of a matching against the current queues, at epoch length.
         let alpha_if_kept = self.cfg.window; // no reconfiguration spent
         let alpha_if_changed = self.cfg.window.saturating_sub(self.cfg.delta);
-        let value = |m: &octopus_net::Matching, alpha: u64| -> f64 {
-            m.links()
-                .iter()
-                .map(|&(i, j)| queues.g(i.0, j.0, alpha))
-                .sum()
-        };
-        let best = crate::best_configuration(
-            &queues,
-            self.cfg.delta,
-            alpha_if_changed.max(1),
-            crate::AlphaSearch::Exhaustive,
-            self.cfg.matching,
-            false,
-        );
-        let candidate = best.map(|b| {
-            octopus_net::Matching::new_free(b.matching.iter().copied())
-                .expect("kernel outputs matchings")
-        });
+        let (serve, alpha) = {
+            let queues = engine.queues();
+            let value = |m: &octopus_net::Matching, alpha: u64| -> f64 {
+                m.links()
+                    .iter()
+                    .map(|&(i, j)| queues.g(i.0, j.0, alpha))
+                    .sum()
+            };
+            let best = crate::best_configuration(
+                queues,
+                self.cfg.delta,
+                alpha_if_changed.max(1),
+                crate::AlphaSearch::Exhaustive,
+                self.cfg.matching,
+                false,
+            );
+            let candidate = best.map(|b| {
+                octopus_net::Matching::new_free(b.matching.iter().copied())
+                    .expect("kernel outputs matchings")
+            });
 
-        let (serve, alpha) = match (&self.incumbent, candidate) {
-            (None, Some(cand)) => (Some(cand), alpha_if_changed),
-            (Some(inc), Some(cand)) => {
-                let keep_value = value(inc, alpha_if_kept);
-                let switch_value = value(&cand, alpha_if_changed);
-                if switch_value > (1.0 + self.eta) * keep_value {
-                    (Some(cand), alpha_if_changed)
-                } else {
-                    (Some(inc.clone()), alpha_if_kept)
+            match (&self.incumbent, candidate) {
+                (None, Some(cand)) => (Some(cand), alpha_if_changed),
+                (Some(inc), Some(cand)) => {
+                    let keep_value = value(inc, alpha_if_kept);
+                    let switch_value = value(&cand, alpha_if_changed);
+                    if switch_value > (1.0 + self.eta) * keep_value {
+                        (Some(cand), alpha_if_changed)
+                    } else {
+                        (Some(inc.clone()), alpha_if_kept)
+                    }
                 }
+                (Some(inc), None) => (Some(inc.clone()), alpha_if_kept),
+                (None, None) => (None, 0),
             }
-            (Some(inc), None) => (Some(inc.clone()), alpha_if_kept),
-            (None, None) => (None, 0),
         };
 
         let mut schedule = Schedule::new();
-        let delivered_before = tr.planned_delivered();
-        let psi_before = tr.planned_psi();
+        let delivered_before = engine.source().planned_delivered();
+        let psi_before = engine.source().planned_psi();
         if let (Some(m), true) = (&serve, alpha > 0) {
-            let links: Vec<(octopus_net::NodeId, octopus_net::NodeId)> = m.links().to_vec();
-            tr.apply(&links, alpha);
+            let budgets: Vec<(octopus_net::NodeId, octopus_net::NodeId, u64)> =
+                m.links().iter().map(|&(i, j)| (i, j, alpha)).collect();
+            engine.commit_budgets(&budgets);
             schedule.push(octopus_net::Configuration::new(m.clone(), alpha));
         }
+        drop(engine);
         self.incumbent = serve;
         self.backlog = tr.subflows();
         let delivered = tr.planned_delivered() - delivered_before;
@@ -430,12 +439,7 @@ mod hysteresis_tests {
         let mut oct = OnlineScheduler::new(net.clone(), epoch_cfg);
         let mut hys = HysteresisScheduler::new(net, epoch_cfg, 0.1);
         for e in 0..4u64 {
-            let arrivals = TrafficLoad::new(vec![flow(
-                e,
-                40,
-                &[0, 1, 2],
-            )])
-            .unwrap();
+            let arrivals = TrafficLoad::new(vec![flow(e, 40, &[0, 1, 2])]).unwrap();
             oct.run_epoch(&arrivals).unwrap();
             hys.run_epoch(&arrivals).unwrap();
         }

@@ -7,6 +7,14 @@
 //! scheduler never touches real packets — this is the controller-side
 //! bookkeeping that makes the chosen schedule deterministic, thanks to the
 //! fixed packet-prioritization rule (weight first, then flow ID).
+//!
+//! The multiset is stored *keyed by link*: a sub-flow at `(flow, position)`
+//! waits on exactly one fabric link (`route.hop(position)`, routes never
+//! revisit a node), so `counts[(i, j)]` holds everything queued on `(i, j)`.
+//! That layout is what makes the incremental engine cheap — applying a
+//! configuration touches only the links that lost or gained packets, and
+//! [`RemainingTraffic::refresh_link`] can re-derive a single link's queue
+//! without scanning the rest of the plan.
 
 use crate::SchedError;
 use octopus_net::NodeId;
@@ -25,12 +33,19 @@ struct FlowMeta {
     hops: u32,
 }
 
+/// The directed fabric link a route's `pos`-th hop crosses.
+fn link_of(route: &Route, pos: u32) -> (u32, u32) {
+    let (i, j) = route.hop(pos);
+    (i.0, j.0)
+}
+
 /// The remaining traffic `T^r` for single-route loads.
 #[derive(Debug, Clone)]
 pub struct RemainingTraffic {
     flows: Vec<FlowMeta>,
-    /// `(flow index, position) → packets` planned to sit at `route[position]`.
-    counts: HashMap<(u32, u32), u64>,
+    /// `link → (flow index, position) → packets` planned to sit at
+    /// `route[position]`, waiting to cross `link = route.hop(position)`.
+    counts: HashMap<(u32, u32), HashMap<(u32, u32), u64>>,
     weighting: HopWeighting,
     delivered: u64,
     total: u64,
@@ -41,7 +56,7 @@ impl RemainingTraffic {
     /// Initializes `T^r = T` for a single-route load.
     pub fn new(load: &TrafficLoad, weighting: HopWeighting) -> Result<Self, SchedError> {
         let mut flows = Vec::with_capacity(load.len());
-        let mut counts = HashMap::new();
+        let mut counts: HashMap<(u32, u32), HashMap<(u32, u32), u64>> = HashMap::new();
         for (fi, f) in load.flows().iter().enumerate() {
             if f.routes.len() != 1 {
                 return Err(SchedError::MultiRouteFlow(f.id));
@@ -49,7 +64,10 @@ impl RemainingTraffic {
             let route = f.routes[0].clone();
             let hops = route.hops();
             if f.size > 0 {
-                counts.insert((fi as u32, 0), f.size);
+                counts
+                    .entry(link_of(&route, 0))
+                    .or_default()
+                    .insert((fi as u32, 0), f.size);
             }
             flows.push(FlowMeta {
                 id: f.id,
@@ -84,7 +102,7 @@ impl RemainingTraffic {
     ) -> Self {
         let mut flows: Vec<FlowMeta> = Vec::new();
         let mut index: HashMap<(FlowId, Route), u32> = HashMap::new();
-        let mut counts: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut counts: HashMap<(u32, u32), HashMap<(u32, u32), u64>> = HashMap::new();
         let mut total = 0u64;
         for (id, route, pos, count) in subflows {
             if count == 0 {
@@ -92,11 +110,16 @@ impl RemainingTraffic {
             }
             let hops = route.hops();
             assert!(pos < hops, "sub-flow position {pos} beyond route end");
+            let link = link_of(&route, pos);
             let fi = *index.entry((id, route.clone())).or_insert_with(|| {
                 flows.push(FlowMeta { id, route, hops });
                 (flows.len() - 1) as u32
             });
-            *counts.entry((fi, pos)).or_insert(0) += count;
+            *counts
+                .entry(link)
+                .or_default()
+                .entry((fi, pos))
+                .or_insert(0) += count;
             total += count;
         }
         RemainingTraffic {
@@ -134,24 +157,73 @@ impl RemainingTraffic {
         self.weighting
     }
 
+    /// Adds packets at `(fi, pos)`, filing them under their waiting link.
+    fn add(&mut self, fi: u32, pos: u32, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let link = link_of(&self.flows[fi as usize].route, pos);
+        *self
+            .counts
+            .entry(link)
+            .or_default()
+            .entry((fi, pos))
+            .or_insert(0) += count;
+    }
+
+    /// Removes packets from `(fi, pos)`, dropping empty bookkeeping rows.
+    fn sub(&mut self, fi: u32, pos: u32, count: u64) {
+        let link = link_of(&self.flows[fi as usize].route, pos);
+        let per_link = self.counts.get_mut(&link).expect("packets wait on link");
+        let c = per_link
+            .get_mut(&(fi, pos))
+            .expect("packets wait at (fi, pos)");
+        debug_assert!(*c >= count);
+        *c -= count;
+        if *c == 0 {
+            per_link.remove(&(fi, pos));
+            if per_link.is_empty() {
+                self.counts.remove(&link);
+            }
+        }
+    }
+
+    /// The queue entries currently waiting on `link`.
+    fn entries_on(&self, link: (u32, u32)) -> Option<Vec<QueueEntry>> {
+        let per_link = self.counts.get(&link)?;
+        let entries: Vec<QueueEntry> = per_link
+            .iter()
+            .map(|(&(fi, pos), &count)| {
+                let meta = &self.flows[fi as usize];
+                debug_assert!(pos < meta.hops, "delivered packets leave `counts`");
+                (
+                    self.weighting.hop_weight(meta.hops, pos),
+                    meta.id,
+                    fi,
+                    pos,
+                    count,
+                )
+            })
+            .collect();
+        (!entries.is_empty()).then_some(entries)
+    }
+
     /// Builds the per-link queue snapshot used to compute `g`, `h` and the
     /// candidate α set for the current iteration.
     pub fn link_queues(&self, n: u32) -> LinkQueues {
-        let mut per_link: HashMap<(u32, u32), Vec<QueueEntry>> = HashMap::new();
-        for (&(fi, pos), &count) in &self.counts {
-            if count == 0 {
-                continue;
-            }
-            let meta = &self.flows[fi as usize];
-            debug_assert!(pos < meta.hops, "delivered packets leave `counts`");
-            let (i, j) = meta.route.hop(pos);
-            let w = self.weighting.hop_weight(meta.hops, pos);
-            per_link
-                .entry((i.0, j.0))
-                .or_default()
-                .push((w, meta.id, fi, pos, count));
-        }
+        let per_link: HashMap<(u32, u32), Vec<QueueEntry>> = self
+            .counts
+            .keys()
+            .filter_map(|&link| self.entries_on(link).map(|e| (link, e)))
+            .collect();
         LinkQueues::from_entries(n, per_link)
+    }
+
+    /// Re-derives the queue of a single link from the current plan, or
+    /// `None` if nothing waits there any more. The incremental engine calls
+    /// this for exactly the links touched by an applied configuration.
+    pub(crate) fn refresh_link(&self, link: (u32, u32)) -> Option<LinkQueue> {
+        self.entries_on(link).map(LinkQueue::from_entries)
     }
 
     /// Applies a chosen configuration `(M, α)` to the plan: on every link of
@@ -169,39 +241,31 @@ impl RemainingTraffic {
     /// persist from the previous configuration also serve during the Δ
     /// transition and thus get `α + Δ` slots.
     pub fn apply_budgets(&mut self, links: &[(NodeId, NodeId, u64)]) -> f64 {
+        self.apply_budgets_tracked(links).0
+    }
+
+    /// [`RemainingTraffic::apply_budgets`] that also reports the movements
+    /// it made as `(flow index, from-position, count, hop weight)` tuples,
+    /// so the incremental engine can compute which links changed.
+    pub(crate) fn apply_budgets_tracked(
+        &mut self,
+        links: &[(NodeId, NodeId, u64)],
+    ) -> (f64, Vec<(u32, u32, u64, f64)>) {
         let mut gained = 0.0;
-        // Bucket all waiting sub-flows by link in one pass, then serve only
-        // the links of M. Movements are collected first so that chained links
-        // inside one matching (e.g. (d,a) and (a,b)) do not let a packet
-        // traverse two hops in one configuration — §4's bookkeeping moves
-        // each packet at most one hop per configuration.
-        let in_m: std::collections::HashSet<(NodeId, NodeId)> =
-            links.iter().map(|&(i, j, _)| (i, j)).collect();
-        let mut per_link: HashMap<(NodeId, NodeId), Vec<QueueEntry>> = HashMap::new();
-        for (&(fi, pos), &count) in &self.counts {
-            if count == 0 {
-                continue;
-            }
-            let meta = &self.flows[fi as usize];
-            let hop = meta.route.hop(pos);
-            if in_m.contains(&hop) {
-                per_link.entry(hop).or_default().push((
-                    self.weighting.hop_weight(meta.hops, pos),
-                    meta.id,
-                    fi,
-                    pos,
-                    count,
-                ));
-            }
-        }
+        // Movements are collected first so that chained links inside one
+        // matching (e.g. (d,a) and (a,b)) do not let a packet traverse two
+        // hops in one configuration — §4's bookkeeping moves each packet at
+        // most one hop per configuration. A link listed twice is served once.
+        let mut served: std::collections::HashSet<(NodeId, NodeId)> = Default::default();
         let mut moves: Vec<(u32, u32, u64, f64)> = Vec::new();
         for &(i, j, link_budget) in links {
-            let Some(mut cands) = per_link.remove(&(i, j)) else {
+            if !served.insert((i, j)) {
+                continue;
+            }
+            let Some(mut cands) = self.entries_on((i.0, j.0)) else {
                 continue;
             };
-            cands.sort_unstable_by(|a, b| {
-                b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
-            });
+            cands.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
             let mut budget = link_budget;
             for (w, _, fi, pos, count) in cands {
                 if budget == 0 {
@@ -212,26 +276,36 @@ impl RemainingTraffic {
                 moves.push((fi, pos, take, w.value()));
             }
         }
-        for (fi, pos, take, w) in moves {
-            let c = self
-                .counts
-                .get_mut(&(fi, pos))
-                .expect("candidate came from counts");
-            *c -= take;
-            if *c == 0 {
-                self.counts.remove(&(fi, pos));
-            }
+        for &(fi, pos, take, w) in &moves {
+            self.sub(fi, pos, take);
             let hops = self.flows[fi as usize].hops;
             let new_pos = pos + 1;
             if new_pos == hops {
                 self.delivered += take;
             } else {
-                *self.counts.entry((fi, new_pos)).or_insert(0) += take;
+                self.add(fi, new_pos, take);
             }
             gained += w * take as f64;
         }
         self.psi += gained;
-        gained
+        (gained, moves)
+    }
+
+    /// The links whose queues changed under the given movements: each moved
+    /// group leaves its origin link and (unless delivered) lands on the next
+    /// hop's link. Sorted, deduplicated.
+    pub(crate) fn dirty_links(&self, moves: &[(u32, u32, u64, f64)]) -> Vec<(u32, u32)> {
+        let mut dirty: Vec<(u32, u32)> = Vec::with_capacity(moves.len() * 2);
+        for &(fi, pos, _, _) in moves {
+            let meta = &self.flows[fi as usize];
+            dirty.push(link_of(&meta.route, pos));
+            if pos + 1 < meta.hops {
+                dirty.push(link_of(&meta.route, pos + 1));
+            }
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
     }
 
     /// Snapshot of the current sub-flows as `(flow id, route, position,
@@ -240,7 +314,8 @@ impl RemainingTraffic {
     pub fn subflows(&self) -> Vec<(FlowId, Route, u32, u64)> {
         let mut v: Vec<(FlowId, Route, u32, u64)> = self
             .counts
-            .iter()
+            .values()
+            .flat_map(|per_link| per_link.iter())
             .filter(|&(_, &c)| c > 0)
             .map(|(&(fi, pos), &count)| {
                 let meta = &self.flows[fi as usize];
@@ -254,27 +329,25 @@ impl RemainingTraffic {
     /// Advances the plan by *chained* movements `(flow, route, from-position,
     /// hops-advanced, count)` — a packet may cross several hops in one
     /// configuration here (§5). ψ gains the weight of every traversed hop.
-    pub(crate) fn advance_chained(&mut self, moves: &[(FlowId, Route, u32, u32, u64)]) {
+    /// Returns the links whose queues changed (origin and landing links;
+    /// intermediate hops hold no packets before or after).
+    pub(crate) fn advance_chained(
+        &mut self,
+        moves: &[(FlowId, Route, u32, u32, u64)],
+    ) -> Vec<(u32, u32)> {
         let index: HashMap<FlowId, u32> = self
             .flows
             .iter()
             .enumerate()
             .map(|(i, m)| (m.id, i as u32))
             .collect();
+        let mut dirty: Vec<(u32, u32)> = Vec::with_capacity(moves.len() * 2);
         for &(id, ref _route, pos, advanced, count) in moves {
             debug_assert!(advanced > 0);
             let fi = *index.get(&id).expect("flow exists");
-            let c = self
-                .counts
-                .get_mut(&(fi, pos))
-                .expect("moved packets existed at their origin");
-            debug_assert!(*c >= count);
-            *c -= count;
-            if *c == 0 {
-                self.counts.remove(&(fi, pos));
-            }
-            let meta = &self.flows[fi as usize];
-            let hops = meta.hops;
+            dirty.push(link_of(&self.flows[fi as usize].route, pos));
+            self.sub(fi, pos, count);
+            let hops = self.flows[fi as usize].hops;
             for x in pos..pos + advanced {
                 self.psi += self.weighting.hop_weight(hops, x).value() * count as f64;
             }
@@ -283,9 +356,13 @@ impl RemainingTraffic {
             if new_pos == hops {
                 self.delivered += count;
             } else {
-                *self.counts.entry((fi, new_pos)).or_insert(0) += count;
+                dirty.push(link_of(&self.flows[fi as usize].route, new_pos));
+                self.add(fi, new_pos, count);
             }
         }
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
     }
 }
 
@@ -300,6 +377,11 @@ impl RemainingTraffic {
 ///   boundaries ([`LinkQueues::alpha_candidates`]);
 /// * the weighted graph `G'` whose maximum matching is the best
 ///   configuration for a given α ([`LinkQueues::weighted_edges`]).
+///
+/// The snapshot can be patched link-by-link ([`LinkQueues::set_link`]): the
+/// class list of a link depends only on that link's waiting packets, so an
+/// incremental rebuild of the touched links yields exactly the snapshot a
+/// full rebuild would.
 #[derive(Debug, Clone)]
 pub struct LinkQueues {
     n: u32,
@@ -318,7 +400,7 @@ pub struct LinkQueue {
 }
 
 impl LinkQueue {
-    fn from_entries(mut entries: Vec<QueueEntry>) -> Self {
+    pub(crate) fn from_entries(mut entries: Vec<QueueEntry>) -> Self {
         entries.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
         let mut classes: Vec<(f64, u64)> = Vec::new();
         for (w, _, _, _, count) in entries {
@@ -343,6 +425,44 @@ impl LinkQueue {
         }
     }
 
+    /// Builds one link's queue from `(weight, packets)` pairs — for traffic
+    /// sources outside this crate that patch snapshots incrementally
+    /// ([`crate::TrafficSource::refresh_link`]). Returns `None` when no
+    /// packets remain, matching the snapshot builders' omission of empty
+    /// links.
+    pub fn from_weighted_counts(pairs: impl IntoIterator<Item = (f64, u64)>) -> Option<Self> {
+        let mut entries: Vec<(Weight, u64)> = pairs
+            .into_iter()
+            .filter(|&(_, c)| c > 0)
+            .map(|(w, c)| (Weight(w), c))
+            .collect();
+        if entries.is_empty() {
+            return None;
+        }
+        entries.sort_unstable_by_key(|&(w, _)| std::cmp::Reverse(w));
+        let mut classes: Vec<(f64, u64)> = Vec::new();
+        for (w, count) in entries {
+            match classes.last_mut() {
+                Some((cw, cc)) if *cw == w.value() => *cc += count,
+                _ => classes.push((w.value(), count)),
+            }
+        }
+        let mut prefix_counts = Vec::with_capacity(classes.len());
+        let mut prefix_weights = Vec::with_capacity(classes.len());
+        let (mut pc, mut pw) = (0u64, 0.0f64);
+        for &(w, c) in &classes {
+            pc += c;
+            pw += w * c as f64;
+            prefix_counts.push(pc);
+            prefix_weights.push(pw);
+        }
+        Some(LinkQueue {
+            classes,
+            prefix_counts,
+            prefix_weights,
+        })
+    }
+
     /// `g(α)`: maximum total weight of α waiting packets.
     pub fn g(&self, alpha: u64) -> f64 {
         if alpha == 0 {
@@ -350,12 +470,18 @@ impl LinkQueue {
         }
         // First class boundary with cumulative count >= alpha.
         match self.prefix_counts.partition_point(|&c| c < alpha) {
-            idx if idx >= self.classes.len() => {
-                *self.prefix_weights.last().unwrap_or(&0.0)
-            }
+            idx if idx >= self.classes.len() => *self.prefix_weights.last().unwrap_or(&0.0),
             idx => {
-                let below_count = if idx == 0 { 0 } else { self.prefix_counts[idx - 1] };
-                let below_weight = if idx == 0 { 0.0 } else { self.prefix_weights[idx - 1] };
+                let below_count = if idx == 0 {
+                    0
+                } else {
+                    self.prefix_counts[idx - 1]
+                };
+                let below_weight = if idx == 0 {
+                    0.0
+                } else {
+                    self.prefix_weights[idx - 1]
+                };
                 below_weight + (alpha - below_count) as f64 * self.classes[idx].0
             }
         }
@@ -369,6 +495,12 @@ impl LinkQueue {
     /// The per-link candidate α values (class-boundary prefix counts).
     pub fn boundary_alphas(&self) -> &[u64] {
         &self.prefix_counts
+    }
+
+    /// The aggregated `(weight, packets)` classes, weight strictly
+    /// descending. Exposed so equivalence tests can compare snapshots.
+    pub fn classes(&self) -> &[(f64, u64)] {
+        &self.classes
     }
 }
 
@@ -414,6 +546,19 @@ impl LinkQueues {
     /// The queue of one link, if non-empty.
     pub fn queue(&self, i: u32, j: u32) -> Option<&LinkQueue> {
         self.queues.get(&(i, j))
+    }
+
+    /// Replaces (or, with `None`, removes) one link's queue — the patch
+    /// operation of the incremental engine.
+    pub(crate) fn set_link(&mut self, link: (u32, u32), queue: Option<LinkQueue>) {
+        match queue {
+            Some(q) => {
+                self.queues.insert(link, q);
+            }
+            None => {
+                self.queues.remove(&link);
+            }
+        }
     }
 
     /// `g(i, j, α)` of §4.1.
@@ -497,10 +642,7 @@ mod tests {
     #[test]
     fn g_mixes_weight_classes() {
         // One link with 10 packets of weight 1 and 20 of weight 1/2.
-        let q = LinkQueues::from_weighted_counts(
-            4,
-            [((0, 1), 1.0, 10u64), ((0, 1), 0.5, 20)],
-        );
+        let q = LinkQueues::from_weighted_counts(4, [((0, 1), 1.0, 10u64), ((0, 1), 0.5, 20)]);
         assert_eq!(q.g(0, 1, 5), 5.0);
         assert_eq!(q.g(0, 1, 10), 10.0);
         assert_eq!(q.g(0, 1, 16), 13.0);
@@ -589,5 +731,21 @@ mod tests {
             RemainingTraffic::new(&load, HopWeighting::Uniform).err(),
             Some(SchedError::MultiRouteFlow(FlowId(1)))
         );
+    }
+
+    #[test]
+    fn tracked_apply_reports_moves_and_dirty_links() {
+        let mut tr = RemainingTraffic::new(&load_example1(), HopWeighting::Uniform).unwrap();
+        let (gained, moves) =
+            tr.apply_budgets_tracked(&[(NodeId(3), NodeId(0), 50), (NodeId(2), NodeId(1), 10)]);
+        assert!((gained - 30.0).abs() < 1e-12); // 50·½ + 10·½
+                                                // f2 moved off (3,0) onto (0,1); f3 moved off (2,1) onto (1,0).
+        let dirty = tr.dirty_links(&moves);
+        assert_eq!(dirty, vec![(0, 1), (1, 0), (2, 1), (3, 0)]);
+        // Refreshing the dirty links matches a from-scratch rebuild.
+        assert!(tr.refresh_link((3, 0)).is_none()); // emptied
+        assert_eq!(tr.refresh_link((0, 1)).unwrap().total_packets(), 150);
+        assert_eq!(tr.refresh_link((2, 1)).unwrap().total_packets(), 40);
+        assert_eq!(tr.refresh_link((1, 0)).unwrap().total_packets(), 10);
     }
 }

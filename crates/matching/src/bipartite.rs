@@ -94,8 +94,19 @@ pub fn maximum_weight_matching(g: &WeightedBipartiteGraph) -> Vec<(u32, u32)> {
         stamp_l[s as usize] = phase;
         touched_l.push(s);
         relax_left(
-            g, s, 0.0, &pot_l, &pot_r, &mut dist_r, &mut pred_r, &mut stamp_r, &mut done_r,
-            phase, &mut heap, &mut touched_r, nr,
+            g,
+            s,
+            0.0,
+            &pot_l,
+            &pot_r,
+            &mut dist_r,
+            &mut pred_r,
+            &mut stamp_r,
+            &mut done_r,
+            phase,
+            &mut heap,
+            &mut touched_r,
+            nr,
         );
 
         // Dijkstra until a free (extended) right vertex is finalized.
@@ -119,8 +130,19 @@ pub fn maximum_weight_matching(g: &WeightedBipartiteGraph) -> Vec<(u32, u32)> {
                         dist_l[ui] = d;
                         touched_l.push(u);
                         relax_left(
-                            g, u, d, &pot_l, &pot_r, &mut dist_r, &mut pred_r, &mut stamp_r,
-                            &mut done_r, phase, &mut heap, &mut touched_r, nr,
+                            g,
+                            u,
+                            d,
+                            &pot_l,
+                            &pot_r,
+                            &mut dist_r,
+                            &mut pred_r,
+                            &mut stamp_r,
+                            &mut done_r,
+                            phase,
+                            &mut heap,
+                            &mut touched_r,
+                            nr,
                         );
                     }
                 }
@@ -251,8 +273,7 @@ mod tests {
 
     #[test]
     fn prefers_two_small_over_one_big() {
-        let g =
-            WeightedBipartiteGraph::from_tuples(2, 2, [(0, 0, 5.0), (0, 1, 6.0), (1, 1, 4.0)]);
+        let g = WeightedBipartiteGraph::from_tuples(2, 2, [(0, 0, 5.0), (0, 1, 6.0), (1, 1, 4.0)]);
         let m = maximum_weight_matching(&g);
         assert_eq!(m, vec![(0, 0), (1, 1)]);
         assert_eq!(weight_of(&g, &m), 9.0);
@@ -260,8 +281,7 @@ mod tests {
 
     #[test]
     fn prefers_one_big_over_two_small() {
-        let g =
-            WeightedBipartiteGraph::from_tuples(2, 2, [(0, 0, 1.0), (0, 1, 10.0), (1, 1, 2.0)]);
+        let g = WeightedBipartiteGraph::from_tuples(2, 2, [(0, 0, 1.0), (0, 1, 10.0), (1, 1, 2.0)]);
         let m = maximum_weight_matching(&g);
         assert_eq!(m, vec![(0, 1)]);
     }
@@ -290,7 +310,13 @@ mod tests {
         let g = WeightedBipartiteGraph::from_tuples(
             4,
             2,
-            [(0, 0, 3.0), (1, 0, 4.0), (2, 1, 1.0), (3, 1, 2.0), (0, 1, 5.0)],
+            [
+                (0, 0, 3.0),
+                (1, 0, 4.0),
+                (2, 1, 1.0),
+                (3, 1, 2.0),
+                (0, 1, 5.0),
+            ],
         );
         let m = maximum_weight_matching(&g);
         assert_is_matching(&m);

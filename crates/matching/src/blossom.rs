@@ -162,7 +162,10 @@ impl Blossom {
     }
 
     fn get_pr(&mut self, b: usize, xr: usize) -> usize {
-        let pr = self.flower[b].iter().position(|&y| y == xr).expect("in flower");
+        let pr = self.flower[b]
+            .iter()
+            .position(|&y| y == xr)
+            .expect("in flower");
         if pr % 2 == 1 {
             self.flower[b][1..].reverse();
             self.flower[b].len() - pr
@@ -260,8 +263,7 @@ impl Blossom {
         let children = self.flower[b].clone();
         for &xs in &children {
             for x in 1..=self.n_x {
-                if self.g[b][x].w == 0
-                    || self.e_delta(&self.g[xs][x]) < self.e_delta(&self.g[b][x])
+                if self.g[b][x].w == 0 || self.e_delta(&self.g[xs][x]) < self.e_delta(&self.g[b][x])
                 {
                     self.g[b][x] = self.g[xs][x];
                     self.g[x][b] = self.g[x][xs];
@@ -550,21 +552,13 @@ mod tests {
             let n = 2 + (next() % 8) as u32;
             let ne = (next() % 14) as usize;
             let edges: Vec<(u32, u32, i64)> = (0..ne)
-                .map(|_| {
-                    (
-                        next() as u32 % n,
-                        next() as u32 % n,
-                        (next() % 100) as i64,
-                    )
-                })
+                .map(|_| (next() as u32 % n, next() as u32 % n, (next() % 100) as i64))
                 .collect();
             let m = maximum_weight_matching_general(n, &edges);
             assert_valid(n, &m);
             let got = weight_of(&edges, &m) as f64;
-            let brute_edges: Vec<(u32, u32, f64)> = edges
-                .iter()
-                .map(|&(a, b, w)| (a, b, w as f64))
-                .collect();
+            let brute_edges: Vec<(u32, u32, f64)> =
+                edges.iter().map(|&(a, b, w)| (a, b, w as f64)).collect();
             let want = general_matching_brute(n, &brute_edges);
             assert!(
                 (got - want).abs() < 1e-9,

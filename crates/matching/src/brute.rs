@@ -80,8 +80,7 @@ mod tests {
 
     #[test]
     fn brute_weight_simple() {
-        let g =
-            WeightedBipartiteGraph::from_tuples(2, 2, [(0, 0, 5.0), (0, 1, 6.0), (1, 1, 4.0)]);
+        let g = WeightedBipartiteGraph::from_tuples(2, 2, [(0, 0, 5.0), (0, 1, 6.0), (1, 1, 4.0)]);
         assert_eq!(max_weight_matching_brute(&g), 9.0);
     }
 
@@ -104,11 +103,7 @@ mod tests {
     #[test]
     fn brute_cardinality_bottleneck() {
         // All lefts compete for right 0.
-        let g = WeightedBipartiteGraph::from_tuples(
-            3,
-            2,
-            [(0, 0, 1.0), (1, 0, 1.0), (2, 0, 1.0)],
-        );
+        let g = WeightedBipartiteGraph::from_tuples(3, 2, [(0, 0, 1.0), (1, 0, 1.0), (2, 0, 1.0)]);
         assert_eq!(max_cardinality_matching_brute(&g), 1);
     }
 }

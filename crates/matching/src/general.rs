@@ -22,10 +22,7 @@ pub fn greedy_general_matching(n: u32, edges: &[GeneralEdge]) -> Vec<(u32, u32)>
         .filter(|&&(a, b, w)| a != b && w > 0.0 && a < n && b < n)
         .map(|&(a, b, w)| if a < b { (a, b, w) } else { (b, a, w) })
         .collect();
-    list.sort_unstable_by(|x, y| {
-        y.2.total_cmp(&x.2)
-            .then((x.0, x.1).cmp(&(y.0, y.1)))
-    });
+    list.sort_unstable_by(|x, y| y.2.total_cmp(&x.2).then((x.0, x.1).cmp(&(y.0, y.1))));
     let mut used = vec![false; n as usize];
     let mut out = Vec::new();
     for (a, b, _) in list {

@@ -74,7 +74,9 @@ impl WeightedBipartiteGraph {
         Self::new(
             n_left,
             n_right,
-            tuples.into_iter().map(|(u, v, weight)| Edge { u, v, weight }),
+            tuples
+                .into_iter()
+                .map(|(u, v, weight)| Edge { u, v, weight }),
         )
     }
 
@@ -104,7 +106,9 @@ impl WeightedBipartiteGraph {
 
     /// Edges incident to left vertex `u`.
     pub fn edges_of(&self, u: u32) -> impl Iterator<Item = &Edge> + '_ {
-        self.adj[u as usize].iter().map(|&i| &self.edges[i as usize])
+        self.adj[u as usize]
+            .iter()
+            .map(|&i| &self.edges[i as usize])
     }
 
     /// Weight of edge `(u, v)`, or `0.0` if absent.

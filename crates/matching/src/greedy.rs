@@ -86,8 +86,7 @@ mod tests {
 
     #[test]
     fn greedy_takes_heaviest_first() {
-        let g =
-            WeightedBipartiteGraph::from_tuples(2, 2, [(0, 0, 1.0), (0, 1, 10.0), (1, 1, 2.0)]);
+        let g = WeightedBipartiteGraph::from_tuples(2, 2, [(0, 0, 1.0), (0, 1, 10.0), (1, 1, 2.0)]);
         // Greedy takes (0,1)=10, blocking (1,1); leaves (1,?) nothing... but
         // (1,1) shares right 1 — wait, (1,1) is left 1/right 1, blocked.
         assert_eq!(greedy_matching(&g), vec![(0, 1)]);
@@ -162,11 +161,7 @@ mod tests {
 
     #[test]
     fn greedy_equals_exact_when_weights_unique_and_disjoint() {
-        let g = WeightedBipartiteGraph::from_tuples(
-            3,
-            3,
-            [(0, 0, 9.0), (1, 1, 5.0), (2, 2, 3.0)],
-        );
+        let g = WeightedBipartiteGraph::from_tuples(3, 3, [(0, 0, 9.0), (1, 1, 5.0), (2, 2, 3.0)]);
         assert_eq!(greedy_matching(&g), maximum_weight_matching(&g));
     }
 }

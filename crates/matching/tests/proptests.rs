@@ -3,8 +3,7 @@
 
 use octopus_matching::{
     blossom::maximum_weight_matching_general,
-    brute,
-    bvn,
+    brute, bvn,
     general::{general_matching_brute, greedy_general_matching},
     greedy::{bucket_greedy_matching, greedy_matching},
     hopcroft_karp::hopcroft_karp,
@@ -14,14 +13,13 @@ use proptest::prelude::*;
 
 /// Strategy: a small random weighted bipartite graph.
 fn bipartite() -> impl Strategy<Value = (u32, u32, Vec<(u32, u32, f64)>)> {
-    (1u32..7, 1u32..7)
-        .prop_flat_map(|(nl, nr)| {
-            let edges = prop::collection::vec(
-                (0..nl, 0..nr, 1u32..1000u32).prop_map(|(u, v, w)| (u, v, w as f64)),
-                0..16,
-            );
-            (Just(nl), Just(nr), edges)
-        })
+    (1u32..7, 1u32..7).prop_flat_map(|(nl, nr)| {
+        let edges = prop::collection::vec(
+            (0..nl, 0..nr, 1u32..1000u32).prop_map(|(u, v, w)| (u, v, w as f64)),
+            0..16,
+        );
+        (Just(nl), Just(nr), edges)
+    })
 }
 
 fn is_matching(m: &[(u32, u32)]) -> bool {

@@ -47,10 +47,7 @@ pub fn random_regular<R: Rng + ?Sized>(n: u32, d: u32, rng: &mut R) -> Result<Ne
         return Err(NetError::EmptyNetwork);
     }
     if d >= n {
-        return Err(NetError::NodeOutOfRange {
-            node: NodeId(d),
-            n,
-        });
+        return Err(NetError::NodeOutOfRange { node: NodeId(d), n });
     }
     // Greedily accumulate derangements whose edges are all new.
     let mut used = std::collections::HashSet::new();

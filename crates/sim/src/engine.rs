@@ -328,8 +328,7 @@ impl<'a> Engine<'a> {
                             .filter(|l| prev_links.contains(l))
                             .count() as u64;
                         self.link_slots += self.cfg.delta * persist_count;
-                        let defer =
-                            matches!(self.cfg.forwarding, ForwardingMode::NextConfigOnly);
+                        let defer = matches!(self.cfg.forwarding, ForwardingMode::NextConfigOnly);
                         for s in 0..self.cfg.delta {
                             let t = self.now + s;
                             if !defer {
@@ -363,8 +362,7 @@ impl<'a> Engine<'a> {
                 .collect();
             self.link_slots += alpha * config.matching.len() as u64;
 
-            let defer_to_config_end =
-                matches!(self.cfg.forwarding, ForwardingMode::NextConfigOnly);
+            let defer_to_config_end = matches!(self.cfg.forwarding, ForwardingMode::NextConfigOnly);
 
             if !defer_to_config_end && self.can_batch(&links, start) {
                 self.admit_arrivals_until(start);
@@ -403,8 +401,7 @@ impl<'a> Engine<'a> {
                 return false;
             }
         }
-        let sources: std::collections::HashSet<NodeId> =
-            links.iter().map(|&(i, _)| i).collect();
+        let sources: std::collections::HashSet<NodeId> = links.iter().map(|&(i, _)| i).collect();
         !links.iter().any(|&(_, j)| sources.contains(&j))
     }
 
@@ -435,8 +432,8 @@ impl<'a> Engine<'a> {
                 let new_pos = pos + 1;
                 if new_pos == self.hops[fi as usize] {
                     self.pos_counts[fi as usize][new_pos as usize] += take; // delivered
-                    // The batch's packets leave one per slot; the last one
-                    // departs after (alpha - budget - 1) earlier services.
+                                                                            // The batch's packets leave one per slot; the last one
+                                                                            // departs after (alpha - budget - 1) earlier services.
                     let last_slot = start + (alpha - budget) - 1;
                     let ld = &mut self.last_delivery[fi as usize];
                     *ld = (*ld).max(last_slot);
@@ -558,9 +555,7 @@ impl<'a> Engine<'a> {
         }
         let completion_slot: HashMap<FlowId, u64> = per_flow_size
             .iter()
-            .filter(|&(id, &size)| {
-                size > 0 && per_flow.get(id).copied().unwrap_or(0) == size
-            })
+            .filter(|&(id, &size)| size > 0 && per_flow.get(id).copied().unwrap_or(0) == size)
             .map(|(&id, _)| (id, per_flow_last[&id] + 1))
             .collect();
         SimReport {
@@ -589,10 +584,7 @@ mod tests {
             parts
                 .iter()
                 .map(|&(alpha, links)| {
-                    Configuration::new(
-                        Matching::new_free(links.iter().copied()).unwrap(),
-                        alpha,
-                    )
+                    Configuration::new(Matching::new_free(links.iter().copied()).unwrap(), alpha)
                 })
                 .collect::<Vec<_>>(),
         )
@@ -639,7 +631,11 @@ mod tests {
         // The (a,c)-flow wins the second configuration on flow-ID priority,
         // so its 100 packets strand at b; f2 and f3 fully deliver.
         assert_eq!(r.delivered, 100, "paper: total delivered is 100");
-        assert!((r.psi - 150.0).abs() < 1e-9, "paper: psi is 150, got {}", r.psi);
+        assert!(
+            (r.psi - 150.0).abs() < 1e-9,
+            "paper: psi is 150, got {}",
+            r.psi
+        );
         assert_eq!(r.stranded, 100);
         assert!(r.conserves_packets());
         assert_eq!(r.delivered_per_flow[&FlowId(2)], 50);
@@ -741,7 +737,9 @@ mod tests {
         // slot 3, so an alpha of 3 cannot finish it but 4 can.
         let mk_cfg = |lat| SimConfig {
             delta: 0,
-            forwarding: ForwardingMode::WithinConfig { switch_latency: lat },
+            forwarding: ForwardingMode::WithinConfig {
+                switch_latency: lat,
+            },
             ..SimConfig::default()
         };
         let schedule = sched(&[(3, &[(0, 1), (1, 2)])]);
@@ -936,7 +934,7 @@ mod fault_tests {
         let bad = sched(&[(5, &[(0, 1)]), (5, &[(1, 2)])]);
         assert_eq!(sim.run(&bad).unwrap().delivered, 0);
         // ...but the route itself is the problem; a healthy route works.
-        let flows2 = vec![flow(1, 5, &[0, 3]), ];
+        let flows2 = vec![flow(1, 5, &[0, 3])];
         let sim2 = Simulator::new(None, flows2, cfg0())
             .unwrap()
             .with_failed_links([(0u32, 1u32)]);

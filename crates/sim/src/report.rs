@@ -79,7 +79,10 @@ impl SimReport {
             return None;
         }
         Some(
-            self.completion_slot.values().map(|&s| s as f64).sum::<f64>()
+            self.completion_slot
+                .values()
+                .map(|&s| s as f64)
+                .sum::<f64>()
                 / self.completion_slot.len() as f64,
         )
     }

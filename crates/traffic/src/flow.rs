@@ -9,9 +9,7 @@ use std::sync::Arc;
 /// packet-prioritization rule (first by weight, then by flow ID), which makes
 /// the routing of packets through a given configuration sequence fully
 /// deterministic.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct FlowId(pub u64);
 
@@ -355,12 +353,12 @@ impl DemandMatrix {
             .collect();
         DemandMatrix::new(
             m,
-            self.entries.iter().filter_map(|&(r, c, d)| {
-                match (index.get(&r), index.get(&c)) {
+            self.entries
+                .iter()
+                .filter_map(|&(r, c, d)| match (index.get(&r), index.get(&c)) {
                     (Some(&nr), Some(&nc)) => Some((nr, nc, d)),
                     _ => None,
-                }
-            }),
+                }),
         )
     }
 
@@ -552,7 +550,13 @@ mod tests {
     #[test]
     fn demand_matrix_sums() {
         let m = DemandMatrix::new(3, [(0, 1, 5), (0, 1, 3), (2, 0, 1), (1, 2, 0)]);
-        assert_eq!(m.entries, vec![(0, 1, 8), (1, 2, 0), (2, 0, 1)].into_iter().filter(|&(_,_,d)| d>0).collect::<Vec<_>>());
+        assert_eq!(
+            m.entries,
+            vec![(0, 1, 8), (1, 2, 0), (2, 0, 1)]
+                .into_iter()
+                .filter(|&(_, _, d)| d > 0)
+                .collect::<Vec<_>>()
+        );
         assert_eq!(m.total(), 9);
         assert_eq!(m.row_sums(), vec![8, 0, 1]);
         assert_eq!(m.col_sums(), vec![1, 8, 0]);

@@ -93,11 +93,7 @@ impl SyntheticConfig {
 /// Flows are numbered in generation order: all large-permutation flows first
 /// (so large flows get the lower IDs and thus higher priority on ties, as in
 /// the paper's Example 1 convention of prioritizing by flow ID).
-pub fn generate<R: Rng + ?Sized>(
-    cfg: &SyntheticConfig,
-    net: &Network,
-    rng: &mut R,
-) -> TrafficLoad {
+pub fn generate<R: Rng + ?Sized>(cfg: &SyntheticConfig, net: &Network, rng: &mut R) -> TrafficLoad {
     generate_with_routes(cfg, net, rng, 1)
 }
 
@@ -152,9 +148,7 @@ pub fn generate_with_routes<R: Rng + ?Sized>(
                 }
             }
             if !routes.is_empty() {
-                flows.push(
-                    Flow::new(FlowId(next_id), size, routes).expect("endpoints consistent"),
-                );
+                flows.push(Flow::new(FlowId(next_id), size, routes).expect("endpoints consistent"));
                 next_id += 1;
             }
         }
@@ -188,9 +182,8 @@ pub fn load_from_matrix<R: Rng + ?Sized>(
             continue;
         }
         let hops = len_cycle.next().expect("cycle");
-        let route = random_route(net, NodeId(r), NodeId(c), hops, rng).or_else(|| {
-            (1..=3).find_map(|h| random_route(net, NodeId(r), NodeId(c), h, rng))
-        });
+        let route = random_route(net, NodeId(r), NodeId(c), hops, rng)
+            .or_else(|| (1..=3).find_map(|h| random_route(net, NodeId(r), NodeId(c), h, rng)));
         if let Some(route) = route {
             flows.push(Flow::single(FlowId(next_id), d, route));
             next_id += 1;
@@ -300,8 +293,8 @@ mod tests {
         let per_port = cfg.n_large + cfg.n_small;
         assert_eq!(load.len(), (20 * per_port) as usize);
         let m = load.demand_matrix(20);
-        let total_per_port = cfg.n_large as u64 * cfg.large_flow_size()
-            + cfg.n_small as u64 * cfg.small_flow_size();
+        let total_per_port =
+            cfg.n_large as u64 * cfg.large_flow_size() + cfg.n_small as u64 * cfg.small_flow_size();
         for (i, (&r, &c)) in m.row_sums().iter().zip(m.col_sums().iter()).enumerate() {
             assert_eq!(r, total_per_port, "row {i}");
             assert_eq!(c, total_per_port, "col {i}");

@@ -211,7 +211,11 @@ mod tests {
     #[test]
     fn traces_are_dominated_by_few_large_flows() {
         let mut rng = StdRng::seed_from_u64(2);
-        for kind in [TraceKind::FbWeb, TraceKind::FbDatabase, TraceKind::Microsoft] {
+        for kind in [
+            TraceKind::FbWeb,
+            TraceKind::FbDatabase,
+            TraceKind::Microsoft,
+        ] {
             let m = kind.generate(120, &mut rng);
             assert!(
                 gini(&m) > 0.1,

@@ -66,9 +66,7 @@ impl HopWeighting {
         assert!(x < k, "hop index {x} out of range for a {k}-hop route");
         match self {
             HopWeighting::Uniform => Weight(1.0 / k as f64),
-            HopWeighting::EpsilonLater { eps } => {
-                Weight((1.0 + x as f64 * eps) / k as f64)
-            }
+            HopWeighting::EpsilonLater { eps } => Weight((1.0 + x as f64 * eps) / k as f64),
         }
     }
 

@@ -103,11 +103,8 @@ fn main() {
     );
 
     // §7: bidirectional FSO links -> duplex fabric over the same terminals.
-    let dnet = DuplexNetwork::from_edges(
-        n,
-        net.edges().iter().map(|&(a, b)| (a.0, b.0)),
-    )
-    .expect("valid duplex fabric");
+    let dnet = DuplexNetwork::from_edges(n, net.edges().iter().map(|&(a, b)| (a.0, b.0)))
+        .expect("valid duplex fabric");
     let ddir = dnet.to_directed();
     // Re-check route feasibility in the duplex projection (it is a superset
     // of the directed fabric, so the same load validates).

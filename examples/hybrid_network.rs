@@ -58,8 +58,15 @@ fn main() {
         circuit_only.schedule.len()
     );
 
-    let hybrid = octopus_hybrid(&net, &load, &cfg, PacketNetModel { bandwidth_ratio: 10 })
-        .expect("valid instance");
+    let hybrid = octopus_hybrid(
+        &net,
+        &load,
+        &cfg,
+        PacketNetModel {
+            bandwidth_ratio: 10,
+        },
+    )
+    .expect("valid instance");
     println!(
         "hybrid:        planned {:>6} packets ({} offloaded to the packet net, {} circuit configurations)",
         hybrid.planned_delivered_total(),

@@ -24,10 +24,7 @@ fn main() {
     let delta = 20; // reconfiguration delay, in slots
     let mut rng = StdRng::seed_from_u64(2020);
     let load = synthetic::generate(&SyntheticConfig::paper_default(n, window), &net, &mut rng);
-    println!(
-        "fabric: {n} nodes ({} potential links)",
-        net.num_edges()
-    );
+    println!("fabric: {n} nodes ({} potential links)", net.num_edges());
     println!(
         "load:   {} flows, {} packets, max route {} hops",
         load.len(),

@@ -19,8 +19,11 @@
 //! produce identical schedules.
 
 use octopus_mhs::core::{
-    local::octopus_local, makespan::minimize_makespan, octopus,
-    octopus_plus::{octopus_plus, PlusConfig}, OctopusConfig,
+    local::octopus_local,
+    makespan::minimize_makespan,
+    octopus,
+    octopus_plus::{octopus_plus, PlusConfig},
+    OctopusConfig,
 };
 use octopus_mhs::net::{topology, Network, Schedule};
 use octopus_mhs::sim::{resolve, ForwardingMode, ReconfigModel, SimConfig, Simulator};
@@ -118,8 +121,14 @@ fn cmd_demo(opts: &HashMap<String, String>) -> Fallible {
     let net = topology::complete(n);
     let mut rng = StdRng::seed_from_u64(seed);
     let load = synthetic::generate(&SyntheticConfig::paper_default(n, window), &net, &mut rng);
-    std::fs::write(format!("{dir}/fabric.json"), serde_json::to_string_pretty(&net)?)?;
-    std::fs::write(format!("{dir}/traffic.json"), serde_json::to_string_pretty(&load)?)?;
+    std::fs::write(
+        format!("{dir}/fabric.json"),
+        serde_json::to_string_pretty(&net)?,
+    )?;
+    std::fs::write(
+        format!("{dir}/traffic.json"),
+        serde_json::to_string_pretty(&load)?,
+    )?;
     println!(
         "wrote {dir}/fabric.json ({n} nodes) and {dir}/traffic.json ({} flows, {} packets)",
         load.len(),
@@ -157,7 +166,14 @@ fn cmd_schedule(opts: &HashMap<String, String>) -> Fallible {
             (out.schedule, out.planned_delivered, out.planned_psi)
         }
         "plus" => {
-            let out = octopus_plus(&net, &load, &PlusConfig { base: cfg, backtracking: true })?;
+            let out = octopus_plus(
+                &net,
+                &load,
+                &PlusConfig {
+                    base: cfg,
+                    backtracking: true,
+                },
+            )?;
             (out.schedule, out.planned_delivered, out.planned_psi)
         }
         "local" => {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/approximation-4224b8fb38a60597.d: tests/approximation.rs
+
+/root/repo/target/debug/deps/approximation-4224b8fb38a60597: tests/approximation.rs
+
+tests/approximation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-e350a65170759962.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-e350a65170759962: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_octopus=/root/repo/target/debug/octopus

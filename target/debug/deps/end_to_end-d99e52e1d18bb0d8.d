@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d99e52e1d18bb0d8.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d99e52e1d18bb0d8: tests/end_to_end.rs
+
+tests/end_to_end.rs:

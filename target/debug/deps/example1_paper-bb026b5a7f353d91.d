@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/example1_paper-bb026b5a7f353d91.d: tests/example1_paper.rs
+
+/root/repo/target/debug/deps/example1_paper-bb026b5a7f353d91: tests/example1_paper.rs
+
+tests/example1_paper.rs:

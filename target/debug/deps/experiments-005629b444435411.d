@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-005629b444435411.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-005629b444435411: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

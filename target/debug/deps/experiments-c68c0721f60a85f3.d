@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-c68c0721f60a85f3.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-c68c0721f60a85f3: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

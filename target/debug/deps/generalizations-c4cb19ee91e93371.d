@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generalizations-c4cb19ee91e93371.d: tests/generalizations.rs
+
+/root/repo/target/debug/deps/generalizations-c4cb19ee91e93371: tests/generalizations.rs
+
+tests/generalizations.rs:

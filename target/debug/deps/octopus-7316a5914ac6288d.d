@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/octopus-7316a5914ac6288d.d: src/bin/octopus.rs
+
+/root/repo/target/debug/deps/octopus-7316a5914ac6288d: src/bin/octopus.rs
+
+src/bin/octopus.rs:

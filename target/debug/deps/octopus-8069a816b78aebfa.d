@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/octopus-8069a816b78aebfa.d: src/bin/octopus.rs
+
+/root/repo/target/debug/deps/octopus-8069a816b78aebfa: src/bin/octopus.rs
+
+src/bin/octopus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/octopus-a1139de358d595da.d: src/bin/octopus.rs
+
+/root/repo/target/debug/deps/octopus-a1139de358d595da: src/bin/octopus.rs
+
+src/bin/octopus.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/octopus-ffac3d7d3de0654f.d: src/bin/octopus.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboctopus-ffac3d7d3de0654f.rmeta: src/bin/octopus.rs Cargo.toml
+
+src/bin/octopus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/octopus_baselines-5511ad740a13754b.d: crates/baselines/src/lib.rs crates/baselines/src/eclipse.rs crates/baselines/src/eclipse_pp.rs crates/baselines/src/one_hop.rs crates/baselines/src/rotornet.rs crates/baselines/src/solstice.rs crates/baselines/src/ub.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboctopus_baselines-5511ad740a13754b.rmeta: crates/baselines/src/lib.rs crates/baselines/src/eclipse.rs crates/baselines/src/eclipse_pp.rs crates/baselines/src/one_hop.rs crates/baselines/src/rotornet.rs crates/baselines/src/solstice.rs crates/baselines/src/ub.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/eclipse.rs:
+crates/baselines/src/eclipse_pp.rs:
+crates/baselines/src/one_hop.rs:
+crates/baselines/src/rotornet.rs:
+crates/baselines/src/solstice.rs:
+crates/baselines/src/ub.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/octopus_baselines-710a049f5cba3d02.d: crates/baselines/src/lib.rs crates/baselines/src/eclipse.rs crates/baselines/src/eclipse_pp.rs crates/baselines/src/one_hop.rs crates/baselines/src/rotornet.rs crates/baselines/src/solstice.rs crates/baselines/src/ub.rs
+
+/root/repo/target/debug/deps/liboctopus_baselines-710a049f5cba3d02.rlib: crates/baselines/src/lib.rs crates/baselines/src/eclipse.rs crates/baselines/src/eclipse_pp.rs crates/baselines/src/one_hop.rs crates/baselines/src/rotornet.rs crates/baselines/src/solstice.rs crates/baselines/src/ub.rs
+
+/root/repo/target/debug/deps/liboctopus_baselines-710a049f5cba3d02.rmeta: crates/baselines/src/lib.rs crates/baselines/src/eclipse.rs crates/baselines/src/eclipse_pp.rs crates/baselines/src/one_hop.rs crates/baselines/src/rotornet.rs crates/baselines/src/solstice.rs crates/baselines/src/ub.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/eclipse.rs:
+crates/baselines/src/eclipse_pp.rs:
+crates/baselines/src/one_hop.rs:
+crates/baselines/src/rotornet.rs:
+crates/baselines/src/solstice.rs:
+crates/baselines/src/ub.rs:

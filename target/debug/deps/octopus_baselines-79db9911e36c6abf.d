@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/octopus_baselines-79db9911e36c6abf.d: crates/baselines/src/lib.rs crates/baselines/src/eclipse.rs crates/baselines/src/eclipse_pp.rs crates/baselines/src/one_hop.rs crates/baselines/src/rotornet.rs crates/baselines/src/solstice.rs crates/baselines/src/ub.rs
+
+/root/repo/target/debug/deps/liboctopus_baselines-79db9911e36c6abf.rlib: crates/baselines/src/lib.rs crates/baselines/src/eclipse.rs crates/baselines/src/eclipse_pp.rs crates/baselines/src/one_hop.rs crates/baselines/src/rotornet.rs crates/baselines/src/solstice.rs crates/baselines/src/ub.rs
+
+/root/repo/target/debug/deps/liboctopus_baselines-79db9911e36c6abf.rmeta: crates/baselines/src/lib.rs crates/baselines/src/eclipse.rs crates/baselines/src/eclipse_pp.rs crates/baselines/src/one_hop.rs crates/baselines/src/rotornet.rs crates/baselines/src/solstice.rs crates/baselines/src/ub.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/eclipse.rs:
+crates/baselines/src/eclipse_pp.rs:
+crates/baselines/src/one_hop.rs:
+crates/baselines/src/rotornet.rs:
+crates/baselines/src/solstice.rs:
+crates/baselines/src/ub.rs:

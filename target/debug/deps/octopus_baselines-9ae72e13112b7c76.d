@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/octopus_baselines-9ae72e13112b7c76.d: crates/baselines/src/lib.rs crates/baselines/src/eclipse.rs crates/baselines/src/eclipse_pp.rs crates/baselines/src/one_hop.rs crates/baselines/src/rotornet.rs crates/baselines/src/solstice.rs crates/baselines/src/ub.rs
+
+/root/repo/target/debug/deps/octopus_baselines-9ae72e13112b7c76: crates/baselines/src/lib.rs crates/baselines/src/eclipse.rs crates/baselines/src/eclipse_pp.rs crates/baselines/src/one_hop.rs crates/baselines/src/rotornet.rs crates/baselines/src/solstice.rs crates/baselines/src/ub.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/eclipse.rs:
+crates/baselines/src/eclipse_pp.rs:
+crates/baselines/src/one_hop.rs:
+crates/baselines/src/rotornet.rs:
+crates/baselines/src/solstice.rs:
+crates/baselines/src/ub.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/octopus_bench-0173398877c935d2.d: crates/bench/src/lib.rs crates/bench/src/runners.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboctopus_bench-0173398877c935d2.rmeta: crates/bench/src/lib.rs crates/bench/src/runners.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/runners.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/octopus_bench-0ee9c1640d3ca420.d: crates/bench/src/lib.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/liboctopus_bench-0ee9c1640d3ca420.rlib: crates/bench/src/lib.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/liboctopus_bench-0ee9c1640d3ca420.rmeta: crates/bench/src/lib.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runners.rs:
+crates/bench/src/table.rs:

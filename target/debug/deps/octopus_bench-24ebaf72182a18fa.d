@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/octopus_bench-24ebaf72182a18fa.d: crates/bench/src/lib.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/liboctopus_bench-24ebaf72182a18fa.rlib: crates/bench/src/lib.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/liboctopus_bench-24ebaf72182a18fa.rmeta: crates/bench/src/lib.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runners.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/octopus_bench-3e6df4e90f5e61d6.d: crates/bench/src/lib.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/octopus_bench-3e6df4e90f5e61d6: crates/bench/src/lib.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runners.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/octopus_core-84035c8e26ed4f8a.d: crates/core/src/lib.rs crates/core/src/best_config.rs crates/core/src/error.rs crates/core/src/octopus.rs crates/core/src/state.rs crates/core/src/duplex.rs crates/core/src/engine.rs crates/core/src/hybrid.rs crates/core/src/kport.rs crates/core/src/local.rs crates/core/src/makespan.rs crates/core/src/multihop_config.rs crates/core/src/octopus_plus.rs crates/core/src/online.rs
+
+/root/repo/target/debug/deps/liboctopus_core-84035c8e26ed4f8a.rlib: crates/core/src/lib.rs crates/core/src/best_config.rs crates/core/src/error.rs crates/core/src/octopus.rs crates/core/src/state.rs crates/core/src/duplex.rs crates/core/src/engine.rs crates/core/src/hybrid.rs crates/core/src/kport.rs crates/core/src/local.rs crates/core/src/makespan.rs crates/core/src/multihop_config.rs crates/core/src/octopus_plus.rs crates/core/src/online.rs
+
+/root/repo/target/debug/deps/liboctopus_core-84035c8e26ed4f8a.rmeta: crates/core/src/lib.rs crates/core/src/best_config.rs crates/core/src/error.rs crates/core/src/octopus.rs crates/core/src/state.rs crates/core/src/duplex.rs crates/core/src/engine.rs crates/core/src/hybrid.rs crates/core/src/kport.rs crates/core/src/local.rs crates/core/src/makespan.rs crates/core/src/multihop_config.rs crates/core/src/octopus_plus.rs crates/core/src/online.rs
+
+crates/core/src/lib.rs:
+crates/core/src/best_config.rs:
+crates/core/src/error.rs:
+crates/core/src/octopus.rs:
+crates/core/src/state.rs:
+crates/core/src/duplex.rs:
+crates/core/src/engine.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/kport.rs:
+crates/core/src/local.rs:
+crates/core/src/makespan.rs:
+crates/core/src/multihop_config.rs:
+crates/core/src/octopus_plus.rs:
+crates/core/src/online.rs:

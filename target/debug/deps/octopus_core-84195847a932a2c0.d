@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/octopus_core-84195847a932a2c0.d: crates/core/src/lib.rs crates/core/src/best_config.rs crates/core/src/error.rs crates/core/src/octopus.rs crates/core/src/state.rs crates/core/src/duplex.rs crates/core/src/engine.rs crates/core/src/hybrid.rs crates/core/src/kport.rs crates/core/src/local.rs crates/core/src/makespan.rs crates/core/src/multihop_config.rs crates/core/src/octopus_plus.rs crates/core/src/online.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboctopus_core-84195847a932a2c0.rmeta: crates/core/src/lib.rs crates/core/src/best_config.rs crates/core/src/error.rs crates/core/src/octopus.rs crates/core/src/state.rs crates/core/src/duplex.rs crates/core/src/engine.rs crates/core/src/hybrid.rs crates/core/src/kport.rs crates/core/src/local.rs crates/core/src/makespan.rs crates/core/src/multihop_config.rs crates/core/src/octopus_plus.rs crates/core/src/online.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/best_config.rs:
+crates/core/src/error.rs:
+crates/core/src/octopus.rs:
+crates/core/src/state.rs:
+crates/core/src/duplex.rs:
+crates/core/src/engine.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/kport.rs:
+crates/core/src/local.rs:
+crates/core/src/makespan.rs:
+crates/core/src/multihop_config.rs:
+crates/core/src/octopus_plus.rs:
+crates/core/src/online.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

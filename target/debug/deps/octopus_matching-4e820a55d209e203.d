@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/octopus_matching-4e820a55d209e203.d: crates/matching/src/lib.rs crates/matching/src/blossom.rs crates/matching/src/brute.rs crates/matching/src/bvn.rs crates/matching/src/general.rs crates/matching/src/greedy.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/bipartite.rs crates/matching/src/graph.rs
+
+/root/repo/target/debug/deps/liboctopus_matching-4e820a55d209e203.rlib: crates/matching/src/lib.rs crates/matching/src/blossom.rs crates/matching/src/brute.rs crates/matching/src/bvn.rs crates/matching/src/general.rs crates/matching/src/greedy.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/bipartite.rs crates/matching/src/graph.rs
+
+/root/repo/target/debug/deps/liboctopus_matching-4e820a55d209e203.rmeta: crates/matching/src/lib.rs crates/matching/src/blossom.rs crates/matching/src/brute.rs crates/matching/src/bvn.rs crates/matching/src/general.rs crates/matching/src/greedy.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/bipartite.rs crates/matching/src/graph.rs
+
+crates/matching/src/lib.rs:
+crates/matching/src/blossom.rs:
+crates/matching/src/brute.rs:
+crates/matching/src/bvn.rs:
+crates/matching/src/general.rs:
+crates/matching/src/greedy.rs:
+crates/matching/src/hopcroft_karp.rs:
+crates/matching/src/bipartite.rs:
+crates/matching/src/graph.rs:

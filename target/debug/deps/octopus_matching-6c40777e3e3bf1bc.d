@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/octopus_matching-6c40777e3e3bf1bc.d: crates/matching/src/lib.rs crates/matching/src/blossom.rs crates/matching/src/brute.rs crates/matching/src/bvn.rs crates/matching/src/general.rs crates/matching/src/greedy.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/bipartite.rs crates/matching/src/graph.rs
+
+/root/repo/target/debug/deps/octopus_matching-6c40777e3e3bf1bc: crates/matching/src/lib.rs crates/matching/src/blossom.rs crates/matching/src/brute.rs crates/matching/src/bvn.rs crates/matching/src/general.rs crates/matching/src/greedy.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/bipartite.rs crates/matching/src/graph.rs
+
+crates/matching/src/lib.rs:
+crates/matching/src/blossom.rs:
+crates/matching/src/brute.rs:
+crates/matching/src/bvn.rs:
+crates/matching/src/general.rs:
+crates/matching/src/greedy.rs:
+crates/matching/src/hopcroft_karp.rs:
+crates/matching/src/bipartite.rs:
+crates/matching/src/graph.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/octopus_matching-7bdaafa3ca400ef3.d: crates/matching/src/lib.rs crates/matching/src/blossom.rs crates/matching/src/brute.rs crates/matching/src/bvn.rs crates/matching/src/general.rs crates/matching/src/greedy.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/bipartite.rs crates/matching/src/graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboctopus_matching-7bdaafa3ca400ef3.rmeta: crates/matching/src/lib.rs crates/matching/src/blossom.rs crates/matching/src/brute.rs crates/matching/src/bvn.rs crates/matching/src/general.rs crates/matching/src/greedy.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/bipartite.rs crates/matching/src/graph.rs Cargo.toml
+
+crates/matching/src/lib.rs:
+crates/matching/src/blossom.rs:
+crates/matching/src/brute.rs:
+crates/matching/src/bvn.rs:
+crates/matching/src/general.rs:
+crates/matching/src/greedy.rs:
+crates/matching/src/hopcroft_karp.rs:
+crates/matching/src/bipartite.rs:
+crates/matching/src/graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

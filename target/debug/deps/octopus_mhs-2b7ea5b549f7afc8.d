@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/octopus_mhs-2b7ea5b549f7afc8.d: src/lib.rs
+
+/root/repo/target/debug/deps/liboctopus_mhs-2b7ea5b549f7afc8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liboctopus_mhs-2b7ea5b549f7afc8.rmeta: src/lib.rs
+
+src/lib.rs:

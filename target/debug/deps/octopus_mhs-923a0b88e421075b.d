@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/octopus_mhs-923a0b88e421075b.d: src/lib.rs
+
+/root/repo/target/debug/deps/octopus_mhs-923a0b88e421075b: src/lib.rs
+
+src/lib.rs:

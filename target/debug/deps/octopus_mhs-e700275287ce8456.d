@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/octopus_mhs-e700275287ce8456.d: src/lib.rs
+
+/root/repo/target/debug/deps/liboctopus_mhs-e700275287ce8456.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liboctopus_mhs-e700275287ce8456.rmeta: src/lib.rs
+
+src/lib.rs:

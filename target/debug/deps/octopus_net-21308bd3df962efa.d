@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/octopus_net-21308bd3df962efa.d: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/config.rs crates/net/src/duplex.rs crates/net/src/error.rs crates/net/src/graph.rs crates/net/src/matching.rs crates/net/src/node.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/liboctopus_net-21308bd3df962efa.rlib: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/config.rs crates/net/src/duplex.rs crates/net/src/error.rs crates/net/src/graph.rs crates/net/src/matching.rs crates/net/src/node.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/liboctopus_net-21308bd3df962efa.rmeta: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/config.rs crates/net/src/duplex.rs crates/net/src/error.rs crates/net/src/graph.rs crates/net/src/matching.rs crates/net/src/node.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/analysis.rs:
+crates/net/src/config.rs:
+crates/net/src/duplex.rs:
+crates/net/src/error.rs:
+crates/net/src/graph.rs:
+crates/net/src/matching.rs:
+crates/net/src/node.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/octopus_net-f7b50f28b58b5b8c.d: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/config.rs crates/net/src/duplex.rs crates/net/src/error.rs crates/net/src/graph.rs crates/net/src/matching.rs crates/net/src/node.rs crates/net/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboctopus_net-f7b50f28b58b5b8c.rmeta: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/config.rs crates/net/src/duplex.rs crates/net/src/error.rs crates/net/src/graph.rs crates/net/src/matching.rs crates/net/src/node.rs crates/net/src/topology.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/analysis.rs:
+crates/net/src/config.rs:
+crates/net/src/duplex.rs:
+crates/net/src/error.rs:
+crates/net/src/graph.rs:
+crates/net/src/matching.rs:
+crates/net/src/node.rs:
+crates/net/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

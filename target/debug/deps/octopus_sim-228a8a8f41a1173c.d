@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/octopus_sim-228a8a8f41a1173c.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+/root/repo/target/debug/deps/liboctopus_sim-228a8a8f41a1173c.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+/root/repo/target/debug/deps/liboctopus_sim-228a8a8f41a1173c.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/octopus_sim-460f1bfee791e9c4.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+/root/repo/target/debug/deps/liboctopus_sim-460f1bfee791e9c4.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+/root/repo/target/debug/deps/liboctopus_sim-460f1bfee791e9c4.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/report.rs:

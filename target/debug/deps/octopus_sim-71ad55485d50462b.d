@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/octopus_sim-71ad55485d50462b.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+/root/repo/target/debug/deps/octopus_sim-71ad55485d50462b: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/report.rs:

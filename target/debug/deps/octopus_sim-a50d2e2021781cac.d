@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/octopus_sim-a50d2e2021781cac.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboctopus_sim-a50d2e2021781cac.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

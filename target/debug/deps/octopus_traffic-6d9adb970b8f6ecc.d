@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/octopus_traffic-6d9adb970b8f6ecc.d: crates/traffic/src/lib.rs crates/traffic/src/flow.rs crates/traffic/src/synthetic.rs crates/traffic/src/traces.rs crates/traffic/src/weight.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboctopus_traffic-6d9adb970b8f6ecc.rmeta: crates/traffic/src/lib.rs crates/traffic/src/flow.rs crates/traffic/src/synthetic.rs crates/traffic/src/traces.rs crates/traffic/src/weight.rs Cargo.toml
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/flow.rs:
+crates/traffic/src/synthetic.rs:
+crates/traffic/src/traces.rs:
+crates/traffic/src/weight.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

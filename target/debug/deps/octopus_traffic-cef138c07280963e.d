@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/octopus_traffic-cef138c07280963e.d: crates/traffic/src/lib.rs crates/traffic/src/flow.rs crates/traffic/src/synthetic.rs crates/traffic/src/traces.rs crates/traffic/src/weight.rs
+
+/root/repo/target/debug/deps/liboctopus_traffic-cef138c07280963e.rlib: crates/traffic/src/lib.rs crates/traffic/src/flow.rs crates/traffic/src/synthetic.rs crates/traffic/src/traces.rs crates/traffic/src/weight.rs
+
+/root/repo/target/debug/deps/liboctopus_traffic-cef138c07280963e.rmeta: crates/traffic/src/lib.rs crates/traffic/src/flow.rs crates/traffic/src/synthetic.rs crates/traffic/src/traces.rs crates/traffic/src/weight.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/flow.rs:
+crates/traffic/src/synthetic.rs:
+crates/traffic/src/traces.rs:
+crates/traffic/src/weight.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/octopus_traffic-f133a1bfbd200226.d: crates/traffic/src/lib.rs crates/traffic/src/flow.rs crates/traffic/src/synthetic.rs crates/traffic/src/traces.rs crates/traffic/src/weight.rs
+
+/root/repo/target/debug/deps/octopus_traffic-f133a1bfbd200226: crates/traffic/src/lib.rs crates/traffic/src/flow.rs crates/traffic/src/synthetic.rs crates/traffic/src/traces.rs crates/traffic/src/weight.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/flow.rs:
+crates/traffic/src/synthetic.rs:
+crates/traffic/src/traces.rs:
+crates/traffic/src/weight.rs:

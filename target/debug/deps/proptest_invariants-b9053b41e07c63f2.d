@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-b9053b41e07c63f2.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-b9053b41e07c63f2: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-17121e7873da7acb.d: crates/matching/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-17121e7873da7acb: crates/matching/tests/proptests.rs
+
+crates/matching/tests/proptests.rs:

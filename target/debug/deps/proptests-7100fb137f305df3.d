@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7100fb137f305df3.d: crates/net/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7100fb137f305df3: crates/net/tests/proptests.rs
+
+crates/net/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b1f8897ec3494ebc.d: crates/traffic/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b1f8897ec3494ebc: crates/traffic/tests/proptests.rs
+
+crates/traffic/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-69e70ba1cb9fc67b.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-69e70ba1cb9fc67b: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

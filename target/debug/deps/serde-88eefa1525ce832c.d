@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-88eefa1525ce832c.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-88eefa1525ce832c.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-88eefa1525ce832c.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-f783ff3c88e18acc.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f783ff3c88e18acc.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f783ff3c88e18acc.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

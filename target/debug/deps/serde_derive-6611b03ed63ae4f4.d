@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-6611b03ed63ae4f4.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-6611b03ed63ae4f4.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-3c5d01e8088fb8e4.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-3c5d01e8088fb8e4.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-3c5d01e8088fb8e4.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-adbab7720a44c946.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-adbab7720a44c946: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

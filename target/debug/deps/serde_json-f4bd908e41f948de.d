@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-f4bd908e41f948de.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f4bd908e41f948de.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f4bd908e41f948de.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fso_datacenter-f290d958dca9a868.d: examples/fso_datacenter.rs
+
+/root/repo/target/debug/examples/fso_datacenter-f290d958dca9a868: examples/fso_datacenter.rs
+
+examples/fso_datacenter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_network-ff5cdca32a8ec0da.d: examples/hybrid_network.rs
+
+/root/repo/target/debug/examples/hybrid_network-ff5cdca32a8ec0da: examples/hybrid_network.rs
+
+examples/hybrid_network.rs:

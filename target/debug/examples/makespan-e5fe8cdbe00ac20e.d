@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/makespan-e5fe8cdbe00ac20e.d: examples/makespan.rs
+
+/root/repo/target/debug/examples/makespan-e5fe8cdbe00ac20e: examples/makespan.rs
+
+examples/makespan.rs:

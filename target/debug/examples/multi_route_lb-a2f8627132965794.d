@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_route_lb-a2f8627132965794.d: examples/multi_route_lb.rs
+
+/root/repo/target/debug/examples/multi_route_lb-a2f8627132965794: examples/multi_route_lb.rs
+
+examples/multi_route_lb.rs:

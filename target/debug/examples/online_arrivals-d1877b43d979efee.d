@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/online_arrivals-d1877b43d979efee.d: examples/online_arrivals.rs
+
+/root/repo/target/debug/examples/online_arrivals-d1877b43d979efee: examples/online_arrivals.rs
+
+examples/online_arrivals.rs:

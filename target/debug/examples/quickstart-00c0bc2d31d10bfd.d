@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-00c0bc2d31d10bfd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-00c0bc2d31d10bfd: examples/quickstart.rs
+
+examples/quickstart.rs:

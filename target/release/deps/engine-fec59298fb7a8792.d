@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-fec59298fb7a8792.d: crates/bench/benches/engine.rs
+
+/root/repo/target/release/deps/engine-fec59298fb7a8792: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-9d2e13df9b4126f1.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-9d2e13df9b4126f1: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

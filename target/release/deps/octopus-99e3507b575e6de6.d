@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/octopus-99e3507b575e6de6.d: src/bin/octopus.rs
+
+/root/repo/target/release/deps/octopus-99e3507b575e6de6: src/bin/octopus.rs
+
+src/bin/octopus.rs:

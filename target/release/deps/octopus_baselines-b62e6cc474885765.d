@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/octopus_baselines-b62e6cc474885765.d: crates/baselines/src/lib.rs crates/baselines/src/eclipse.rs crates/baselines/src/eclipse_pp.rs crates/baselines/src/one_hop.rs crates/baselines/src/rotornet.rs crates/baselines/src/solstice.rs crates/baselines/src/ub.rs
+
+/root/repo/target/release/deps/liboctopus_baselines-b62e6cc474885765.rlib: crates/baselines/src/lib.rs crates/baselines/src/eclipse.rs crates/baselines/src/eclipse_pp.rs crates/baselines/src/one_hop.rs crates/baselines/src/rotornet.rs crates/baselines/src/solstice.rs crates/baselines/src/ub.rs
+
+/root/repo/target/release/deps/liboctopus_baselines-b62e6cc474885765.rmeta: crates/baselines/src/lib.rs crates/baselines/src/eclipse.rs crates/baselines/src/eclipse_pp.rs crates/baselines/src/one_hop.rs crates/baselines/src/rotornet.rs crates/baselines/src/solstice.rs crates/baselines/src/ub.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/eclipse.rs:
+crates/baselines/src/eclipse_pp.rs:
+crates/baselines/src/one_hop.rs:
+crates/baselines/src/rotornet.rs:
+crates/baselines/src/solstice.rs:
+crates/baselines/src/ub.rs:

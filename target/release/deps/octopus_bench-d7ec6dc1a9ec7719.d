@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/octopus_bench-d7ec6dc1a9ec7719.d: crates/bench/src/lib.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/liboctopus_bench-d7ec6dc1a9ec7719.rlib: crates/bench/src/lib.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/liboctopus_bench-d7ec6dc1a9ec7719.rmeta: crates/bench/src/lib.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runners.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/octopus_matching-93bccc3add4220d6.d: crates/matching/src/lib.rs crates/matching/src/blossom.rs crates/matching/src/brute.rs crates/matching/src/bvn.rs crates/matching/src/general.rs crates/matching/src/greedy.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/bipartite.rs crates/matching/src/graph.rs
+
+/root/repo/target/release/deps/liboctopus_matching-93bccc3add4220d6.rlib: crates/matching/src/lib.rs crates/matching/src/blossom.rs crates/matching/src/brute.rs crates/matching/src/bvn.rs crates/matching/src/general.rs crates/matching/src/greedy.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/bipartite.rs crates/matching/src/graph.rs
+
+/root/repo/target/release/deps/liboctopus_matching-93bccc3add4220d6.rmeta: crates/matching/src/lib.rs crates/matching/src/blossom.rs crates/matching/src/brute.rs crates/matching/src/bvn.rs crates/matching/src/general.rs crates/matching/src/greedy.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/bipartite.rs crates/matching/src/graph.rs
+
+crates/matching/src/lib.rs:
+crates/matching/src/blossom.rs:
+crates/matching/src/brute.rs:
+crates/matching/src/bvn.rs:
+crates/matching/src/general.rs:
+crates/matching/src/greedy.rs:
+crates/matching/src/hopcroft_karp.rs:
+crates/matching/src/bipartite.rs:
+crates/matching/src/graph.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/octopus_mhs-685f2ff4bb473f00.d: src/lib.rs
+
+/root/repo/target/release/deps/liboctopus_mhs-685f2ff4bb473f00.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liboctopus_mhs-685f2ff4bb473f00.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/octopus_net-e5de4b556b361515.d: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/config.rs crates/net/src/duplex.rs crates/net/src/error.rs crates/net/src/graph.rs crates/net/src/matching.rs crates/net/src/node.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/liboctopus_net-e5de4b556b361515.rlib: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/config.rs crates/net/src/duplex.rs crates/net/src/error.rs crates/net/src/graph.rs crates/net/src/matching.rs crates/net/src/node.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/liboctopus_net-e5de4b556b361515.rmeta: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/config.rs crates/net/src/duplex.rs crates/net/src/error.rs crates/net/src/graph.rs crates/net/src/matching.rs crates/net/src/node.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/analysis.rs:
+crates/net/src/config.rs:
+crates/net/src/duplex.rs:
+crates/net/src/error.rs:
+crates/net/src/graph.rs:
+crates/net/src/matching.rs:
+crates/net/src/node.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/octopus_sim-c82f6bd68f6453d9.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+/root/repo/target/release/deps/liboctopus_sim-c82f6bd68f6453d9.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+/root/repo/target/release/deps/liboctopus_sim-c82f6bd68f6453d9.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/report.rs:

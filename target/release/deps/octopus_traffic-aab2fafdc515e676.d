@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/octopus_traffic-aab2fafdc515e676.d: crates/traffic/src/lib.rs crates/traffic/src/flow.rs crates/traffic/src/synthetic.rs crates/traffic/src/traces.rs crates/traffic/src/weight.rs
+
+/root/repo/target/release/deps/liboctopus_traffic-aab2fafdc515e676.rlib: crates/traffic/src/lib.rs crates/traffic/src/flow.rs crates/traffic/src/synthetic.rs crates/traffic/src/traces.rs crates/traffic/src/weight.rs
+
+/root/repo/target/release/deps/liboctopus_traffic-aab2fafdc515e676.rmeta: crates/traffic/src/lib.rs crates/traffic/src/flow.rs crates/traffic/src/synthetic.rs crates/traffic/src/traces.rs crates/traffic/src/weight.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/flow.rs:
+crates/traffic/src/synthetic.rs:
+crates/traffic/src/traces.rs:
+crates/traffic/src/weight.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-882caefe9e2a05c0.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-882caefe9e2a05c0.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-882caefe9e2a05c0.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-cc67feba54caaa30.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-cc67feba54caaa30.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-cc67feba54caaa30.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-ef2f1fa9502f5470.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-ef2f1fa9502f5470.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

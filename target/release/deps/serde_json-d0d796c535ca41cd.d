@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-d0d796c535ca41cd.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-d0d796c535ca41cd.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-d0d796c535ca41cd.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fso_datacenter-a9c46a460d87143b.d: examples/fso_datacenter.rs
+
+/root/repo/target/release/examples/fso_datacenter-a9c46a460d87143b: examples/fso_datacenter.rs
+
+examples/fso_datacenter.rs:

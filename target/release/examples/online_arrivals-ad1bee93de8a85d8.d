@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/online_arrivals-ad1bee93de8a85d8.d: examples/online_arrivals.rs
+
+/root/repo/target/release/examples/online_arrivals-ad1bee93de8a85d8: examples/online_arrivals.rs
+
+examples/online_arrivals.rs:

@@ -5,7 +5,9 @@
 
 use octopus_mhs::core::{makespan::minimize_makespan, octopus, OctopusConfig};
 use octopus_mhs::net::topology;
-use octopus_mhs::traffic::{synthetic, synthetic::SyntheticConfig, Flow, FlowId, Route, TrafficLoad};
+use octopus_mhs::traffic::{
+    synthetic, synthetic::SyntheticConfig, Flow, FlowId, Route, TrafficLoad,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -52,11 +54,7 @@ fn guarantee_holds_on_synthetic_instances() {
     let net = topology::complete(12);
     for seed in 0..5u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let load = synthetic::generate(
-            &SyntheticConfig::paper_default(12, 600),
-            &net,
-            &mut rng,
-        );
+        let load = synthetic::generate(&SyntheticConfig::paper_default(12, 600), &net, &mut rng);
         check(&net, &load, 10);
     }
 }

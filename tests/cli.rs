@@ -20,7 +20,9 @@ fn demo_schedule_simulate_round_trip() {
     let d = dir.to_str().unwrap();
 
     let out = bin()
-        .args(["demo", "--dir", d, "--n", "10", "--window", "600", "--seed", "3"])
+        .args([
+            "demo", "--dir", d, "--n", "10", "--window", "600", "--seed", "3",
+        ])
         .output()
         .expect("run demo");
     assert!(out.status.success(), "demo failed: {out:?}");
@@ -30,11 +32,16 @@ fn demo_schedule_simulate_round_trip() {
     let out = bin()
         .args([
             "schedule",
-            "--fabric", &format!("{d}/fabric.json"),
-            "--traffic", &format!("{d}/traffic.json"),
-            "--window", "600",
-            "--delta", "10",
-            "--out", &format!("{d}/schedule.json"),
+            "--fabric",
+            &format!("{d}/fabric.json"),
+            "--traffic",
+            &format!("{d}/traffic.json"),
+            "--window",
+            "600",
+            "--delta",
+            "10",
+            "--out",
+            &format!("{d}/schedule.json"),
         ])
         .output()
         .expect("run schedule");
@@ -43,10 +50,14 @@ fn demo_schedule_simulate_round_trip() {
     let out = bin()
         .args([
             "simulate",
-            "--fabric", &format!("{d}/fabric.json"),
-            "--traffic", &format!("{d}/traffic.json"),
-            "--schedule", &format!("{d}/schedule.json"),
-            "--delta", "10",
+            "--fabric",
+            &format!("{d}/fabric.json"),
+            "--traffic",
+            &format!("{d}/traffic.json"),
+            "--schedule",
+            &format!("{d}/schedule.json"),
+            "--delta",
+            "10",
         ])
         .output()
         .expect("run simulate");
@@ -77,11 +88,16 @@ fn all_scheduler_variants_run() {
         let out = bin()
             .args([
                 "schedule",
-                "--fabric", &format!("{d}/fabric.json"),
-                "--traffic", &format!("{d}/traffic.json"),
-                "--window", "400",
-                "--delta", "10",
-                "--variant", variant,
+                "--fabric",
+                &format!("{d}/fabric.json"),
+                "--traffic",
+                &format!("{d}/traffic.json"),
+                "--window",
+                "400",
+                "--delta",
+                "10",
+                "--variant",
+                variant,
             ])
             .output()
             .expect("run schedule");
@@ -110,18 +126,22 @@ fn routes_consumes_csv_matrices() {
     let out = bin()
         .args([
             "routes",
-            "--fabric", &format!("{d}/fabric.json"),
-            "--matrix", &format!("{d}/matrix.csv"),
-            "--lengths", "1,2",
-            "--seed", "1",
-            "--out", &format!("{d}/traffic2.json"),
+            "--fabric",
+            &format!("{d}/fabric.json"),
+            "--matrix",
+            &format!("{d}/matrix.csv"),
+            "--lengths",
+            "1,2",
+            "--seed",
+            "1",
+            "--out",
+            &format!("{d}/traffic2.json"),
         ])
         .output()
         .expect("run routes");
     assert!(out.status.success(), "routes failed: {out:?}");
     let load: serde_json::Value =
-        serde_json::from_str(&std::fs::read_to_string(dir.join("traffic2.json")).unwrap())
-            .unwrap();
+        serde_json::from_str(&std::fs::read_to_string(dir.join("traffic2.json")).unwrap()).unwrap();
     assert_eq!(load["flows"].as_array().unwrap().len(), 3);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -138,9 +158,12 @@ fn makespan_reports_a_window() {
     let out = bin()
         .args([
             "makespan",
-            "--fabric", &format!("{d}/fabric.json"),
-            "--traffic", &format!("{d}/traffic.json"),
-            "--delta", "5",
+            "--fabric",
+            &format!("{d}/fabric.json"),
+            "--traffic",
+            &format!("{d}/traffic.json"),
+            "--delta",
+            "5",
         ])
         .output()
         .expect("run makespan");

@@ -139,7 +139,9 @@ fn variants_stay_close_to_octopus() {
     let oct = simulate(&w, &octopus(&w.net, &w.load, &w.cfg).unwrap().schedule);
     let b = simulate(
         &w,
-        &octopus(&w.net, &w.load, &w.cfg.octopus_b()).unwrap().schedule,
+        &octopus(&w.net, &w.load, &w.cfg.octopus_b())
+            .unwrap()
+            .schedule,
     );
     let g = simulate(
         &w,

@@ -2,9 +2,14 @@
 //! through the public facade and verified with the slot-level simulator.
 
 use octopus_mhs::core::{
-    duplex::octopus_duplex, hybrid::{octopus_hybrid, PacketNetModel}, kport::octopus_kport,
-    local::octopus_local, multihop_config::octopus_multihop, octopus,
-    online::OnlineScheduler, OctopusConfig,
+    duplex::octopus_duplex,
+    hybrid::{octopus_hybrid, PacketNetModel},
+    kport::octopus_kport,
+    local::octopus_local,
+    multihop_config::octopus_multihop,
+    octopus,
+    online::OnlineScheduler,
+    OctopusConfig,
 };
 use octopus_mhs::net::duplex::DuplexNetwork;
 use octopus_mhs::net::topology;
@@ -186,11 +191,7 @@ fn online_epochs_eventually_serve_everything() {
     let mut rng = StdRng::seed_from_u64(4);
     let mut total = 0u64;
     for e in 0..3u64 {
-        let burst = synthetic::generate(
-            &SyntheticConfig::paper_default(8, 150),
-            &net,
-            &mut rng,
-        );
+        let burst = synthetic::generate(&SyntheticConfig::paper_default(8, 150), &net, &mut rng);
         // Re-id to avoid collisions across epochs.
         let flows: Vec<Flow> = burst
             .flows()

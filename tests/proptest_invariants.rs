@@ -2,7 +2,10 @@
 //! and loads, checking schedule validity, packet conservation, objective
 //! accounting and monotonicity.
 
-use octopus_mhs::core::{octopus, OctopusConfig};
+use octopus_mhs::core::{
+    octopus, BipartiteFabric, CandidateExtension, HopWeighting, MatchingKind, OctopusConfig,
+    RemainingTraffic, ScheduleEngine, SearchPolicy, TrafficSource,
+};
 use octopus_mhs::net::{topology, Configuration, Schedule};
 use octopus_mhs::sim::{resolve, SimConfig, Simulator};
 use octopus_mhs::traffic::{Flow, FlowId, Route, TrafficLoad};
@@ -12,10 +15,8 @@ use proptest::prelude::*;
 fn instance() -> impl Strategy<Value = (u32, TrafficLoad, u64, u64)> {
     (4u32..10)
         .prop_flat_map(|n| {
-            let flows = prop::collection::vec(
-                (0u32..n, 0u32..n, 1u64..80, 0u32..3u32, 0u32..n),
-                1..12,
-            );
+            let flows =
+                prop::collection::vec((0u32..n, 0u32..n, 1u64..80, 0u32..3u32, 0u32..n), 1..12);
             (Just(n), flows, 200u64..1500, 0u64..40)
         })
         .prop_map(|(n, raw, window, delta)| {
@@ -49,9 +50,10 @@ fn instance() -> impl Strategy<Value = (u32, TrafficLoad, u64, u64)> {
                 delta,
             )
         })
-        .prop_filter("need at least one flow and room for a config", |(_, load, w, d)| {
-            !load.is_empty() && *w > *d + 1
-        })
+        .prop_filter(
+            "need at least one flow and room for a config",
+            |(_, load, w, d)| !load.is_empty() && *w > *d + 1,
+        )
 }
 
 proptest! {
@@ -139,6 +141,46 @@ proptest! {
         ).unwrap();
         let r = sim.run(&out.schedule).unwrap();
         prop_assert!(r.delivered as f64 <= r.psi + 1e-6);
+    }
+
+    #[test]
+    fn incremental_queue_patching_matches_full_rebuild(
+        (n, load, window, delta) in instance()
+    ) {
+        // Drive the engine one commit at a time; after every commit the
+        // incrementally patched snapshot must be identical to a from-scratch
+        // rebuild of the link queues (same links, same classes, same g).
+        let mut tr = RemainingTraffic::new(&load, HopWeighting::Uniform).unwrap();
+        let fabric = BipartiteFabric { kind: MatchingKind::Exact };
+        let policy = SearchPolicy::exhaustive();
+        let mut engine = ScheduleEngine::new(&mut tr, n, delta);
+        let mut used = 0u64;
+        while !engine.is_drained() && used + delta < window {
+            let budget = window - used - delta;
+            let Some(choice) = engine.select(&fabric, budget, CandidateExtension::None, &policy)
+            else {
+                break;
+            };
+            engine.commit(&fabric, &choice.matching, choice.alpha);
+            used += choice.alpha + delta;
+
+            let rebuilt = engine.source().snapshot_queues(n);
+            let patched = engine.queues();
+            let patched_links: Vec<(u32, u32)> = patched.links().collect();
+            let rebuilt_links: Vec<(u32, u32)> = rebuilt.links().collect();
+            prop_assert_eq!(&patched_links, &rebuilt_links);
+            for (i, j) in rebuilt_links {
+                let p = patched.queue(i, j).unwrap();
+                let r = rebuilt.queue(i, j).unwrap();
+                prop_assert_eq!(p.classes(), r.classes(), "classes differ on ({}, {})", i, j);
+                for alpha in [1u64, 2, 5, choice.alpha.max(1)] {
+                    prop_assert!(
+                        (p.g(alpha) - r.g(alpha)).abs() < 1e-12,
+                        "g mismatch on ({}, {}) at alpha {}", i, j, alpha
+                    );
+                }
+            }
+        }
     }
 
     #[test]

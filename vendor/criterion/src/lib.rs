@@ -1,0 +1,242 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!` / `criterion_main!` / `benchmark_group` /
+//! `bench_with_input` / `Bencher::iter` API so the workspace's benches
+//! compile and run without the real crate. Measurement is a simple
+//! wall-clock sampler: after one warm-up call, each sample times a batch of
+//! iterations and the report prints the median and min per-iteration time to
+//! stdout. No statistics machinery, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::Instant;
+
+pub use std::hint::black_box as criterion_black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report("", id);
+        self
+    }
+}
+
+/// Identifier `name/parameter` for one benchmark in a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&self.name, &id.label);
+        self
+    }
+
+    /// Runs one benchmark without an input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&self.name, &id.label);
+        self
+    }
+
+    /// Ends the group (report lines were already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Times a closure handed to it by the benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    /// Per-iteration nanoseconds, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Measures `f`, batching iterations so each sample is long enough to
+    /// time reliably (~5 ms target per sample, at least one iteration).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing.
+        let t = Instant::now();
+        black_box(f());
+        let once = t.elapsed().as_secs_f64().max(1e-9);
+        let batch = ((5e-3 / once) as usize).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter_ns = t.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            self.samples.push(per_iter_ns);
+        }
+    }
+
+    fn report(&self, group: &str, label: &str) {
+        if self.samples.is_empty() {
+            println!("  {group}/{label}: no samples (Bencher::iter never called)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        println!(
+            "  {group}/{label}: median {} min {} ({} samples)",
+            fmt_ns(median),
+            fmt_ns(min),
+            sorted.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group runner: named form with config, or the short form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,465 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and the `proptest!` macro surface this
+//! workspace uses, with deterministic sampling and **no shrinking**: a failing
+//! case panics with the generated inputs Debug-printed (via the assertion
+//! message) instead of being minimized first. Supported surface:
+//!
+//! - integer / float range strategies (`0u32..10`, `0.0f64..=1.0`);
+//! - tuple strategies up to arity 6 and [`strategy::Just`];
+//! - [`Strategy::prop_map`], [`Strategy::prop_flat_map`],
+//!   [`Strategy::prop_filter`];
+//! - `prop::collection::vec` with `usize` or range size bounds;
+//! - `proptest! { #![proptest_config(ProptestConfig::with_cases(N))] ... }`
+//!   with `pat in strategy` parameters;
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+//!
+//! Each test function uses a fixed RNG seed, so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Runner configuration and the deterministic RNG.
+
+    /// Per-test configuration (only `cases` is honored).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a generated case did not run to completion.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was rejected (`prop_assume!` failed or a filter missed).
+        Reject,
+    }
+
+    /// Deterministic xoshiro256** RNG used for sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// The fixed-seed generator every proptest function starts from.
+        pub fn deterministic() -> Self {
+            Self::seeded(0x0c70_905e ^ 0x9e37_79b9_7f4a_7c15)
+        }
+
+        /// Builds a generator from a 64-bit seed.
+        pub fn seeded(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// Marker for a rejected sample (filter miss); the runner retries.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Rejected;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value; `Err(Rejected)` asks the runner to retry.
+        fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected>;
+
+        /// Transforms generated values.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from a dependent strategy.
+        fn prop_flat_map<U: Strategy, F: Fn(Self::Value) -> U>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Discards values failing `pred` (the reason is unused here).
+        fn prop_filter<R: Into<String>, F: Fn(&Self::Value) -> bool>(
+            self,
+            _reason: R,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, pred }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected> {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> Result<T, Rejected> {
+            Ok(self.0.clone())
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> Result<U, Rejected> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    /// Result of [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+        type Value = U::Value;
+        fn generate(&self, rng: &mut TestRng) -> Result<U::Value, Rejected> {
+            let outer = self.inner.generate(rng)?;
+            (self.f)(outer).generate(rng)
+        }
+    }
+
+    /// Result of [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejected> {
+            let v = self.inner.generate(rng)?;
+            if (self.pred)(&v) {
+                Ok(v)
+            } else {
+                Err(Rejected)
+            }
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejected> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    Ok((self.start as i128 + v as i128) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejected> {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    Ok((lo as i128 + v as i128) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> Result<f64, Rejected> {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            Ok(self.start + (self.end - self.start) * unit)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> Result<f64, Rejected> {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            let unit = rng.next_u64() as f64 / u64::MAX as f64;
+            Ok(lo + (hi - lo) * unit)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected> {
+                    Ok(($(self.$idx.generate(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A 0);
+    tuple_strategy!(A 0, B 1);
+    tuple_strategy!(A 0, B 1, C 2);
+    tuple_strategy!(A 0, B 1, C 2, D 3);
+    tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+    tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::{Rejected, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Length bounds for [`vec`]: a fixed `usize` or a half-open/closed range.
+    pub trait IntoSizeRange {
+        /// Returns inclusive `(min, max)` lengths.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    /// Result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Rejected> {
+            let span = (self.max - self.min + 1) as u64;
+            let len = self.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Drop-in for `proptest::prelude::*`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop` path alias (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(pat in strategy, ..) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic();
+                let __strategy = ($($strat,)+);
+                let mut __passed: u32 = 0;
+                let mut __attempts: u64 = 0;
+                let __max_attempts: u64 = (__cfg.cases as u64).saturating_mul(256).max(4096);
+                while __passed < __cfg.cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= __max_attempts,
+                        "proptest: too many rejected cases ({} attempts for {} passes)",
+                        __attempts,
+                        __passed
+                    );
+                    match $crate::strategy::Strategy::generate(&__strategy, &mut __rng) {
+                        Err(_) => continue,
+                        Ok(($($pat,)+)) => {
+                            let __outcome: ::std::result::Result<
+                                (),
+                                $crate::test_runner::TestCaseError,
+                            > = (|| {
+                                $body
+                                ::std::result::Result::Ok(())
+                            })();
+                            match __outcome {
+                                Ok(()) => __passed += 1,
+                                Err($crate::test_runner::TestCaseError::Reject) => continue,
+                            }
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts within a property (panics like `assert!`; no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u32, Vec<u64>)> {
+        (1u32..8).prop_flat_map(|n| {
+            (
+                Just(n),
+                prop::collection::vec(1u64..100, 1..(n as usize + 2)),
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -4i64..4, f in 0.25f64..=0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..4).contains(&y));
+            prop_assert!((0.25..=0.75).contains(&f));
+        }
+
+        #[test]
+        fn flat_map_and_vec((n, v) in pair()) {
+            prop_assert!(n >= 1 && n < 8);
+            prop_assert!(!v.is_empty() && v.len() < n as usize + 2);
+            prop_assert!(v.iter().all(|&x| (1..100).contains(&x)));
+        }
+
+        #[test]
+        fn filters_and_assume(v in prop::collection::vec(0u32..10, 0..6)
+            .prop_filter("nonempty", |v| !v.is_empty())) {
+            prop_assume!(v[0] < 9);
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(v.len(), v.iter().count());
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides the tiny `par_iter().map(..).reduce_with(..)` surface the
+//! workspace uses, executed *sequentially*. Semantics (including reduction
+//! associativity expectations) match rayon; only the parallel speed-up is
+//! absent, which keeps the offline build dependency-free.
+
+#![forbid(unsafe_code)]
+
+pub mod iter {
+    //! Sequential re-implementation of the used parallel-iterator adapters.
+
+    /// `.par_iter()` entry point for `&'data Self`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Borrowed item type.
+        type Item: 'data;
+        /// Returns a (sequentially executing) "parallel" iterator.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Borrowing iterator over a slice.
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T> ParIter<'data, T> {
+        /// Maps each item through `f`.
+        pub fn map<U, F: Fn(&'data T) -> U>(self, f: F) -> MapIter<'data, T, F> {
+            MapIter {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// The result of [`ParIter::map`].
+    pub struct MapIter<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T, U, F: Fn(&'data T) -> U> MapIter<'data, T, F> {
+        /// Reduces mapped items pairwise; `None` on an empty input.
+        pub fn reduce_with<G: Fn(U, U) -> U>(self, g: G) -> Option<U> {
+            self.items.iter().map(self.f).reduce(g)
+        }
+
+        /// Collects mapped items (order preserved).
+        pub fn collect<C: FromIterator<U>>(self) -> C {
+            self.items.iter().map(self.f).collect()
+        }
+
+        /// Sums mapped items.
+        pub fn sum<V: std::iter::Sum<U>>(self) -> V {
+            self.items.iter().map(self.f).sum()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Drop-in for `rayon::prelude::*`.
+    pub use crate::iter::{IntoParallelRefIterator, MapIter, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let v: Vec<u64> = (1..=100).collect();
+        let sum = v.par_iter().map(|&x| x * x).reduce_with(|a, b| a + b);
+        assert_eq!(sum, Some((1..=100u64).map(|x| x * x).sum()));
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(empty.par_iter().map(|&x| x).reduce_with(|a, b| a + b), None);
+    }
+}

@@ -1,0 +1,502 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor-based zero-copy data model, this vendored
+//! substitute routes everything through an owned [`Content`] tree: types
+//! implement [`Serialize`] by producing a `Content` and [`Deserialize`] by
+//! consuming one. The `serde_derive` companion crate generates those two
+//! impls for the restricted shape grammar this workspace uses (named-field
+//! structs, newtype/transparent wrappers, externally-tagged enums with unit
+//! and struct variants, `#[serde(skip)]` fields). `serde_json` then maps
+//! `Content` to and from JSON text.
+//!
+//! The API intentionally mirrors the real crate's import surface
+//! (`use serde::{Serialize, Deserialize};` works for both the traits and the
+//! derive macros) so in-tree code is source-compatible with upstream serde.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::sync::Arc;
+
+/// Owned self-describing value tree — the interchange format between
+/// [`Serialize`], [`Deserialize`], and the `serde_json` front end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (always < 0; non-negative values use [`Content::U64`]).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples, vectors).
+    Seq(Vec<Content>),
+    /// Key-value map; keys are arbitrary `Content` (stringified by JSON).
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Builds a map with string keys (the common struct case).
+    pub fn object(fields: Vec<(String, Content)>) -> Content {
+        Content::Map(
+            fields
+                .into_iter()
+                .map(|(k, v)| (Content::Str(k), v))
+                .collect(),
+        )
+    }
+
+    /// Borrows the entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a [`Content`] tree.
+pub trait Serialize {
+    /// Produces the content tree for `self`.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Types that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from `content`.
+    fn deserialize_content(content: &Content) -> Result<Self, Error>;
+
+    /// Called when a struct field is absent from the input map. Errors by
+    /// default; `Option` overrides this to produce `None` (matching serde's
+    /// implicit-optional behavior).
+    fn missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{field}`")))
+    }
+}
+
+/// Looks up `key` in a struct map and deserializes it (derive helper).
+pub fn __field<T: Deserialize>(map: &[(Content, Content)], key: &str) -> Result<T, Error> {
+    for (k, v) in map {
+        if matches!(k, Content::Str(s) if s == key) {
+            return T::deserialize_content(v)
+                .map_err(|e| Error::custom(format!("field `{key}`: {e}")));
+        }
+    }
+    T::missing_field(key)
+}
+
+fn unexpected(expected: &str, got: &Content) -> Error {
+    Error::custom(format!("expected {expected}, found {}", got.kind()))
+}
+
+// ---------------------------------------------------------------- primitives
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(unexpected("bool", c)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                let v = match c {
+                    Content::U64(v) => *v,
+                    // Map keys arrive as strings in JSON.
+                    Content::Str(s) => s
+                        .parse::<u64>()
+                        .map_err(|_| unexpected("unsigned integer", c))?,
+                    _ => return Err(unexpected("unsigned integer", c)),
+                };
+                <$t>::try_from(v).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                let v: i64 = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    Content::Str(s) => s
+                        .parse::<i64>()
+                        .map_err(|_| unexpected("integer", c))?,
+                    _ => return Err(unexpected("integer", c)),
+                };
+                <$t>::try_from(v).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            _ => Err(unexpected("number", c)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        f64::deserialize_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(unexpected("string", c)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(unexpected("single-character string", c)),
+        }
+    }
+}
+
+// --------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+
+    fn missing_field(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| unexpected("sequence", c))?
+            .iter()
+            .map(T::deserialize_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        T::deserialize_content(c).map(Arc::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<[T]> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        Vec::<T>::deserialize_content(c).map(Into::into)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        T::deserialize_content(c).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:expr => $($name:ident $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                let seq = c.as_seq().ok_or_else(|| unexpected("tuple", c))?;
+                if seq.len() != $n {
+                    return Err(Error::custom(format!(
+                        "expected tuple of length {}, found {}",
+                        $n,
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::deserialize_content(&seq[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => A 0);
+impl_tuple!(2 => A 0, B 1);
+impl_tuple!(3 => A 0, B 1, C 2);
+impl_tuple!(4 => A 0, B 1, C 2, D 3);
+impl_tuple!(5 => A 0, B 1, C 2, D 3, E 4);
+impl_tuple!(6 => A 0, B 1, C 2, D 3, E 4, F 5);
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.serialize_content(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        c.as_map()
+            .ok_or_else(|| unexpected("map", c))?
+            .iter()
+            .map(|(k, v)| Ok((K::deserialize_content(k)?, V::deserialize_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.serialize_content(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        c.as_map()
+            .ok_or_else(|| unexpected("map", c))?
+            .iter()
+            .map(|(k, v)| Ok((K::deserialize_content(k)?, V::deserialize_content(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Content {
+    fn serialize_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(
+            u64::deserialize_content(&42u64.serialize_content()).unwrap(),
+            42
+        );
+        assert_eq!(
+            i64::deserialize_content(&(-7i64).serialize_content()).unwrap(),
+            -7
+        );
+        assert_eq!(
+            f64::deserialize_content(&1.5f64.serialize_content()).unwrap(),
+            1.5
+        );
+        assert_eq!(
+            Option::<u32>::deserialize_content(&Content::Null).unwrap(),
+            None
+        );
+        assert_eq!(Option::<u32>::missing_field("w").unwrap(), None);
+        assert!(u32::missing_field("w").is_err());
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let v = vec![(1u32, 2u32), (3, 4)];
+        let c = v.serialize_content();
+        assert_eq!(Vec::<(u32, u32)>::deserialize_content(&c).unwrap(), v);
+
+        let mut m = HashMap::new();
+        m.insert(9u64, "x".to_string());
+        let c = m.serialize_content();
+        assert_eq!(HashMap::<u64, String>::deserialize_content(&c).unwrap(), m);
+
+        let arc: Arc<[u32]> = vec![5, 6].into();
+        let c = arc.serialize_content();
+        let back = Arc::<[u32]>::deserialize_content(&c).unwrap();
+        assert_eq!(&back[..], &[5, 6]);
+    }
+
+    #[test]
+    fn map_keys_parse_from_strings() {
+        // JSON object keys are strings; integers must parse back.
+        let c = Content::Map(vec![(Content::Str("12".into()), Content::U64(3))]);
+        let m = HashMap::<u64, u64>::deserialize_content(&c).unwrap();
+        assert_eq!(m.get(&12), Some(&3));
+    }
+}

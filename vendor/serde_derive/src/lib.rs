@@ -1,0 +1,440 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates [`serde::Serialize`] / [`serde::Deserialize`] impls against the
+//! vendored serde's `Content` data model. Implemented with `proc_macro` only
+//! (no syn/quote in the offline environment), so it supports exactly the
+//! shape grammar the workspace uses and rejects everything else loudly:
+//!
+//! - named-field structs, with `#[serde(skip)]` fields (skipped on
+//!   serialize, `Default::default()` on deserialize);
+//! - tuple structs (newtypes delegate to the inner value, as serde_json
+//!   does, so `#[serde(transparent)]` is honored implicitly);
+//! - transparent named-field structs (`#[serde(transparent)]`);
+//! - enums with unit and struct variants, externally tagged
+//!   (`"Variant"` / `{"Variant": {..fields..}}`).
+//!
+//! Generics, tuple enum variants, and other serde attributes are
+//! unsupported and produce a compile-time panic naming the construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ------------------------------------------------------------------- model
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    /// Tuple struct: per-position `skip` flags.
+    Tuple(Vec<bool>),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+// ------------------------------------------------------------------ parser
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+#[derive(Default)]
+struct Attrs {
+    transparent: bool,
+    skip: bool,
+}
+
+/// Consumes leading `#[...]` attributes, interpreting `#[serde(...)]`.
+fn take_attrs(t: &mut Tokens) -> Attrs {
+    let mut out = Attrs::default();
+    while matches!(t.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        t.next();
+        let Some(TokenTree::Group(g)) = t.next() else {
+            panic!("expected [...] after #");
+        };
+        let mut inner = g.stream().into_iter();
+        let Some(TokenTree::Ident(name)) = inner.next() else {
+            continue;
+        };
+        if name.to_string() != "serde" {
+            continue; // doc comments, #[default], cfg, ...
+        }
+        let Some(TokenTree::Group(args)) = inner.next() else {
+            panic!("expected #[serde(...)]");
+        };
+        for tok in args.stream() {
+            match tok {
+                TokenTree::Ident(i) => match i.to_string().as_str() {
+                    "transparent" => out.transparent = true,
+                    "skip" => out.skip = true,
+                    other => panic!("unsupported serde attribute `{other}`"),
+                },
+                TokenTree::Punct(p) if p.as_char() == ',' => {}
+                other => panic!("unsupported serde attribute token `{other}`"),
+            }
+        }
+    }
+    out
+}
+
+/// Consumes `pub`, `pub(crate)`, etc., if present.
+fn take_visibility(t: &mut Tokens) {
+    if matches!(t.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        t.next();
+        if matches!(t.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            t.next();
+        }
+    }
+}
+
+/// Skips a field's type: everything up to a `,` at angle-bracket depth 0.
+fn skip_type(t: &mut Tokens) {
+    let mut depth = 0i32;
+    while let Some(tok) = t.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        t.next();
+    }
+}
+
+/// Parses `name: Type` fields inside a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut t = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while t.peek().is_some() {
+        let attrs = take_attrs(&mut t);
+        take_visibility(&mut t);
+        let Some(TokenTree::Ident(name)) = t.next() else {
+            panic!("expected field name");
+        };
+        match t.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut t);
+        t.next(); // the comma, if any
+        fields.push(Field {
+            name: name.to_string(),
+            skip: attrs.skip,
+        });
+    }
+    fields
+}
+
+/// Parses the positional fields of a tuple struct into skip flags.
+fn parse_tuple_fields(stream: TokenStream) -> Vec<bool> {
+    let mut t = stream.into_iter().peekable();
+    let mut skips = Vec::new();
+    while t.peek().is_some() {
+        let attrs = take_attrs(&mut t);
+        take_visibility(&mut t);
+        skip_type(&mut t);
+        t.next(); // comma
+        skips.push(attrs.skip);
+    }
+    skips
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut t = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while t.peek().is_some() {
+        take_attrs(&mut t); // #[default] and docs; serde attrs unsupported here
+        let Some(TokenTree::Ident(name)) = t.next() else {
+            panic!("expected variant name");
+        };
+        let fields = match t.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                t.next();
+                Some(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("tuple enum variants are unsupported (variant `{name}`)")
+            }
+            _ => None,
+        };
+        if matches!(t.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("explicit discriminants are unsupported (variant `{name}`)");
+        }
+        t.next(); // comma
+        variants.push(Variant {
+            name: name.to_string(),
+            fields,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut t = input.into_iter().peekable();
+    let attrs = take_attrs(&mut t);
+    take_visibility(&mut t);
+    let kind = match t.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    let Some(TokenTree::Ident(name)) = t.next() else {
+        panic!("expected type name");
+    };
+    if matches!(t.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("generic types are unsupported by the vendored serde_derive (`{name}`)");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match t.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match t.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other} {name}`"),
+    };
+    Item {
+        name: name.to_string(),
+        transparent: attrs.transparent,
+        shape,
+    }
+}
+
+// ----------------------------------------------------------------- codegen
+
+fn single_active_field(fields: &[Field]) -> &Field {
+    let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+    assert!(
+        active.len() == 1,
+        "transparent requires exactly one non-skipped field"
+    );
+    active[0]
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) if item.transparent => {
+            let f = single_active_field(fields);
+            format!("::serde::Serialize::serialize_content(&self.{})", f.name)
+        }
+        Shape::Named(fields) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::serialize_content(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Content::object(__fields)");
+            s
+        }
+        Shape::Tuple(skips) if skips.iter().filter(|s| !**s).count() == 1 => {
+            let idx = skips.iter().position(|s| !*s).unwrap();
+            format!("::serde::Serialize::serialize_content(&self.{idx})")
+        }
+        Shape::Tuple(skips) => {
+            let mut s = String::from(
+                "let mut __seq: ::std::vec::Vec<::serde::Content> = ::std::vec::Vec::new();\n",
+            );
+            for (idx, skip) in skips.iter().enumerate() {
+                if !skip {
+                    s.push_str(&format!(
+                        "__seq.push(::serde::Serialize::serialize_content(&self.{idx}));\n"
+                    ));
+                }
+            }
+            s.push_str("::serde::Content::Seq(__seq)");
+            s
+        }
+        Shape::Unit => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => \
+                         ::serde::Content::Str(::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    Some(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut arm = format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Content)> = ::std::vec::Vec::new();\n",
+                            v = v.name,
+                            binds = binders.join(", ")
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "__fields.push((::std::string::String::from(\"{0}\"), \
+                                 ::serde::Serialize::serialize_content({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arm.push_str(&format!(
+                            "let mut __outer: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Content)> = ::std::vec::Vec::new();\n\
+                             __outer.push((::std::string::String::from(\"{v}\"), \
+                             ::serde::Content::object(__fields)));\n\
+                             ::serde::Content::object(__outer)\n}},\n",
+                            v = v.name
+                        ));
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) if item.transparent => {
+            let active = single_active_field(fields);
+            let mut inits = format!(
+                "{}: ::serde::Deserialize::deserialize_content(__c)?,\n",
+                active.name
+            );
+            for f in fields.iter().filter(|f| f.skip) {
+                inits.push_str(&format!(
+                    "{}: ::std::default::Default::default(),\n",
+                    f.name
+                ));
+            }
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Shape::Named(fields) => {
+            let mut s = format!(
+                "let __map = __c.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected map for `{name}`\"))?;\n"
+            );
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                if f.skip {
+                    s.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "{0}: ::serde::__field(__map, \"{0}\")?,\n",
+                        f.name
+                    ));
+                }
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Tuple(skips) if skips.len() == 1 && !skips[0] => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_content(__c)?))"
+        ),
+        Shape::Tuple(_) => {
+            panic!("multi-field tuple structs are unsupported by the vendored serde_derive")
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    Some(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{0}: ::serde::__field(__map, \"{0}\")?,\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __p = __payload.ok_or_else(|| ::serde::Error::custom(\
+                             \"variant `{v}` expects a payload\"))?;\n\
+                             let __map = __p.as_map().ok_or_else(|| ::serde::Error::custom(\
+                             \"variant `{v}` expects a map payload\"))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{\n{inits}}})\n}},\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let (__tag, __payload): (&str, ::std::option::Option<&::serde::Content>) = \
+                 match __c {{\n\
+                 ::serde::Content::Str(__s) => (__s.as_str(), ::std::option::Option::None),\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 match &__entries[0] {{\n\
+                 (::serde::Content::Str(__k), __v) => \
+                 (__k.as_str(), ::std::option::Option::Some(__v)),\n\
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"invalid enum tag for `{name}`\")),\n\
+                 }}\n}},\n\
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected string or single-entry map for enum `{name}`\")),\n\
+                 }};\n\
+                 match __tag {{\n{arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                 \"unknown variant `{{}}` for enum `{name}`\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_content(__c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,651 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! JSON text ⇄ the vendored serde's [`Content`] tree, with the API subset the
+//! workspace uses: [`to_string`], [`to_string_pretty`], [`from_str`],
+//! [`from_slice`], and a self-describing [`Value`] with `as_u64` / `as_array`
+//! and `value["key"]` indexing.
+//!
+//! Compatibility notes mirroring upstream behavior: maps with integer keys
+//! serialize with stringified keys; non-finite floats serialize as `null`;
+//! pretty output uses two-space indentation.
+
+#![forbid(unsafe_code)]
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+/// Error type (re-exported shape-compatible alias of the serde error).
+pub type Error = serde::Error;
+
+/// A convenient `Result` alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------- serialize
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&value.serialize_content(), &mut out, None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&value.serialize_content(), &mut out, Some(2), 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(Value::from_content(&value.serialize_content()))
+}
+
+fn write_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // `{:?}` prints the shortest representation that round-trips, and
+        // always keeps a decimal point or exponent (e.g. `3.0`).
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a map key: JSON object keys must be strings, so integers (and
+/// integer-valued floats) are stringified, as upstream serde_json does.
+fn write_key(key: &Content, out: &mut String) -> Result<()> {
+    match key {
+        Content::Str(s) => {
+            write_escaped(s, out);
+            Ok(())
+        }
+        Content::U64(v) => {
+            write_escaped(&v.to_string(), out);
+            Ok(())
+        }
+        Content::I64(v) => {
+            write_escaped(&v.to_string(), out);
+            Ok(())
+        }
+        Content::Bool(v) => {
+            write_escaped(&v.to_string(), out);
+            Ok(())
+        }
+        other => Err(Error::custom(format!(
+            "map key must be a string or integer, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn write_content(c: &Content, out: &mut String, indent: Option<usize>, depth: usize) -> Result<()> {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(*v, out),
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_content(item, out, indent, depth + 1)?;
+            }
+            write_indent(out, indent, depth);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_key(k, out)?;
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(v, out, indent, depth + 1)?;
+            }
+            write_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+// -------------------------------------------------------------- deserialize
+
+/// Parses JSON text into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let content = Parser::new(s).parse_document()?;
+    T::deserialize_content(&content)
+}
+
+/// Parses JSON bytes into any [`Deserialize`] type.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("JSON parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Content> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> Result<Content> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Content::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_keyword("true") {
+                    Ok(Content::Bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_keyword("false") {
+                    Ok(Content::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((Content::Str(key), value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::custom(format!("invalid UTF-8 in string: {e}")))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low surrogate.
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(self.err("missing low surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid unicode escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Content> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| self.err("invalid number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Content::I64)
+                .map_err(|_| self.err("integer out of range"))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|_| self.err("integer out of range"))
+        }
+    }
+}
+
+// -------------------------------------------------------------------- Value
+
+/// Self-describing JSON value (the `serde_json::Value` equivalent).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+static NULL_VALUE: Value = Value::Null;
+
+impl Value {
+    fn from_content(c: &Content) -> Value {
+        match c {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(*b),
+            Content::U64(v) => Value::U64(*v),
+            Content::I64(v) => Value::I64(*v),
+            Content::F64(v) => Value::F64(*v),
+            Content::Str(s) => Value::String(s.clone()),
+            Content::Seq(items) => Value::Array(items.iter().map(Value::from_content).collect()),
+            Content::Map(entries) => Value::Object(
+                entries
+                    .iter()
+                    .map(|(k, v)| {
+                        let key = match k {
+                            Content::Str(s) => s.clone(),
+                            Content::U64(v) => v.to_string(),
+                            Content::I64(v) => v.to_string(),
+                            other => format!("{other:?}"),
+                        };
+                        (key, Value::from_content(v))
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::U64(v) => Content::U64(*v),
+            Value::I64(v) => Content::I64(*v),
+            Value::F64(v) => Content::F64(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(Value::to_content).collect()),
+            Value::Object(entries) => Content::Map(
+                entries
+                    .iter()
+                    .map(|(k, v)| (Content::Str(k.clone()), v.to_content()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Integer view, if the value is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Float view (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL_VALUE),
+            _ => &NULL_VALUE,
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_content(&self) -> Content {
+        self.to_content()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_content(c: &Content) -> std::result::Result<Self, Error> {
+        Ok(Value::from_content(c))
+    }
+}
+
+impl fmt::Display for Value {
+    /// `Display` writes compact JSON, like upstream.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_content(&self.to_content(), &mut out, None, 0).map_err(|_| fmt::Error)?;
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+        assert_eq!(from_str::<f64>("2.5").unwrap(), 2.5);
+        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+    }
+
+    #[test]
+    fn round_trip_containers() {
+        let v: Vec<(u32, u32, u64)> = vec![(0, 1, 9), (2, 3, 7)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[[0,1,9],[2,3,7]]");
+        assert_eq!(from_str::<Vec<(u32, u32, u64)>>(&json).unwrap(), v);
+
+        let mut m = std::collections::HashMap::new();
+        m.insert(5u64, 10u64);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, "{\"5\":10}");
+        assert_eq!(
+            from_str::<std::collections::HashMap<u64, u64>>(&json).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn value_indexing() {
+        let v: Value = from_str("{\"a\": [1, 2], \"b\": {\"c\": 3}}").unwrap();
+        assert_eq!(v["a"].as_array().unwrap().len(), 2);
+        assert_eq!(v["b"]["c"].as_u64(), Some(3));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v: Vec<u32> = vec![1, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+}
