@@ -5,7 +5,11 @@
 //! the engine patches only the links the committed matching touched.
 //!
 //! Both arms use the same α search and matching kernel, so the measured gap
-//! is purely snapshot maintenance. Results are recorded in `EXPERIMENTS.md`.
+//! is purely snapshot maintenance. A second group sweeps the threaded
+//! α-search (`SearchPolicy { parallel: true }`) over worker counts 1/2/4/8
+//! against the single-pass sequential search — the 1-worker arm *is* that
+//! sequential search (the executor runs inline below 2 workers), so the gap
+//! is purely the rayon fan-out. Results are recorded in `EXPERIMENTS.md`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use octopus_bench::runners::synthetic_instance;
@@ -48,9 +52,14 @@ fn run_full_rebuild(load: &TrafficLoad, n: u32) -> usize {
 
 /// The engine loop: one snapshot, patched on the committed links only.
 fn run_incremental(load: &TrafficLoad, n: u32) -> usize {
+    run_incremental_with(load, n, SearchPolicy::exhaustive())
+}
+
+/// The engine loop with a caller-chosen search policy (used to sweep the
+/// threaded α-search against the sequential one).
+fn run_incremental_with(load: &TrafficLoad, n: u32, policy: SearchPolicy) -> usize {
     let mut tr = RemainingTraffic::new(load, HopWeighting::Uniform).unwrap();
     let fabric = BipartiteFabric { kind: KIND };
-    let policy = SearchPolicy::exhaustive();
     let mut engine = ScheduleEngine::new(&mut tr, n, DELTA);
     let mut used = 0u64;
     let mut iterations = 0usize;
@@ -95,9 +104,50 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// Whole-schedule runs with the threaded exhaustive α-search at fixed worker
+/// counts. `threads = 1` is the single-pass sequential search (no fan-out),
+/// the baseline the speedups in EXPERIMENTS.md are measured against.
+fn bench_engine_threads(c: &mut Criterion) {
+    let parallel = SearchPolicy {
+        search: AlphaSearch::Exhaustive,
+        parallel: true,
+        prefer_larger_alpha: false,
+    };
+    let mut group = c.benchmark_group("engine_schedule_threads");
+    for n in [32u32, 64, 128] {
+        let env = Env {
+            n,
+            window: WINDOW,
+            delta: DELTA,
+            instances: 1,
+            seed: 11,
+        };
+        let inst = synthetic_instance(&env, 0, |c| c);
+        // Threaded and sequential searches must pick identical schedules.
+        assert_eq!(
+            run_incremental_with(&inst.load, n, parallel),
+            run_incremental(&inst.load, n),
+            "threaded search diverged at n = {n}"
+        );
+        for threads in [1usize, 2, 4, 8] {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build_global()
+                .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("par_t{threads}"), n),
+                &inst.load,
+                |b, load| b.iter(|| run_incremental_with(load, n, parallel)),
+            );
+        }
+        rayon::ThreadPoolBuilder::new().build_global().unwrap();
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_engine
+    targets = bench_engine, bench_engine_threads
 }
 criterion_main!(benches);

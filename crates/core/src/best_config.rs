@@ -10,8 +10,12 @@
 //! * [`AlphaSearch::Exhaustive`] evaluates every candidate α, with a cheap
 //!   matching-weight upper bound used to prune hopeless candidates — exact
 //!   selection, the default **Octopus** behavior. With `parallel`, candidate
-//!   evaluation fans out over rayon (the paper's multi-core controller
-//!   argument, §4.1).
+//!   evaluation fans out over rayon's worker threads (the paper's multi-core
+//!   controller argument, §4.1); the worker count follows the machine's
+//!   available parallelism and can be pinned via the `OCTOPUS_THREADS`
+//!   environment variable or `rayon::ThreadPoolBuilder`. Parallel and
+//!   sequential searches return bit-identical winners: the comparator is a
+//!   strict total order, so the parallel reduction is shape-independent.
 //! * [`AlphaSearch::Binary`] ternary-searches the candidate list — the
 //!   **Octopus-B** variant, `O(log)` matchings per iteration at a (measured,
 //!   §8 Fig 9a) negligible quality loss.
@@ -146,27 +150,34 @@ pub fn best_configuration(
     .filter(|c| c.benefit > 0.0)
 }
 
-/// Better-score comparator with deterministic tie-breaks: on equal score the
-/// smaller α wins (larger with `prefer_larger_alpha`, used by the localized
-/// reconfiguration planner, which keeps links busy during Δ), then the
-/// lexicographically smaller matching.
-fn better(a: &BestChoice, b: &BestChoice, policy: &SearchPolicy) -> bool {
-    match a.score.total_cmp(&b.score) {
-        std::cmp::Ordering::Greater => true,
-        std::cmp::Ordering::Less => false,
-        std::cmp::Ordering::Equal => {
-            let ord = if policy.prefer_larger_alpha {
-                b.alpha.cmp(&a.alpha)
-            } else {
+/// Strict total order on choices under `policy`, `Greater` = better:
+/// ψ-rate (`score`, via `total_cmp` so NaN/−0.0 cannot break totality), then
+/// α — smaller wins by default, larger with `prefer_larger_alpha` (used by
+/// the localized reconfiguration planner, which keeps links busy during Δ) —
+/// then the lexicographically smaller matching as a deterministic key.
+///
+/// Totality matters for the parallel search: `reduce_with` combines partial
+/// winners in whatever shape the chunking produces, and only a total order
+/// makes the reduction associative and commutative, i.e. the winner
+/// independent of worker count and chunk boundaries. Within one search a
+/// given α is evaluated to exactly one (deterministic) choice, so two
+/// choices equal under this order are identical in every scheduled field.
+fn choice_cmp(a: &BestChoice, b: &BestChoice, policy: &SearchPolicy) -> std::cmp::Ordering {
+    a.score
+        .total_cmp(&b.score)
+        .then_with(|| {
+            if policy.prefer_larger_alpha {
                 a.alpha.cmp(&b.alpha)
-            };
-            match ord {
-                std::cmp::Ordering::Less => true,
-                std::cmp::Ordering::Greater => false,
-                std::cmp::Ordering::Equal => a.matching < b.matching,
+            } else {
+                b.alpha.cmp(&a.alpha)
             }
-        }
-    }
+        })
+        .then_with(|| b.matching.cmp(&a.matching))
+}
+
+/// Whether `a` is strictly better than `b` under [`choice_cmp`].
+fn better(a: &BestChoice, b: &BestChoice, policy: &SearchPolicy) -> bool {
+    choice_cmp(a, b, policy) == std::cmp::Ordering::Greater
 }
 
 /// Searches the sorted candidate α list for the best-scoring choice.
@@ -175,7 +186,9 @@ fn better(a: &BestChoice, b: &BestChoice, policy: &SearchPolicy) -> bool {
 /// search is exhaustive-sequential) candidates are visited in decreasing
 /// bound order and the scan stops as soon as the bound can no longer beat
 /// the incumbent. `eval` must be deterministic; its `matchings_computed`
-/// values are summed into the winner.
+/// values are summed into the winner (over *evaluated* candidates, so the
+/// pruned sequential count may be lower than the parallel one; the winning
+/// configuration itself is identical across all exhaustive paths).
 pub(crate) fn search_alpha<E>(
     candidates: &[u64],
     policy: &SearchPolicy,
@@ -212,8 +225,12 @@ fn exhaustive_pruned<E: Fn(u64) -> BestChoice>(
     let mut computed = 0usize;
     for (alpha, ub_score) in order {
         if let Some(b) = &best {
-            if ub_score <= b.score {
-                break; // all remaining candidates are dominated
+            // Strictly below the incumbent's score: no remaining candidate
+            // can win, not even on tie-breaks. (At `ub_score == b.score` the
+            // candidate could tie the score and take the α tie-break, so the
+            // cut must be strict for pruned and parallel searches to agree.)
+            if ub_score < b.score {
+                break;
             }
         }
         let cand = eval(alpha);
@@ -248,21 +265,23 @@ fn exhaustive_plain<E: Fn(u64) -> BestChoice>(
     })
 }
 
+/// Parallel exhaustive search: every candidate is evaluated **exactly once**
+/// (a `matchings_computed` unit test pins this), and the reduction carries
+/// both the running winner and the accumulated matching count. Because
+/// [`choice_cmp`] is a strict total order, the winner is bit-identical to
+/// the sequential search regardless of how rayon chunks the candidates.
 fn exhaustive_parallel<E>(candidates: &[u64], policy: &SearchPolicy, eval: &E) -> Option<BestChoice>
 where
     E: Fn(u64) -> BestChoice + Sync,
 {
-    let computed: usize = candidates
-        .par_iter()
-        .map(|&alpha| eval(alpha).matchings_computed)
-        .sum();
     candidates
         .par_iter()
         .map(|&alpha| eval(alpha))
-        .reduce_with(|a, b| if better(&a, &b, policy) { a } else { b })
-        .map(|mut b| {
-            b.matchings_computed = computed;
-            b
+        .reduce_with(|a, b| {
+            let computed = a.matchings_computed + b.matchings_computed;
+            let mut winner = if better(&a, &b, policy) { a } else { b };
+            winner.matchings_computed = computed;
+            winner
         })
 }
 
@@ -421,6 +440,71 @@ mod tests {
         assert_eq!(a.alpha, b.alpha);
         assert_eq!(a.matching, b.matching);
         assert!((a.score - b.score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_evaluates_each_candidate_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let candidates: Vec<u64> = (1..=97).collect();
+        let policy = SearchPolicy {
+            search: AlphaSearch::Exhaustive,
+            parallel: true,
+            prefer_larger_alpha: false,
+        };
+        let calls = AtomicUsize::new(0);
+        let eval = |alpha: u64| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            BestChoice {
+                matching: vec![(0, 1)],
+                alpha,
+                benefit: alpha as f64,
+                score: alpha as f64 / (alpha + 1) as f64,
+                matchings_computed: 1,
+            }
+        };
+        let best = search_alpha(&candidates, &policy, None, &eval).unwrap();
+        // One eval per candidate — both by the counter the reduction carries
+        // and by the actual number of closure invocations.
+        assert_eq!(best.matchings_computed, candidates.len());
+        assert_eq!(calls.load(Ordering::Relaxed), candidates.len());
+        assert_eq!(best.alpha, 97);
+    }
+
+    #[test]
+    fn score_ties_break_identically_in_parallel_and_sequential() {
+        // Two disjoint links sized so the candidate αs {10, 30} score exactly
+        // equal at Δ = 10: α=10 → (10+10)/20 = 1, α=30 → (10+30)/40 = 1.
+        let q = LinkQueues::from_weighted_counts(4, [((0, 1), 1.0, 10u64), ((2, 3), 1.0, 30)]);
+        assert_eq!(q.alpha_candidates(10_000), vec![10, 30]);
+        for parallel in [false, true] {
+            let best = best_configuration(
+                &q,
+                10,
+                10_000,
+                AlphaSearch::Exhaustive,
+                MatchingKind::Exact,
+                parallel,
+            )
+            .unwrap();
+            // Equal ψ-rate: the smaller α must win deterministically.
+            assert_eq!(best.alpha, 10, "parallel = {parallel}");
+            assert_eq!(best.matching, vec![(0, 1), (2, 3)]);
+            assert!((best.score - 1.0).abs() < 1e-12);
+        }
+        // With prefer_larger_alpha the same tie resolves to α = 30 on both
+        // paths (the localized-reconfiguration preference).
+        for parallel in [false, true] {
+            let policy = SearchPolicy {
+                search: AlphaSearch::Exhaustive,
+                parallel,
+                prefer_larger_alpha: true,
+            };
+            let best = search_alpha(&q.alpha_candidates(10_000), &policy, None, &|alpha| {
+                eval_bipartite(&q, alpha, 10, MatchingKind::Exact)
+            })
+            .unwrap();
+            assert_eq!(best.alpha, 30, "parallel = {parallel}");
+        }
     }
 
     #[test]

@@ -24,9 +24,10 @@
 //!   link's waiting packets, so the patched snapshot is identical to a
 //!   from-scratch rebuild (property-tested in `tests/proptest_invariants.rs`).
 //!
-//! The α search itself (exhaustive with upper-bound pruning, rayon-parallel,
-//! or ternary) lives in [`crate::best_config`] and is driven through
-//! [`SearchPolicy`].
+//! The α search itself (exhaustive with upper-bound pruning, threaded over
+//! rayon workers, or ternary) lives in [`crate::best_config`] and is driven
+//! through [`SearchPolicy`]; see [`SearchPolicy::parallel`] for the worker-
+//! count knobs (`OCTOPUS_THREADS`, `rayon::ThreadPoolBuilder`).
 
 use crate::best_config::{run_kernel, search_alpha, AlphaSearch, BestChoice, MatchingKind};
 use crate::duplex::GeneralMatcherKind;
@@ -47,7 +48,11 @@ use std::collections::HashSet;
 pub struct SearchPolicy {
     /// Exhaustive or ternary (Octopus-B) candidate search.
     pub search: AlphaSearch,
-    /// Fan per-α evaluation out over rayon (disables upper-bound pruning).
+    /// Fan per-α evaluation out over rayon's worker threads (disables
+    /// upper-bound pruning). Worker count: `OCTOPUS_THREADS` env var or
+    /// `rayon::ThreadPoolBuilder`, defaulting to the machine's available
+    /// parallelism; results are bit-identical to the sequential search for
+    /// every worker count (the tie-break is a strict total order).
     pub parallel: bool,
     /// Break score ties toward the *larger* α. The localized-reconfiguration
     /// planner prefers longer configurations (persistent links serve through

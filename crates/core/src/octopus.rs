@@ -20,8 +20,12 @@ pub struct OctopusConfig {
     pub alpha_search: AlphaSearch,
     /// Matching kernel: `Exact` is Octopus, `BucketGreedy` Octopus-G.
     pub matching: MatchingKind,
-    /// Fan candidate-α evaluation out over rayon (the paper's multi-core
-    /// controller; disables upper-bound pruning).
+    /// Fan candidate-α evaluation out over rayon's worker threads (the
+    /// paper's multi-core controller; disables upper-bound pruning). The
+    /// worker count defaults to the machine's available parallelism and can
+    /// be pinned with the `OCTOPUS_THREADS` environment variable or
+    /// `rayon::ThreadPoolBuilder`; the chosen schedule is bit-identical to
+    /// the sequential search for every worker count.
     pub parallel: bool,
 }
 

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/iteration-913092265af455de.d: crates/bench/benches/iteration.rs
+
+/root/repo/target/release/deps/iteration-913092265af455de: crates/bench/benches/iteration.rs
+
+crates/bench/benches/iteration.rs:

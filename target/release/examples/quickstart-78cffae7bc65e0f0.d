@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-78cffae7bc65e0f0.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-78cffae7bc65e0f0: examples/quickstart.rs
+
+examples/quickstart.rs:

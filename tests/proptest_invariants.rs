@@ -3,8 +3,9 @@
 //! accounting and monotonicity.
 
 use octopus_mhs::core::{
-    octopus, BipartiteFabric, CandidateExtension, HopWeighting, MatchingKind, OctopusConfig,
-    RemainingTraffic, ScheduleEngine, SearchPolicy, TrafficSource,
+    best_configuration, octopus, AlphaSearch, BipartiteFabric, CandidateExtension, HopWeighting,
+    LinkQueues, MatchingKind, OctopusConfig, RemainingTraffic, ScheduleEngine, SearchPolicy,
+    TrafficSource,
 };
 use octopus_mhs::net::{topology, Configuration, Schedule};
 use octopus_mhs::sim::{resolve, SimConfig, Simulator};
@@ -181,6 +182,77 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_and_sequential_alpha_searches_agree(
+        (n, load, _window, delta) in instance()
+    ) {
+        // The threaded exhaustive search must return the *same* winning
+        // configuration as the sequential (pruned) one — same α, same
+        // matching, same ψ-rate — for any instance and Δ. The tie-break is a
+        // strict total order, so this holds for every worker count and
+        // reduction shape. (matchings_computed may differ: pruning skips
+        // dominated candidates, the parallel path evaluates all of them.)
+        let tr = RemainingTraffic::new(&load, HopWeighting::Uniform).unwrap();
+        let queues = tr.link_queues(n);
+        for kind in [MatchingKind::Exact, MatchingKind::GreedySort] {
+            for cap in [u64::MAX, 64, 7] {
+                let seq = best_configuration(
+                    &queues, delta, cap, AlphaSearch::Exhaustive, kind, false,
+                );
+                let par = best_configuration(
+                    &queues, delta, cap, AlphaSearch::Exhaustive, kind, true,
+                );
+                match (seq, par) {
+                    (None, None) => {}
+                    (Some(s), Some(p)) => {
+                        prop_assert_eq!(s.alpha, p.alpha, "kind {:?} cap {}", kind, cap);
+                        prop_assert_eq!(&s.matching, &p.matching, "kind {:?} cap {}", kind, cap);
+                        prop_assert_eq!(s.score.to_bits(), p.score.to_bits(),
+                            "psi-rate differs: {} vs {}", s.score, p.score);
+                        prop_assert_eq!(s.benefit.to_bits(), p.benefit.to_bits());
+                    }
+                    (s, p) => prop_assert!(false, "one path empty: seq {:?} par {:?}", s, p),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tied_psi_rates_resolve_identically_across_paths(
+        small in 1u64..40,
+        factor in 2u64..6,
+    ) {
+        // Hand-crafted tie: two disjoint unit-weight links with counts c and
+        // f·c, Δ = c. The candidate αs are {c, f·c} and both score exactly 1:
+        //   α = c:    (c + c) / (c + Δ)     = 2c / 2c        = 1
+        //   α = f·c:  (c + f·c) / (f·c + Δ) = c(1+f) / c(f+1) = 1
+        // (bit-exact in f64: numerator equals denominator in both cases).
+        // A non-total tie-break would let the parallel reduction's chunk
+        // shape pick either α; the strict order must pick the smaller one on
+        // every path.
+        let c = small;
+        let big = c * factor;
+        let delta = c;
+        let q = LinkQueues::from_weighted_counts(
+            4,
+            [((0u32, 1u32), 1.0, c), ((2u32, 3u32), 1.0, big)],
+        );
+        let s1 = (c + c) as f64 / (c + delta) as f64;
+        let s2 = (c + big) as f64 / (big + delta) as f64;
+        prop_assert_eq!(s1.to_bits(), s2.to_bits());
+        let seq = best_configuration(
+            &q, delta, u64::MAX, AlphaSearch::Exhaustive, MatchingKind::Exact, false,
+        ).unwrap();
+        let par = best_configuration(
+            &q, delta, u64::MAX, AlphaSearch::Exhaustive, MatchingKind::Exact, true,
+        ).unwrap();
+        // Both paths must take the α tie-break: the smaller candidate.
+        prop_assert_eq!(seq.alpha, c);
+        prop_assert_eq!(par.alpha, c);
+        prop_assert_eq!(seq.matching, par.matching);
+        prop_assert_eq!(seq.score.to_bits(), par.score.to_bits());
     }
 
     #[test]

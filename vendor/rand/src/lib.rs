@@ -5,9 +5,11 @@
 //! via [`SeedableRng::seed_from_u64`]), [`Rng::gen_range`] / [`Rng::gen_bool`],
 //! and the slice helpers [`seq::SliceRandom::choose`] /
 //! [`seq::SliceRandom::shuffle`]. The generator is xoshiro256** seeded through
-//! SplitMix64 — high quality and fully deterministic, though the stream is
-//! *not* identical to upstream `rand 0.8` (all in-tree consumers only rely on
-//! determinism, not on a specific stream).
+//! SplitMix64 and fully deterministic. Integer `gen_range` uses unbiased
+//! Lemire widening-multiply rejection sampling; both float range samplers
+//! scale the top 53 bits of one word. The stream is *not* identical to
+//! upstream `rand 0.8` (all in-tree consumers only rely on determinism, not
+//! on a specific stream).
 
 #![forbid(unsafe_code)]
 
@@ -57,13 +59,34 @@ pub trait SampleRange<T> {
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
 }
 
+/// Exactly uniform draw from `[0, span)` by Lemire's widening-multiply
+/// rejection method: `(x · span) >> 64` maps a 64-bit word onto the span,
+/// and the rare words falling in the `2⁶⁴ mod span` remainder zone are
+/// rejected and redrawn (a plain `x % span` keeps them, biasing small
+/// values by up to one part in `2⁶⁴/span`).
+#[inline]
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut m = (rng.next_u64() as u128) * (span as u128);
+    if (m as u64) < span {
+        // threshold = 2^64 mod span, computed without 128-bit division
+        let threshold = span.wrapping_neg() % span;
+        while (m as u64) < threshold {
+            m = (rng.next_u64() as u128) * (span as u128);
+        }
+    }
+    (m >> 64) as u64
+}
+
 macro_rules! int_sample_range {
     ($($t:ty),* $(,)?) => {$(
         impl SampleRange<$t> for core::ops::Range<$t> {
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
-                let span = (self.end as i128 - self.start as i128) as u128;
-                let v = (rng.next_u64() as u128) % span;
+                // Non-empty half-open spans always fit in u64, even for
+                // 64-bit signed types (max span = 2^64 - 1).
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let v = sample_below(rng, span);
                 (self.start as i128 + v as i128) as $t
             }
         }
@@ -72,7 +95,11 @@ macro_rules! int_sample_range {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
                 let span = (hi as i128 - lo as i128) as u128 + 1;
-                let v = (rng.next_u64() as u128) % span;
+                let v = if span > u64::MAX as u128 {
+                    rng.next_u64() // the full 64-bit domain: every word is fair
+                } else {
+                    sample_below(rng, span as u64)
+                };
                 (lo as i128 + v as i128) as $t
             }
         }
@@ -92,7 +119,11 @@ impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
         let (lo, hi) = (*self.start(), *self.end());
         assert!(lo <= hi, "cannot sample empty range");
-        lo + (hi - lo) * (rng.next_u64() as f64 / u64::MAX as f64)
+        // Same 53-bit scaling as the half-open impl so both float paths have
+        // identical precision; `hi` itself is only reachable by rounding,
+        // matching upstream's closed-open-with-rounding behavior closely
+        // enough for every in-tree consumer.
+        lo + (hi - lo) * unit_f64(rng.next_u64())
     }
 }
 
@@ -196,6 +227,34 @@ mod tests {
         assert!((-5..5).contains(&g));
         let h: u64 = a.gen_range(1..=3);
         assert!((1..=3).contains(&h));
+    }
+
+    #[test]
+    fn gen_range_is_uniform_over_non_power_of_two_spans() {
+        // Bucket sanity for the Lemire sampler: span 7 (the worst case for a
+        // naive `% span` would be invisible at 64 bits, but this pins the
+        // rejection path as at least *sane*, and would catch gross mapping
+        // bugs like an off-by-one span or a truncated multiply).
+        let mut rng = StdRng::seed_from_u64(42);
+        const SAMPLES: usize = 70_000;
+        let mut buckets = [0usize; 7];
+        for _ in 0..SAMPLES {
+            buckets[rng.gen_range(0usize..7)] += 1;
+        }
+        let expected = SAMPLES / 7;
+        for (i, &count) in buckets.iter().enumerate() {
+            // ~3.5 sigma tolerance on a binomial(70000, 1/7): sigma ≈ 94.
+            assert!(
+                count.abs_diff(expected) < 400,
+                "bucket {i}: {count} vs expected {expected}"
+            );
+        }
+        // Inclusive ranges hit both endpoints.
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..=3)] = true;
+        }
+        assert_eq!(seen, [true; 4]);
     }
 
     #[test]

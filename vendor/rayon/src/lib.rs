@@ -1,20 +1,113 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` with a **real threaded executor**.
 //!
 //! Provides the tiny `par_iter().map(..).reduce_with(..)` surface the
-//! workspace uses, executed *sequentially*. Semantics (including reduction
-//! associativity expectations) match rayon; only the parallel speed-up is
-//! absent, which keeps the offline build dependency-free.
+//! workspace uses. Unlike the original sequential stand-in, the adapters now
+//! fan work out over OS threads via a chunked `std::thread::scope` executor:
+//! the input slice is split into one contiguous chunk per worker, each worker
+//! maps/reduces its chunk, and the per-chunk results are combined in chunk
+//! order on the calling thread. Inputs too small to amortize thread spawn
+//! run sequentially on the caller.
+//!
+//! Worker count resolution (first match wins):
+//!
+//! 1. an explicit [`ThreadPoolBuilder::num_threads`] installed via
+//!    [`ThreadPoolBuilder::build_global`];
+//! 2. the `OCTOPUS_THREADS` environment variable (read once per process);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Semantics (including reduction associativity expectations) match rayon;
+//! callers must supply associative, commutative-up-to-determinism reduction
+//! operators, exactly as with the real crate. Deviation from upstream: this
+//! stand-in spawns scoped threads per call instead of keeping a persistent
+//! pool (fine at this workspace's granularity, where one work item is a
+//! weighted-matching computation), and `build_global` is last-call-wins
+//! instead of erroring on reinstallation, so benchmarks can sweep thread
+//! counts in one process.
 
 #![forbid(unsafe_code)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Global worker-count override installed by [`ThreadPoolBuilder`];
+/// 0 = unset.
+static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached `OCTOPUS_THREADS` parse (`None` = unset or unparsable).
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+/// Below this many items the adapters run sequentially on the caller:
+/// spawning threads for a handful of matchings costs more than it saves.
+const MIN_PAR_LEN: usize = 4;
+
+/// The number of worker threads parallel adapters will use.
+pub fn current_num_threads() -> usize {
+    let explicit = GLOBAL_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Some(n) = *ENV_THREADS.get_or_init(|| {
+        std::env::var("OCTOPUS_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    }) {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build_global`] (never
+/// constructed; the stand-in's installation cannot fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("global thread pool installation failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder-style knob for the global worker count, mirroring
+/// `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (automatic) worker count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Sets the worker count; `0` restores automatic resolution
+    /// (`OCTOPUS_THREADS`, then available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configured worker count globally. Last call wins
+    /// (upstream rayon errors on reinstallation; see module docs).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_OVERRIDE.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
 pub mod iter {
-    //! Sequential re-implementation of the used parallel-iterator adapters.
+    //! Threaded re-implementation of the used parallel-iterator adapters.
 
     /// `.par_iter()` entry point for `&'data Self`.
     pub trait IntoParallelRefIterator<'data> {
         /// Borrowed item type.
         type Item: 'data;
-        /// Returns a (sequentially executing) "parallel" iterator.
+        /// Returns a parallel iterator over borrowed items.
         fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
     }
 
@@ -53,20 +146,83 @@ pub mod iter {
         f: F,
     }
 
-    impl<'data, T, U, F: Fn(&'data T) -> U> MapIter<'data, T, F> {
-        /// Reduces mapped items pairwise; `None` on an empty input.
-        pub fn reduce_with<G: Fn(U, U) -> U>(self, g: G) -> Option<U> {
-            self.items.iter().map(self.f).reduce(g)
+    /// Runs `work` on each contiguous chunk of `items` across the resolved
+    /// worker count, returning per-chunk results in chunk order. Workers are
+    /// scoped threads; a worker panic is resumed on the caller.
+    fn run_chunked<'data, T, R, W>(items: &'data [T], work: W) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        W: Fn(&'data [T]) -> R + Sync,
+    {
+        let workers = crate::current_num_threads().min(items.len());
+        debug_assert!(workers > 1, "caller handles the sequential case");
+        let chunk = items.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = items.chunks(chunk).map(|c| s.spawn(|| work(c))).collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    }
+
+    impl<'data, T, U, F> MapIter<'data, T, F>
+    where
+        T: Sync,
+        F: Fn(&'data T) -> U + Sync,
+    {
+        /// Whether this input should bypass the thread fan-out.
+        fn sequential(&self) -> bool {
+            self.items.len() < super::MIN_PAR_LEN || crate::current_num_threads() <= 1
         }
 
-        /// Collects mapped items (order preserved).
-        pub fn collect<C: FromIterator<U>>(self) -> C {
-            self.items.iter().map(self.f).collect()
+        /// Reduces mapped items pairwise; `None` on an empty input. Each
+        /// worker folds its chunk, then the per-chunk values are folded in
+        /// chunk order — `g` must be associative for the result to be
+        /// reduction-shape independent (same contract as upstream rayon).
+        pub fn reduce_with<G>(self, g: G) -> Option<U>
+        where
+            U: Send,
+            G: Fn(U, U) -> U + Sync,
+        {
+            if self.sequential() {
+                return self.items.iter().map(self.f).reduce(g);
+            }
+            let f = &self.f;
+            let partials = run_chunked(self.items, |chunk| chunk.iter().map(f).reduce(&g));
+            partials.into_iter().flatten().reduce(g)
         }
 
-        /// Sums mapped items.
-        pub fn sum<V: std::iter::Sum<U>>(self) -> V {
-            self.items.iter().map(self.f).sum()
+        /// Collects mapped items (input order preserved).
+        pub fn collect<C: FromIterator<U>>(self) -> C
+        where
+            U: Send,
+        {
+            if self.sequential() {
+                return self.items.iter().map(self.f).collect();
+            }
+            let f = &self.f;
+            let chunks = run_chunked(self.items, |chunk| chunk.iter().map(f).collect::<Vec<U>>());
+            chunks.into_iter().flatten().collect()
+        }
+
+        /// Sums mapped items (per-worker partial sums, combined in chunk
+        /// order).
+        pub fn sum<V>(self) -> V
+        where
+            U: Send,
+            V: Send + std::iter::Sum<U> + std::iter::Sum<V>,
+        {
+            if self.sequential() {
+                return self.items.iter().map(self.f).sum();
+            }
+            let f = &self.f;
+            let partials = run_chunked(self.items, |chunk| chunk.iter().map(f).sum::<V>());
+            partials.into_iter().sum()
         }
     }
 }
@@ -79,6 +235,11 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::ThreadPoolBuilder;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the process-global worker count.
+    static GLOBAL_KNOB: Mutex<()> = Mutex::new(());
 
     #[test]
     fn map_reduce_matches_sequential() {
@@ -87,5 +248,66 @@ mod tests {
         assert_eq!(sum, Some((1..=100u64).map(|x| x * x).sum()));
         let empty: Vec<u64> = Vec::new();
         assert_eq!(empty.par_iter().map(|&x| x).reduce_with(|a, b| a + b), None);
+    }
+
+    #[test]
+    fn sum_and_collect_match_sequential() {
+        let v: Vec<u64> = (0..1000).collect();
+        let s: u64 = v.par_iter().map(|&x| x + 1).sum();
+        assert_eq!(s, (1..=1000u64).sum());
+        let c: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(c, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        // An associative, non-commutative operator (function composition
+        // order encoded as string concat) must still come out in input order
+        // for every worker count, because chunks are combined in order.
+        let _guard = GLOBAL_KNOB.lock().unwrap();
+        let v: Vec<u32> = (0..97).collect();
+        let expected = v
+            .iter()
+            .map(|x| x.to_string())
+            .reduce(|a, b| format!("{a},{b}"))
+            .unwrap();
+        for workers in [1usize, 2, 3, 4, 8, 200] {
+            ThreadPoolBuilder::new()
+                .num_threads(workers)
+                .build_global()
+                .unwrap();
+            let got = v
+                .par_iter()
+                .map(|x| x.to_string())
+                .reduce_with(|a, b| format!("{a},{b}"))
+                .unwrap();
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+        ThreadPoolBuilder::new().build_global().unwrap(); // restore auto
+    }
+
+    #[test]
+    fn tiny_inputs_stay_on_the_caller() {
+        // MIN_PAR_LEN fallback: 3 items reduce fine even with a huge pool.
+        let _guard = GLOBAL_KNOB.lock().unwrap();
+        ThreadPoolBuilder::new()
+            .num_threads(64)
+            .build_global()
+            .unwrap();
+        let v = vec![1u64, 2, 3];
+        assert_eq!(v.par_iter().map(|&x| x).reduce_with(|a, b| a + b), Some(6));
+        ThreadPoolBuilder::new().build_global().unwrap();
+    }
+
+    #[test]
+    fn builder_overrides_worker_count() {
+        let _guard = GLOBAL_KNOB.lock().unwrap();
+        ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        assert_eq!(super::current_num_threads(), 3);
+        ThreadPoolBuilder::new().build_global().unwrap();
+        assert!(super::current_num_threads() >= 1);
     }
 }
