@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use octopus_matching::{
     greedy::{bucket_greedy_matching, greedy_matching},
-    maximum_weight_matching, WeightedBipartiteGraph,
+    maximum_weight_matching, AssignmentSolver, WeightedBipartiteGraph,
 };
 
 /// Deterministic sparse instance shaped like an Octopus iteration: ~16 edges
@@ -46,10 +46,52 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// The exact kernel with and without workspace reuse: `one_shot` is the
+/// historical `maximum_weight_matching` (a fresh solver per call),
+/// `workspace_reuse` re-solves the same graph on one [`AssignmentSolver`],
+/// and `reweighted` keeps the topology loaded and re-solves a weight column
+/// in place — the batched α-sweep's steady state.
+fn bench_workspace_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching_workspace");
+    for n in [100u32, 300, 1000] {
+        let g = instance(n);
+        group.bench_with_input(BenchmarkId::new("one_shot", n), &g, |b, g| {
+            b.iter(|| maximum_weight_matching(g))
+        });
+        let mut solver = AssignmentSolver::new();
+        group.bench_with_input(BenchmarkId::new("workspace_reuse", n), &g, |b, g| {
+            b.iter(|| {
+                solver.solve(g);
+                solver.last_weight()
+            })
+        });
+        // Fixed topology, column re-solves (weights scaled per call so the
+        // matching stays identical while the floats differ).
+        let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+        let base: Vec<f64> = g.edges().iter().map(|e| e.weight).collect();
+        let mut solver = AssignmentSolver::new();
+        solver.load_topology(n, n, &edges);
+        let mut col = base.clone();
+        let mut flip = false;
+        group.bench_function(BenchmarkId::new("reweighted", n), |b| {
+            b.iter(|| {
+                flip = !flip;
+                let scale = if flip { 1.5 } else { 1.0 };
+                for (w, &w0) in col.iter_mut().zip(&base) {
+                    *w = w0 * scale;
+                }
+                solver.solve_reweighted(&col);
+                solver.last_weight()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_kernels, bench_blossom
+    targets = bench_kernels, bench_workspace_reuse, bench_blossom
 }
 criterion_main!(benches);
 

@@ -1,0 +1,266 @@
+//! Allocation + wall-clock comparison of the two α-search matching paths:
+//!
+//! * **legacy** — what every iteration did before the batched sweep: one
+//!   `weighted_edges(α)` edge list, one [`WeightedBipartiteGraph`], and one
+//!   `maximum_weight_matching` (internally a fresh solver) *per candidate α*.
+//! * **batched** — one [`LinkQueues::weighted_edges_multi`] sweep per
+//!   iteration plus an [`AssignmentSolver`] that loads the topology once and
+//!   re-solves each α's weight column in place.
+//!
+//! Both paths are asserted to produce bit-identical matchings before any
+//! timing happens. Run with `--out <path>` to write the JSON baseline
+//! (`BENCH_matching.json` at the workspace root); numbers are single-threaded.
+
+use octopus_bench::runners::synthetic_instance;
+use octopus_bench::Env;
+use octopus_core::{HopWeighting, LinkQueues, RemainingTraffic};
+use octopus_matching::{
+    matching_weight, maximum_weight_matching, AssignmentSolver, WeightedBipartiteGraph,
+};
+use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator wrapped with allocation counters, so the two α-search
+/// paths can be compared on exactly the metric the issue targets: heap
+/// allocations per scheduling iteration.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the counters are lock-free atomics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn counters() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Counters for one path of one case, as serialized into the JSON baseline.
+#[derive(Serialize)]
+struct PathStats {
+    allocs: u64,
+    bytes: u64,
+    nanos: u64,
+}
+
+/// One `n` row of the JSON baseline.
+#[derive(Serialize)]
+struct Case {
+    n: u32,
+    candidates: usize,
+    legacy: PathStats,
+    batched: PathStats,
+    alloc_ratio: f64,
+    speedup: f64,
+}
+
+/// The whole JSON baseline (`BENCH_matching.json`).
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    kernel: &'static str,
+    threads: u32,
+    reps: usize,
+    metric: &'static str,
+    cases: Vec<Case>,
+}
+
+/// One measured run: matchings produced per candidate α, with counters and
+/// wall clock around the whole candidate loop.
+struct Measured {
+    matchings: Vec<Vec<(u32, u32)>>,
+    benefits: Vec<f64>,
+    allocs: u64,
+    bytes: u64,
+    nanos: u128,
+}
+
+/// The pre-PR path: a fresh edge list, graph, and solver for every α.
+fn run_legacy(queues: &LinkQueues, candidates: &[u64]) -> Measured {
+    let (a0, b0) = counters();
+    let start = Instant::now();
+    let mut matchings = Vec::with_capacity(candidates.len());
+    let mut benefits = Vec::with_capacity(candidates.len());
+    for &alpha in candidates {
+        let g = WeightedBipartiteGraph::from_tuples(
+            queues.n(),
+            queues.n(),
+            queues.weighted_edges(alpha),
+        );
+        let m = maximum_weight_matching(&g);
+        benefits.push(matching_weight(&g, &m));
+        matchings.push(m);
+    }
+    let nanos = start.elapsed().as_nanos();
+    let (a1, b1) = counters();
+    Measured {
+        matchings,
+        benefits,
+        allocs: a1 - a0,
+        bytes: b1 - b0,
+        nanos,
+    }
+}
+
+/// The batched path: one multi-α sweep, one topology load, in-place
+/// re-solves. The `to_vec` per α stays — the schedule keeps every matching —
+/// so the comparison charges both paths for their outputs.
+fn run_batched(queues: &LinkQueues, candidates: &[u64], solver: &mut AssignmentSolver) -> Measured {
+    let (a0, b0) = counters();
+    let start = Instant::now();
+    let sweep = queues.weighted_edges_multi(candidates);
+    solver.load_topology(sweep.n(), sweep.n(), sweep.edges());
+    let mut matchings = Vec::with_capacity(candidates.len());
+    let mut benefits = Vec::with_capacity(candidates.len());
+    for k in 0..candidates.len() {
+        solver.solve_reweighted(sweep.column(k));
+        matchings.push(solver.matching().to_vec());
+        benefits.push(solver.last_weight());
+    }
+    let nanos = start.elapsed().as_nanos();
+    let (a1, b1) = counters();
+    Measured {
+        matchings,
+        benefits,
+        allocs: a1 - a0,
+        bytes: b1 - b0,
+        nanos,
+    }
+}
+
+fn main() {
+    let out_path = {
+        let mut args = std::env::args().skip(1);
+        let mut out = None;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--out" => out = args.next(),
+                other => {
+                    eprintln!("unknown argument: {other} (expected --out <path>)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    };
+
+    const REPS: usize = 20;
+    let mut cases = Vec::new();
+    for n in [32u32, 64, 128] {
+        let env = Env {
+            n,
+            window: 10_000,
+            delta: 20,
+            instances: 1,
+            seed: 11,
+        };
+        let inst = synthetic_instance(&env, 0, |c| c);
+        let tr = RemainingTraffic::new(&inst.load, HopWeighting::Uniform).unwrap();
+        let queues = tr.link_queues(n);
+        let candidates = queues.alpha_candidates(10_000);
+
+        let mut solver = AssignmentSolver::new();
+        // Correctness gate: identical matchings and benefits on both paths.
+        let legacy = run_legacy(&queues, &candidates);
+        let batched = run_batched(&queues, &candidates, &mut solver);
+        assert_eq!(
+            legacy.matchings, batched.matchings,
+            "paths diverged at n = {n}"
+        );
+        assert_eq!(
+            legacy
+                .benefits
+                .iter()
+                .map(|b| b.to_bits())
+                .collect::<Vec<_>>(),
+            batched
+                .benefits
+                .iter()
+                .map(|b| b.to_bits())
+                .collect::<Vec<_>>(),
+        );
+
+        // Steady state: the batched path's workspace is warm (as in the
+        // engine, where TLS workspaces persist across iterations); take the
+        // best of REPS for both paths to damp scheduler noise.
+        let mut best_legacy = legacy;
+        let mut best_batched = batched;
+        for _ in 0..REPS {
+            let l = run_legacy(&queues, &candidates);
+            if l.nanos < best_legacy.nanos {
+                best_legacy = l;
+            }
+            let b = run_batched(&queues, &candidates, &mut solver);
+            if b.nanos < best_batched.nanos {
+                best_batched = b;
+            }
+        }
+
+        let alloc_ratio = best_legacy.allocs as f64 / best_batched.allocs.max(1) as f64;
+        let speedup = best_legacy.nanos as f64 / best_batched.nanos.max(1) as f64;
+        println!(
+            "n={n:4}  |A|={:3}  legacy: {:6} allocs {:9} B {:9} ns   batched: {:5} allocs {:8} B {:9} ns   alloc x{alloc_ratio:.1}  time x{speedup:.2}",
+            candidates.len(),
+            best_legacy.allocs,
+            best_legacy.bytes,
+            best_legacy.nanos,
+            best_batched.allocs,
+            best_batched.bytes,
+            best_batched.nanos,
+        );
+        cases.push(Case {
+            n,
+            candidates: candidates.len(),
+            legacy: PathStats {
+                allocs: best_legacy.allocs,
+                bytes: best_legacy.bytes,
+                nanos: best_legacy.nanos as u64,
+            },
+            batched: PathStats {
+                allocs: best_batched.allocs,
+                bytes: best_batched.bytes,
+                nanos: best_batched.nanos as u64,
+            },
+            alloc_ratio,
+            speedup,
+        });
+    }
+
+    let report = Report {
+        bench: "alpha_search_matching_paths",
+        kernel: "exact_hungarian",
+        threads: 1,
+        reps: REPS,
+        metric: "min_over_reps",
+        cases,
+    };
+    let text = serde_json::to_string_pretty(&report).expect("serializable report");
+    match out_path {
+        Some(p) => std::fs::write(&p, text + "\n").expect("write report"),
+        None => println!("{text}"),
+    }
+}

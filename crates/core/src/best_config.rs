@@ -30,13 +30,15 @@
 //! enumeration, pruning, tie-breaking and parallelism.
 
 use crate::engine::SearchPolicy;
-use crate::state::LinkQueues;
+use crate::state::{LinkQueues, MultiAlphaEdges};
 use octopus_matching::{
-    greedy::{bucket_greedy_matching, greedy_matching},
-    matching_weight, maximum_weight_matching, WeightedBipartiteGraph,
+    greedy::{bucket_greedy_matching, greedy_matching, GreedyScratch},
+    matching_weight, AssignmentSolver, WeightedBipartiteGraph,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How candidate α values are searched each iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -81,30 +83,160 @@ pub struct BestChoice {
     pub matchings_computed: usize,
 }
 
+/// Per-worker matching workspace: the exact solver (CSR topology, duals,
+/// Dijkstra scratch), the greedy sort/marker buffers, and the integral-weight
+/// and output scratch. One instance lives in each thread's TLS, so both the
+/// sequential search and rayon's workers reuse buffers across every candidate
+/// α they evaluate — and across iterations, since TLS outlives the search.
+///
+/// Solves are pure functions of `(topology, weights)` (see
+/// [`AssignmentSolver`]'s no-warm-start contract), so which worker evaluates
+/// which α cannot change any result — workspace reuse is determinism-safe.
+#[derive(Default)]
+struct KernelWorkspace {
+    solver: AssignmentSolver,
+    greedy: GreedyScratch,
+    ints: Vec<u64>,
+    out: Vec<(u32, u32)>,
+    /// Id of the [`SweepContext`] whose topology `solver` currently holds
+    /// (0 = none, or overwritten by a one-shot [`run_kernel`] call).
+    loaded_sweep: u64,
+}
+
+thread_local! {
+    static KERNEL_WS: RefCell<KernelWorkspace> = RefCell::new(KernelWorkspace::default());
+}
+
+/// Sweep ids start at 1 so a fresh workspace (`loaded_sweep == 0`) never
+/// aliases a real sweep.
+static SWEEP_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// One iteration's batched α-search context: the fixed edge topology with one
+/// weight column and one matching-weight upper bound per candidate α
+/// ([`LinkQueues::weighted_edges_multi`]), tagged with a process-unique id so
+/// per-thread workspaces know when their loaded CSR topology is current.
+pub(crate) struct SweepContext {
+    sweep: MultiAlphaEdges,
+    id: u64,
+}
+
+impl SweepContext {
+    pub(crate) fn new(sweep: MultiAlphaEdges) -> Self {
+        SweepContext {
+            sweep,
+            id: SWEEP_IDS.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Optimistic score bound for one swept candidate α.
+    pub(crate) fn score_upper_bound(&self, alpha: u64, delta: u64) -> f64 {
+        self.sweep.upper_bound(self.sweep.index_of(alpha)) / (alpha + delta) as f64
+    }
+
+    /// Evaluates one swept candidate α on this thread's workspace: reloads
+    /// the topology only when the workspace last solved a different sweep,
+    /// then re-solves the α's weight column in place. Allocation-free after
+    /// the first candidate except for the returned matching itself.
+    ///
+    /// Results are bit-identical to the historical per-α path
+    /// ([`eval_bipartite`]): same effective edge set (non-positive column
+    /// entries are skipped inside the kernels), same algorithms, and the
+    /// benefit is summed in the same matching order.
+    pub(crate) fn eval(&self, alpha: u64, delta: u64, kind: MatchingKind) -> BestChoice {
+        let col = self.sweep.column(self.sweep.index_of(alpha));
+        let edges = self.sweep.edges();
+        let n = self.sweep.n();
+        let (matching, benefit) = KERNEL_WS.with(|ws| {
+            let ws = &mut *ws.borrow_mut();
+            match kind {
+                MatchingKind::Exact => {
+                    if ws.loaded_sweep != self.id {
+                        ws.solver.load_topology(n, n, edges);
+                        ws.loaded_sweep = self.id;
+                    }
+                    ws.solver.solve_reweighted(col);
+                    (ws.solver.matching().to_vec(), ws.solver.last_weight())
+                }
+                MatchingKind::GreedySort => {
+                    ws.greedy.greedy_on(n, n, edges, col, &mut ws.out);
+                    let benefit = column_weight(edges, col, &ws.out);
+                    (ws.out.clone(), benefit)
+                }
+                MatchingKind::BucketGreedy { scale } => {
+                    ws.ints.clear();
+                    ws.ints.extend(col.iter().map(|&w| {
+                        if w > 0.0 {
+                            (w * scale as f64).round() as u64
+                        } else {
+                            0
+                        }
+                    }));
+                    ws.greedy
+                        .bucket_greedy_on(n, n, edges, &ws.ints, &mut ws.out);
+                    let benefit = column_weight(edges, col, &ws.out);
+                    (ws.out.clone(), benefit)
+                }
+            }
+        });
+        BestChoice {
+            matching,
+            alpha,
+            benefit,
+            score: benefit / (alpha + delta) as f64,
+            matchings_computed: 1,
+        }
+    }
+}
+
+/// Total column weight of `matching`, summed in matching order — the same
+/// order (and hence the same floating-point result) as
+/// [`octopus_matching::matching_weight`] on the equivalent graph.
+fn column_weight(edges: &[(u32, u32)], col: &[f64], matching: &[(u32, u32)]) -> f64 {
+    matching
+        .iter()
+        .map(|&(u, v)| col[edges.binary_search(&(u, v)).expect("matched edge exists")])
+        .sum()
+}
+
 /// Runs one matching kernel on an explicit weighted edge list.
+///
+/// The exact kernel runs on this thread's persistent [`KernelWorkspace`]
+/// solver (reusing its scratch buffers), invalidating any sweep topology the
+/// workspace held.
 pub(crate) fn run_kernel(
     n: u32,
     edges: Vec<(u32, u32, f64)>,
     kind: MatchingKind,
 ) -> (Vec<(u32, u32)>, f64) {
     let g = WeightedBipartiteGraph::from_tuples(n, n, edges);
-    let matching = match kind {
-        MatchingKind::Exact => maximum_weight_matching(&g),
-        MatchingKind::GreedySort => greedy_matching(&g),
+    match kind {
+        MatchingKind::Exact => KERNEL_WS.with(|ws| {
+            let ws = &mut *ws.borrow_mut();
+            ws.loaded_sweep = 0;
+            ws.solver.solve(&g);
+            (ws.solver.matching().to_vec(), ws.solver.last_weight())
+        }),
+        MatchingKind::GreedySort => {
+            let matching = greedy_matching(&g);
+            let benefit = matching_weight(&g, &matching);
+            (matching, benefit)
+        }
         MatchingKind::BucketGreedy { scale } => {
             let ints: Vec<u64> = g
                 .edges()
                 .iter()
                 .map(|e| (e.weight * scale as f64).round() as u64)
                 .collect();
-            bucket_greedy_matching(&g, &ints)
+            let matching = bucket_greedy_matching(&g, &ints);
+            let benefit = matching_weight(&g, &matching);
+            (matching, benefit)
         }
-    };
-    let benefit = matching_weight(&g, &matching);
-    (matching, benefit)
+    }
 }
 
-/// Evaluates one α on the plain bipartite fabric.
+/// Evaluates one α on the plain bipartite fabric — the historical per-α
+/// path, kept as the reference the batched sweep is tested against.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn eval_bipartite(
     queues: &LinkQueues,
     alpha: u64,
@@ -138,14 +270,18 @@ pub fn best_configuration(
         return None;
     }
     let candidates = queues.alpha_candidates(alpha_cap);
+    if candidates.is_empty() {
+        return None;
+    }
     let policy = SearchPolicy {
         search,
         parallel,
         prefer_larger_alpha: false,
     };
-    let ub = |alpha: u64| queues.matching_weight_upper_bound(alpha) / (alpha + delta) as f64;
+    let ctx = SweepContext::new(queues.weighted_edges_multi(&candidates));
+    let ub = |alpha: u64| ctx.score_upper_bound(alpha, delta);
     search_alpha(&candidates, &policy, Some(&ub), &|alpha| {
-        eval_bipartite(queues, alpha, delta, kind)
+        ctx.eval(alpha, delta, kind)
     })
     .filter(|c| c.benefit > 0.0)
 }
@@ -290,37 +426,51 @@ fn ternary<E: Fn(u64) -> BestChoice>(
     policy: &SearchPolicy,
     eval: &E,
 ) -> Option<BestChoice> {
+    use std::collections::HashMap;
+
+    /// Memoized probe: evaluates `alpha` at most once; repeated probes hand
+    /// back a reference into the memo instead of cloning the choice (and its
+    /// matching `Vec`) out.
+    fn probe<'m, E: Fn(u64) -> BestChoice>(
+        memo: &'m mut HashMap<u64, BestChoice>,
+        alpha: u64,
+        computed: &mut usize,
+        eval: &E,
+    ) -> &'m BestChoice {
+        memo.entry(alpha).or_insert_with(|| {
+            let c = eval(alpha);
+            *computed += c.matchings_computed;
+            c
+        })
+    }
+
     let mut computed = 0usize;
-    let mut memo: std::collections::HashMap<u64, BestChoice> = std::collections::HashMap::new();
-    let mut eval = |alpha: u64, computed: &mut usize| -> BestChoice {
-        memo.entry(alpha)
-            .or_insert_with(|| {
-                let c = eval(alpha);
-                *computed += c.matchings_computed;
-                c
-            })
-            .clone()
-    };
+    let mut memo: HashMap<u64, BestChoice> = HashMap::new();
     let (mut lo, mut hi) = (0usize, candidates.len() - 1);
     while hi - lo > 2 {
         let m1 = lo + (hi - lo) / 3;
         let m2 = hi - (hi - lo) / 3;
-        let e1 = eval(candidates[m1], &mut computed);
-        let e2 = eval(candidates[m2], &mut computed);
-        if e1.score >= e2.score {
+        let s1 = probe(&mut memo, candidates[m1], &mut computed, eval).score;
+        let s2 = probe(&mut memo, candidates[m2], &mut computed, eval).score;
+        if s1 >= s2 {
             hi = m2 - 1;
         } else {
             lo = m1 + 1;
         }
     }
-    let mut best: Option<BestChoice> = None;
+    let mut best_alpha: Option<u64> = None;
     for &alpha in &candidates[lo..=hi] {
-        let cand = eval(alpha, &mut computed);
-        if best.as_ref().map_or(true, |b| better(&cand, b, policy)) {
-            best = Some(cand);
+        probe(&mut memo, alpha, &mut computed, eval);
+        let is_better = match best_alpha {
+            None => true,
+            Some(ba) => better(&memo[&alpha], &memo[&ba], policy),
+        };
+        if is_better {
+            best_alpha = Some(alpha);
         }
     }
-    best.map(|mut b| {
+    // The winner is *moved* out of the memo — the only clone-free exit.
+    best_alpha.and_then(|a| memo.remove(&a)).map(|mut b| {
         b.matchings_computed = computed;
         b
     })

@@ -29,14 +29,13 @@
 //! through [`SearchPolicy`]; see [`SearchPolicy::parallel`] for the worker-
 //! count knobs (`OCTOPUS_THREADS`, `rayon::ThreadPoolBuilder`).
 
-use crate::best_config::{run_kernel, search_alpha, AlphaSearch, BestChoice, MatchingKind};
+use crate::best_config::{
+    run_kernel, search_alpha, AlphaSearch, BestChoice, MatchingKind, SweepContext,
+};
 use crate::duplex::GeneralMatcherKind;
-use crate::state::{LinkQueue, LinkQueues, RemainingTraffic};
+use crate::state::{LinkQueue, LinkQueues, MultiAlphaEdges, RemainingTraffic};
 use octopus_matching::blossom::maximum_weight_matching_general;
 use octopus_matching::general::greedy_general_matching;
-use octopus_matching::{
-    greedy::greedy_matching, matching_weight, maximum_weight_matching, WeightedBipartiteGraph,
-};
 use octopus_net::duplex::{DuplexMatching, DuplexNetwork};
 use octopus_net::{Matching, NodeId};
 use octopus_traffic::{FlowId, Route};
@@ -196,6 +195,24 @@ pub trait Fabric<S> {
     fn upper_bound_valid(&self) -> bool {
         false
     }
+
+    /// A batched multi-α weight sweep, for fabrics whose per-α evaluation is
+    /// a bipartite matching kernel over one `g` column: the fixed topology
+    /// plus one weight column (and matching-weight upper bound) per
+    /// candidate, computed in one pass over the snapshot
+    /// ([`LinkQueues::weighted_edges_multi`]). When `Some`, the engine
+    /// evaluates candidates on per-thread reusable matching workspaces and
+    /// prunes with the per-column bounds; `None` (the default) keeps the
+    /// fabric's per-α [`Fabric::evaluate`] path.
+    fn weight_sweep(
+        &self,
+        source: &S,
+        queues: &LinkQueues,
+        candidates: &[u64],
+    ) -> Option<(MultiAlphaEdges, MatchingKind)> {
+        let _ = (source, queues, candidates);
+        None
+    }
 }
 
 /// The plain bipartite fabric of core Octopus: one transceiver per port,
@@ -234,6 +251,15 @@ impl<S> Fabric<S> for BipartiteFabric {
 
     fn upper_bound_valid(&self) -> bool {
         true
+    }
+
+    fn weight_sweep(
+        &self,
+        _source: &S,
+        queues: &LinkQueues,
+        candidates: &[u64],
+    ) -> Option<(MultiAlphaEdges, MatchingKind)> {
+        Some((queues.weighted_edges_multi(candidates), self.kind))
     }
 }
 
@@ -292,6 +318,12 @@ fn union_matching(
     let mut all_links: Vec<(u32, u32)> = Vec::new();
     let mut taken: HashSet<(u32, u32)> = HashSet::new();
     let mut total_benefit = 0.0;
+    // The bucket kernel falls back to sort-greedy: union rounds re-weight
+    // edges, so the integral-weight precondition does not survive them.
+    let round_kind = match kind {
+        MatchingKind::Exact => MatchingKind::Exact,
+        _ => MatchingKind::GreedySort,
+    };
     for _ in 0..r {
         let queues = shadow.link_queues(n);
         let edges: Vec<(u32, u32, f64)> = queues
@@ -302,15 +334,11 @@ fn union_matching(
         if edges.is_empty() {
             break;
         }
-        let g = WeightedBipartiteGraph::from_tuples(n, n, edges);
-        let m = match kind {
-            MatchingKind::Exact => maximum_weight_matching(&g),
-            _ => greedy_matching(&g),
-        };
+        let (m, round_benefit) = run_kernel(n, edges, round_kind);
         if m.is_empty() {
             break;
         }
-        total_benefit += matching_weight(&g, &m);
+        total_benefit += round_benefit;
         let node_links: Vec<(NodeId, NodeId)> =
             m.iter().map(|&(i, j)| (NodeId(i), NodeId(j))).collect();
         shadow.apply(&node_links, alpha);
@@ -446,6 +474,26 @@ impl<S> Fabric<S> for LocalFabric {
             .map(|&(i, j)| (NodeId(i), NodeId(j), self.slots((i, j), alpha)))
             .collect();
         (matching, budgets)
+    }
+
+    fn weight_sweep(
+        &self,
+        _source: &S,
+        queues: &LinkQueues,
+        candidates: &[u64],
+    ) -> Option<(MultiAlphaEdges, MatchingKind)> {
+        // Persistent links serve through the Δ transition, so their column
+        // entries are g(i, j, α + Δ) — a per-link slot bonus in the sweep.
+        Some((
+            queues.weighted_edges_multi_with(candidates, |link| {
+                if self.prev.contains(&link) {
+                    self.delta
+                } else {
+                    0
+                }
+            }),
+            self.kind,
+        ))
     }
 }
 
@@ -585,6 +633,19 @@ impl<S: TrafficSource> ScheduleEngine<S> {
         let source = &self.source;
         let delta = self.delta;
         let candidates = extend_candidates(queues.alpha_candidates(budget), budget, ext);
+        if let Some((sweep, kind)) = fabric.weight_sweep(source, queues, &candidates) {
+            // Batched path: one pass over the snapshot produced every α's
+            // weight column and matching-weight bound; per-α evaluation runs
+            // on this thread's (or each rayon worker's) reusable workspace.
+            // The per-column bound is valid for the greedy kernels too (a
+            // greedy matching never out-weighs the exact optimum).
+            let ctx = SweepContext::new(sweep);
+            let ub = |alpha: u64| ctx.score_upper_bound(alpha, delta);
+            return search_alpha(&candidates, policy, Some(&ub), &|alpha| {
+                ctx.eval(alpha, delta, kind)
+            })
+            .filter(|c| c.benefit > 0.0);
+        }
         let ub = |alpha: u64| queues.matching_weight_upper_bound(alpha) / (alpha + delta) as f64;
         let ub_ref: Option<&(dyn Fn(u64) -> f64 + Sync)> = if fabric.upper_bound_valid() {
             Some(&ub)

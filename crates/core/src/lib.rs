@@ -76,4 +76,4 @@ pub use engine::{
 pub use error::SchedError;
 pub use octopus::{octopus, octopus_on, OctopusConfig, OctopusOutput};
 pub use octopus_traffic::HopWeighting;
-pub use state::{LinkQueue, LinkQueues, RemainingTraffic};
+pub use state::{LinkQueue, LinkQueues, MultiAlphaEdges, RemainingTraffic};

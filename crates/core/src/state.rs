@@ -487,6 +487,49 @@ impl LinkQueue {
         }
     }
 
+    /// Batched `g(α)` over an **ascending** α list: one merge-walk over the
+    /// class boundaries instead of one binary search per α.
+    ///
+    /// Writes `g(alphas[k])` into `out[k]`; `O(classes + alphas.len())`.
+    /// Bit-identical to calling [`LinkQueue::g`] per α (the incremental
+    /// boundary advance lands on exactly the `partition_point` index).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != alphas.len()`; debug-asserts that `alphas` is
+    /// ascending.
+    pub fn g_multi(&self, alphas: &[u64], out: &mut [f64]) {
+        assert_eq!(alphas.len(), out.len(), "one output slot per α required");
+        debug_assert!(
+            alphas.windows(2).all(|w| w[0] <= w[1]),
+            "alphas must be ascending"
+        );
+        let mut idx = 0;
+        for (slot, &alpha) in out.iter_mut().zip(alphas) {
+            if alpha == 0 {
+                *slot = 0.0;
+                continue;
+            }
+            while idx < self.prefix_counts.len() && self.prefix_counts[idx] < alpha {
+                idx += 1;
+            }
+            *slot = if idx >= self.classes.len() {
+                *self.prefix_weights.last().unwrap_or(&0.0)
+            } else {
+                let below_count = if idx == 0 {
+                    0
+                } else {
+                    self.prefix_counts[idx - 1]
+                };
+                let below_weight = if idx == 0 {
+                    0.0
+                } else {
+                    self.prefix_weights[idx - 1]
+                };
+                below_weight + (alpha - below_count) as f64 * self.classes[idx].0
+            };
+        }
+    }
+
     /// Total packets waiting on this link.
     pub fn total_packets(&self) -> u64 {
         *self.prefix_counts.last().unwrap_or(&0)
@@ -599,19 +642,174 @@ impl LinkQueues {
 
     /// A cheap upper bound on the weight of *any* matching for a given α:
     /// `min(Σᵢ maxⱼ g, Σⱼ maxᵢ g)`. Used to prune the α search.
+    ///
+    /// Computed over dense `n`-sized max arrays (links never reference nodes
+    /// `>= n`), not per-α hash maps; absent rows contribute an exact `+0.0`.
+    /// For a whole candidate list, prefer the bounds piggybacked on
+    /// [`LinkQueues::weighted_edges_multi`].
     pub fn matching_weight_upper_bound(&self, alpha: u64) -> f64 {
-        let mut row_max: HashMap<u32, f64> = HashMap::new();
-        let mut col_max: HashMap<u32, f64> = HashMap::new();
+        let mut row_max = vec![0.0f64; self.n as usize];
+        let mut col_max = vec![0.0f64; self.n as usize];
         for (&(i, j), q) in &self.queues {
             let g = q.g(alpha);
-            let r = row_max.entry(i).or_insert(0.0);
-            *r = r.max(g);
-            let c = col_max.entry(j).or_insert(0.0);
-            *c = c.max(g);
+            debug_assert!(i < self.n && j < self.n, "link ({i}, {j}) out of fabric");
+            if g > row_max[i as usize] {
+                row_max[i as usize] = g;
+            }
+            if g > col_max[j as usize] {
+                col_max[j as usize] = g;
+            }
         }
-        let rs: f64 = row_max.values().sum();
-        let cs: f64 = col_max.values().sum();
+        let rs: f64 = row_max.iter().sum();
+        let cs: f64 = col_max.iter().sum();
         rs.min(cs)
+    }
+
+    /// Batched form of [`LinkQueues::weighted_edges`]: evaluates `g(i, j, α)`
+    /// for every non-empty link and every α of an **ascending** candidate
+    /// list in one merge-walk pass per link ([`LinkQueue::g_multi`]),
+    /// producing a fixed edge topology plus one weight column per α — the
+    /// shape [`octopus_matching::AssignmentSolver`] re-solves without
+    /// rebuilding. Per-α matching upper bounds ride along in the same pass.
+    pub fn weighted_edges_multi(&self, alphas: &[u64]) -> MultiAlphaEdges {
+        self.weighted_edges_multi_with(alphas, |_| 0)
+    }
+
+    /// [`LinkQueues::weighted_edges_multi`] with a per-link α bonus: link
+    /// `(i, j)` is evaluated at `α + extra((i, j))` for every candidate α.
+    /// Used by the localized-reconfiguration extension, where links kept from
+    /// the previous configuration also serve during the Δ transition.
+    pub fn weighted_edges_multi_with(
+        &self,
+        alphas: &[u64],
+        extra: impl Fn((u32, u32)) -> u64,
+    ) -> MultiAlphaEdges {
+        debug_assert!(
+            alphas.windows(2).all(|w| w[0] <= w[1]),
+            "alphas must be ascending"
+        );
+        let ne = self.queues.len();
+        let k = alphas.len();
+        let n = self.n as usize;
+        let mut edges = Vec::with_capacity(ne);
+        let mut weights = vec![0.0f64; k * ne];
+        let mut row = vec![0.0f64; k];
+        let mut shifted: Vec<u64> = Vec::with_capacity(k);
+        for (e, (&(i, j), q)) in self.queues.iter().enumerate() {
+            edges.push((i, j));
+            debug_assert!(i < self.n && j < self.n, "link ({i}, {j}) out of fabric");
+            let bonus = extra((i, j));
+            if bonus == 0 {
+                q.g_multi(alphas, &mut row);
+            } else {
+                shifted.clear();
+                shifted.extend(alphas.iter().map(|&a| a + bonus));
+                q.g_multi(&shifted, &mut row);
+            }
+            // Scatter the link's row into the column-major weight matrix.
+            for (kk, &g) in row.iter().enumerate() {
+                weights[kk * ne + e] = g;
+            }
+        }
+        // Upper-bound piggyback: per column, one dense row/col max pass.
+        let mut ubs = Vec::with_capacity(k);
+        let mut row_max = vec![0.0f64; n];
+        let mut col_max = vec![0.0f64; n];
+        for kk in 0..k {
+            row_max.fill(0.0);
+            col_max.fill(0.0);
+            let col = &weights[kk * ne..(kk + 1) * ne];
+            for (e, &(i, j)) in edges.iter().enumerate() {
+                let g = col[e];
+                if g > row_max[i as usize] {
+                    row_max[i as usize] = g;
+                }
+                if g > col_max[j as usize] {
+                    col_max[j as usize] = g;
+                }
+            }
+            let rs: f64 = row_max.iter().sum();
+            let cs: f64 = col_max.iter().sum();
+            ubs.push(rs.min(cs));
+        }
+        MultiAlphaEdges {
+            n: self.n,
+            alphas: alphas.to_vec(),
+            edges,
+            weights,
+            ubs,
+        }
+    }
+}
+
+/// The result of a batched multi-α sweep over a [`LinkQueues`] snapshot: one
+/// fixed `(i, j)`-sorted edge topology shared by all candidate αs, plus one
+/// `g(i, j, α)` weight column and one matching-weight upper bound per α.
+///
+/// Columns may contain non-positive weights (a link whose queue holds only
+/// zero-weight classes at some α); matching kernels consuming a column must
+/// treat `w <= 0` edges as absent, which is exactly what
+/// [`octopus_matching::AssignmentSolver::solve_reweighted`] and
+/// [`octopus_matching::greedy::GreedyScratch`] do. [`MultiAlphaEdges::edge_list`]
+/// applies the same filter for the one-shot kernels.
+#[derive(Debug, Clone)]
+pub struct MultiAlphaEdges {
+    n: u32,
+    alphas: Vec<u64>,
+    edges: Vec<(u32, u32)>,
+    /// Column-major: `weights[k * edges.len() + e]` is edge `e`'s weight at
+    /// `alphas[k]`.
+    weights: Vec<f64>,
+    ubs: Vec<f64>,
+}
+
+impl MultiAlphaEdges {
+    /// Fabric size the sweep was built for.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The ascending candidate αs the sweep evaluated.
+    pub fn alphas(&self) -> &[u64] {
+        &self.alphas
+    }
+
+    /// The fixed `(u, v)`-sorted edge topology (every non-empty link).
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// The column index of candidate `alpha`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` was not in the swept candidate list.
+    pub fn index_of(&self, alpha: u64) -> usize {
+        self.alphas
+            .binary_search(&alpha)
+            .expect("alpha was swept as a candidate")
+    }
+
+    /// The weight column of candidate `k` (in [`MultiAlphaEdges::edges`]
+    /// order).
+    pub fn column(&self, k: usize) -> &[f64] {
+        &self.weights[k * self.edges.len()..(k + 1) * self.edges.len()]
+    }
+
+    /// The matching-weight upper bound of candidate `k`:
+    /// `min(Σᵢ maxⱼ g, Σⱼ maxᵢ g)` over that column.
+    pub fn upper_bound(&self, k: usize) -> f64 {
+        self.ubs[k]
+    }
+
+    /// Candidate `k`'s edges in [`LinkQueues::weighted_edges`] form
+    /// (positive-weight `(i, j, g)` triples, `(i, j)`-sorted).
+    pub fn edge_list(&self, k: usize) -> Vec<(u32, u32, f64)> {
+        self.edges
+            .iter()
+            .zip(self.column(k))
+            .filter(|&(_, &w)| w > 0.0)
+            .map(|(&(i, j), &w)| (i, j, w))
+            .collect()
     }
 }
 
@@ -712,6 +910,66 @@ mod tests {
             let m = octopus_matching::maximum_weight_matching(&g);
             let w = octopus_matching::matching_weight(&g, &m);
             assert!(q.matching_weight_upper_bound(alpha) + 1e-9 >= w);
+        }
+    }
+
+    #[test]
+    fn g_multi_matches_per_alpha_g() {
+        let q = LinkQueues::from_weighted_counts(4, [((0, 1), 1.0, 10u64), ((0, 1), 0.5, 20)]);
+        let lq = q.queue(0, 1).unwrap();
+        let alphas = [1u64, 5, 10, 11, 16, 30, 31, 99];
+        let mut out = vec![0.0; alphas.len()];
+        lq.g_multi(&alphas, &mut out);
+        for (k, &a) in alphas.iter().enumerate() {
+            assert_eq!(out[k], lq.g(a), "α = {a}");
+        }
+    }
+
+    #[test]
+    fn multi_sweep_matches_per_alpha_edges_and_bounds() {
+        let tr = RemainingTraffic::new(&load_example1(), HopWeighting::Uniform).unwrap();
+        let q = tr.link_queues(4);
+        let alphas = q.alpha_candidates(1_000);
+        let sweep = q.weighted_edges_multi(&alphas);
+        assert_eq!(sweep.alphas(), alphas.as_slice());
+        for (k, &a) in alphas.iter().enumerate() {
+            assert_eq!(sweep.index_of(a), k);
+            assert_eq!(sweep.edge_list(k), q.weighted_edges(a), "α = {a}");
+            assert_eq!(
+                sweep.upper_bound(k),
+                q.matching_weight_upper_bound(a),
+                "α = {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_sweep_keeps_zero_weight_links_in_topology() {
+        // A link whose only class has weight 0 appears in the topology but
+        // must be dropped from every per-α edge list (the g > 0 boundary).
+        let q = LinkQueues::from_weighted_counts(4, [((0, 1), 0.0, 5u64), ((2, 3), 2.0, 3)]);
+        let alphas = q.alpha_candidates(1_000);
+        let sweep = q.weighted_edges_multi(&alphas);
+        assert_eq!(sweep.edges(), &[(0, 1), (2, 3)]);
+        for (k, &a) in alphas.iter().enumerate() {
+            assert_eq!(sweep.edge_list(k), q.weighted_edges(a), "α = {a}");
+        }
+    }
+
+    #[test]
+    fn multi_sweep_with_bonus_shifts_per_link() {
+        let q = LinkQueues::from_weighted_counts(
+            4,
+            [((0, 1), 1.0, 10u64), ((0, 1), 0.5, 20), ((1, 2), 1.0, 7)],
+        );
+        let alphas = [5u64, 12];
+        let delta = 6u64;
+        let sweep =
+            q.weighted_edges_multi_with(&alphas, |link| if link == (0, 1) { delta } else { 0 });
+        for (k, &a) in alphas.iter().enumerate() {
+            let col = sweep.column(k);
+            assert_eq!(col[0], q.g(0, 1, a + delta));
+            assert_eq!(col[1], q.g(1, 2, a));
         }
     }
 

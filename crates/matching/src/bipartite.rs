@@ -13,25 +13,13 @@
 //! This plays the role of Google OR-tools' linear-assignment solver in the
 //! paper's experiments (§8 "Execution Time"): an exact kernel whose wall-clock
 //! cost motivates the greedy Octopus-G variant.
+//!
+//! The implementation lives in [`crate::AssignmentSolver`], a reusable
+//! workspace that amortizes the CSR build and scratch allocations across
+//! solves; this entry point is a thin wrapper constructing a fresh workspace
+//! per call. Hot loops should hold an [`crate::AssignmentSolver`] instead.
 
-use crate::WeightedBipartiteGraph;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-/// Total order wrapper so `f64` distances can live in a [`BinaryHeap`].
-#[derive(PartialEq)]
-struct OrdF64(f64);
-impl Eq for OrdF64 {}
-impl PartialOrd for OrdF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
+use crate::{AssignmentSolver, WeightedBipartiteGraph};
 
 /// Computes an exact maximum-weight matching of `g`.
 ///
@@ -51,194 +39,9 @@ impl Ord for OrdF64 {
 /// assert_eq!(maximum_weight_matching(&g), vec![(0, 0), (1, 1)]);
 /// ```
 pub fn maximum_weight_matching(g: &WeightedBipartiteGraph) -> Vec<(u32, u32)> {
-    let nl = g.n_left() as usize;
-    let nr = g.n_right() as usize;
-    // Right vertex ids: 0..nr are real, nr + u is left-u's dummy sink.
-    let nr_ext = nr + nl;
-
-    let mut match_l: Vec<Option<u32>> = vec![None; nl]; // left -> extended right
-    let mut match_r: Vec<Option<u32>> = vec![None; nr_ext]; // extended right -> left
-
-    // Potentials; invariant: cost(u,v) + pot_l[u] - pot_r[v] >= 0 for every
-    // edge, with equality on matched edges (cost = -weight; dummy cost = 0).
-    let mut pot_l: Vec<f64> = (0..nl as u32)
-        .map(|u| g.edges_of(u).map(|e| e.weight).fold(0.0, f64::max))
-        .collect();
-    let mut pot_r: Vec<f64> = vec![0.0; nr_ext];
-
-    // Timestamped scratch (avoids O(V) clears per phase).
-    let mut dist_r: Vec<f64> = vec![f64::INFINITY; nr_ext];
-    let mut dist_l: Vec<f64> = vec![f64::INFINITY; nl];
-    let mut pred_r: Vec<u32> = vec![u32::MAX; nr_ext];
-    let mut stamp_r: Vec<u32> = vec![0; nr_ext];
-    let mut stamp_l: Vec<u32> = vec![0; nl];
-    let mut done_r: Vec<bool> = vec![false; nr_ext];
-    let mut phase: u32 = 0;
-
-    let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
-    // Vertices touched this phase, for the potential update.
-    let mut touched_l: Vec<u32> = Vec::new();
-    let mut touched_r: Vec<u32> = Vec::new();
-
-    for s in 0..nl as u32 {
-        if g.edges_of(s).next().is_none() {
-            continue; // isolated: stays unmatched
-        }
-        phase += 1;
-        heap.clear();
-        touched_l.clear();
-        touched_r.clear();
-
-        // Seed with s at distance 0.
-        dist_l[s as usize] = 0.0;
-        stamp_l[s as usize] = phase;
-        touched_l.push(s);
-        relax_left(
-            g,
-            s,
-            0.0,
-            &pot_l,
-            &pot_r,
-            &mut dist_r,
-            &mut pred_r,
-            &mut stamp_r,
-            &mut done_r,
-            phase,
-            &mut heap,
-            &mut touched_r,
-            nr,
-        );
-
-        // Dijkstra until a free (extended) right vertex is finalized.
-        let mut target: Option<(u32, f64)> = None;
-        while let Some(Reverse((OrdF64(d), v))) = heap.pop() {
-            let vi = v as usize;
-            if stamp_r[vi] != phase || done_r[vi] || d > dist_r[vi] {
-                continue; // stale entry
-            }
-            done_r[vi] = true;
-            match match_r[vi] {
-                None => {
-                    target = Some((v, d));
-                    break;
-                }
-                Some(u) => {
-                    // Traverse the matched edge backwards at reduced cost 0.
-                    let ui = u as usize;
-                    if stamp_l[ui] != phase || d < dist_l[ui] {
-                        stamp_l[ui] = phase;
-                        dist_l[ui] = d;
-                        touched_l.push(u);
-                        relax_left(
-                            g,
-                            u,
-                            d,
-                            &pot_l,
-                            &pot_r,
-                            &mut dist_r,
-                            &mut pred_r,
-                            &mut stamp_r,
-                            &mut done_r,
-                            phase,
-                            &mut heap,
-                            &mut touched_r,
-                            nr,
-                        );
-                    }
-                }
-            }
-        }
-
-        let (t, big_d) = target.expect("dummy sink guarantees an augmenting path");
-
-        // Johnson potential update: every finalized vertex x with d(x) <= D
-        // gets pot[x] -= (D - d(x)); this keeps reduced costs >= 0 and makes
-        // the augmenting path tight.
-        for &u in &touched_l {
-            let ui = u as usize;
-            if dist_l[ui] <= big_d {
-                pot_l[ui] -= big_d - dist_l[ui];
-            }
-        }
-        for &v in &touched_r {
-            let vi = v as usize;
-            if done_r[vi] && dist_r[vi] <= big_d {
-                pot_r[vi] -= big_d - dist_r[vi];
-            }
-        }
-        // Reset done flags for touched right vertices (stamps handle dist).
-        for &v in &touched_r {
-            done_r[v as usize] = false;
-        }
-
-        // Augment: walk predecessor pointers from the target back to s.
-        let mut v_cur = t;
-        loop {
-            let u = pred_r[v_cur as usize];
-            let prev_v = match_l[u as usize];
-            match_l[u as usize] = Some(v_cur);
-            match_r[v_cur as usize] = Some(u);
-            match prev_v {
-                Some(pv) => v_cur = pv,
-                None => break,
-            }
-        }
-    }
-
-    let mut out: Vec<(u32, u32)> = match_l
-        .iter()
-        .enumerate()
-        .filter_map(|(u, &mv)| match mv {
-            Some(v) if (v as usize) < nr => Some((u as u32, v)),
-            _ => None,
-        })
-        .collect();
-    out.sort_unstable();
-    out
-}
-
-/// Relaxes all edges of left vertex `u` (including its dummy sink), given its
-/// finalized distance `d_u`.
-#[allow(clippy::too_many_arguments)]
-fn relax_left(
-    g: &WeightedBipartiteGraph,
-    u: u32,
-    d_u: f64,
-    pot_l: &[f64],
-    pot_r: &[f64],
-    dist_r: &mut [f64],
-    pred_r: &mut [u32],
-    stamp_r: &mut [u32],
-    done_r: &mut [bool],
-    phase: u32,
-    heap: &mut BinaryHeap<Reverse<(OrdF64, u32)>>,
-    touched_r: &mut Vec<u32>,
-    nr: usize,
-) {
-    let ui = u as usize;
-    let mut relax = |v: usize, rc: f64, dist_r: &mut [f64], pred_r: &mut [u32]| {
-        debug_assert!(rc >= -1e-9, "reduced cost must stay non-negative: {rc}");
-        let nd = d_u + rc.max(0.0);
-        if stamp_r[v] != phase {
-            stamp_r[v] = phase;
-            done_r[v] = false;
-            dist_r[v] = f64::INFINITY;
-            touched_r.push(v as u32);
-        }
-        if !done_r[v] && nd < dist_r[v] {
-            dist_r[v] = nd;
-            pred_r[v] = u;
-            heap.push(Reverse((OrdF64(nd), v as u32)));
-        }
-    };
-    for e in g.edges_of(u) {
-        let rc = -e.weight + pot_l[ui] - pot_r[e.v as usize];
-        relax(e.v as usize, rc, dist_r, pred_r);
-    }
-    // Dummy sink of u: cost 0 edge.
-    let dv = nr + ui;
-    let rc = pot_l[ui] - pot_r[dv];
-    relax(dv, rc, dist_r, pred_r);
+    let mut solver = AssignmentSolver::new();
+    solver.solve(g);
+    solver.take_matching()
 }
 
 #[cfg(test)]

@@ -59,6 +59,123 @@ pub fn bucket_greedy_matching(g: &WeightedBipartiteGraph, weights: &[u64]) -> Ve
     take_greedily(g, order.into_iter())
 }
 
+/// Reusable scratch for the slice-based greedy kernels.
+///
+/// The α-search evaluates many weight columns over one fixed edge topology
+/// (see [`crate::AssignmentSolver`]); these variants take the topology as a
+/// plain `(u, v)`-sorted slice plus a parallel weight column and reuse the
+/// sort/marker buffers across calls, so a solve allocates nothing once the
+/// buffers have warmed up. Results are bit-identical to [`greedy_matching`] /
+/// [`bucket_greedy_matching`] on the graph built from the positive-weight
+/// subset of the edges.
+#[derive(Debug, Default)]
+pub struct GreedyScratch {
+    order: Vec<u32>,
+    counts: Vec<u32>,
+    used_l: Vec<bool>,
+    used_r: Vec<bool>,
+}
+
+impl GreedyScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sort-based greedy over a fixed topology and weight column, writing the
+    /// matching (sorted by `(u, v)`) into `out`.
+    ///
+    /// `edges` must be `(u, v)`-sorted and duplicate-free; `weights[i]` is
+    /// edge `i`'s weight, with entries `<= 0.0` disabling their edge.
+    /// Bit-identical to [`greedy_matching`] on the equivalent
+    /// [`WeightedBipartiteGraph`].
+    pub fn greedy_on(
+        &mut self,
+        n_left: u32,
+        n_right: u32,
+        edges: &[(u32, u32)],
+        weights: &[f64],
+        out: &mut Vec<(u32, u32)>,
+    ) {
+        assert_eq!(weights.len(), edges.len(), "one weight per edge required");
+        self.order.clear();
+        self.order
+            .extend((0..edges.len() as u32).filter(|&i| weights[i as usize] > 0.0));
+        // Keys (weight, u, v) are unique per edge, so the unstable sort is
+        // deterministic and matches `greedy_matching`'s order exactly.
+        self.order.sort_unstable_by(|&a, &b| {
+            weights[b as usize]
+                .total_cmp(&weights[a as usize])
+                .then(edges[a as usize].cmp(&edges[b as usize]))
+        });
+        self.take_greedily_on(n_left, n_right, edges, out);
+    }
+
+    /// Counting-sort greedy over a fixed topology and **integral** weight
+    /// column; the allocation-free analogue of [`bucket_greedy_matching`].
+    ///
+    /// `edges` must be `(u, v)`-sorted and duplicate-free; zero weights
+    /// disable their edge. Runs in `O(max_weight + E)` with all buffers
+    /// reused.
+    pub fn bucket_greedy_on(
+        &mut self,
+        n_left: u32,
+        n_right: u32,
+        edges: &[(u32, u32)],
+        weights: &[u64],
+        out: &mut Vec<(u32, u32)>,
+    ) {
+        assert_eq!(weights.len(), edges.len(), "one weight per edge required");
+        let max_w = weights.iter().copied().max().unwrap_or(0) as usize;
+        // Counting sort by key = max_w - w (so heaviest first), stable in
+        // edge index: the exact order `bucket_greedy_matching` produces.
+        self.counts.clear();
+        self.counts.resize(max_w + 1, 0);
+        for &w in weights.iter().filter(|&&w| w > 0) {
+            self.counts[max_w - w as usize] += 1;
+        }
+        let mut total = 0u32;
+        for c in &mut self.counts {
+            let here = *c;
+            *c = total;
+            total += here;
+        }
+        self.order.clear();
+        self.order.resize(total as usize, 0);
+        for (i, &w) in weights.iter().enumerate() {
+            if w > 0 {
+                let slot = &mut self.counts[max_w - w as usize];
+                self.order[*slot as usize] = i as u32;
+                *slot += 1;
+            }
+        }
+        self.take_greedily_on(n_left, n_right, edges, out);
+    }
+
+    fn take_greedily_on(
+        &mut self,
+        n_left: u32,
+        n_right: u32,
+        edges: &[(u32, u32)],
+        out: &mut Vec<(u32, u32)>,
+    ) {
+        self.used_l.clear();
+        self.used_l.resize(n_left as usize, false);
+        self.used_r.clear();
+        self.used_r.resize(n_right as usize, false);
+        out.clear();
+        for &i in &self.order {
+            let (u, v) = edges[i as usize];
+            if !self.used_l[u as usize] && !self.used_r[v as usize] {
+                self.used_l[u as usize] = true;
+                self.used_r[v as usize] = true;
+                out.push((u, v));
+            }
+        }
+        out.sort_unstable();
+    }
+}
+
 fn take_greedily(
     g: &WeightedBipartiteGraph,
     order: impl Iterator<Item = usize>,
@@ -157,6 +274,43 @@ mod tests {
     fn bucket_handles_empty_graph() {
         let g = WeightedBipartiteGraph::from_tuples(3, 3, []);
         assert!(bucket_greedy_matching(&g, &[]).is_empty());
+    }
+
+    #[test]
+    fn scratch_variants_match_graph_variants() {
+        let mut state = 0xfeed_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut scratch = GreedyScratch::new();
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            let nl = 1 + (next() % 8) as u32;
+            let nr = 1 + (next() % 8) as u32;
+            let mut edges: Vec<(u32, u32)> = (0..(next() % 20) as usize)
+                .map(|_| (next() as u32 % nl, next() as u32 % nr))
+                .collect();
+            edges.sort_unstable();
+            edges.dedup();
+            // Integral weights with zeros mixed in to hit the disable path.
+            let ints: Vec<u64> = edges.iter().map(|_| next() % 50).collect();
+            let floats: Vec<f64> = ints.iter().map(|&w| w as f64).collect();
+            let tuples: Vec<(u32, u32, f64)> = edges
+                .iter()
+                .zip(&floats)
+                .map(|(&(u, v), &w)| (u, v, w))
+                .collect();
+            let g = WeightedBipartiteGraph::from_tuples(nl, nr, tuples);
+            let g_ints: Vec<u64> = g.edges().iter().map(|e| e.weight as u64).collect();
+
+            scratch.greedy_on(nl, nr, &edges, &floats, &mut out);
+            assert_eq!(out, greedy_matching(&g));
+            scratch.bucket_greedy_on(nl, nr, &edges, &ints, &mut out);
+            assert_eq!(out, bucket_greedy_matching(&g, &g_ints));
+        }
     }
 
     #[test]

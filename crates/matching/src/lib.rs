@@ -12,6 +12,10 @@
 //!   sparse graph via successive shortest augmenting paths with Johnson
 //!   potentials (the role Google OR-tools' linear assignment plays in the
 //!   paper's experiments).
+//! * [`AssignmentSolver`] — the same exact kernel as a reusable workspace:
+//!   the CSR topology, potentials and Dijkstra scratch persist across solves,
+//!   and `solve_reweighted` re-solves a fixed topology under a new weight
+//!   column without allocating (the α-search hot path).
 //! * [`greedy::greedy_matching`] — the classic sort-by-weight greedy,
 //!   a ½-approximation (Avis 1983), used by **Octopus-G**.
 //! * [`greedy::bucket_greedy_matching`] — the same greedy in linear time via
@@ -41,9 +45,11 @@ pub mod hopcroft_karp;
 
 mod bipartite;
 mod graph;
+mod solver;
 
 pub use bipartite::maximum_weight_matching;
 pub use graph::{Edge, WeightedBipartiteGraph};
+pub use solver::AssignmentSolver;
 
 /// Total weight of a matching (list of `(left, right)` pairs) in `g`.
 ///

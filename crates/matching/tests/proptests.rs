@@ -5,9 +5,9 @@ use octopus_matching::{
     blossom::maximum_weight_matching_general,
     brute, bvn,
     general::{general_matching_brute, greedy_general_matching},
-    greedy::{bucket_greedy_matching, greedy_matching},
+    greedy::{bucket_greedy_matching, greedy_matching, GreedyScratch},
     hopcroft_karp::hopcroft_karp,
-    matching_weight, maximum_weight_matching, WeightedBipartiteGraph,
+    matching_weight, maximum_weight_matching, AssignmentSolver, WeightedBipartiteGraph,
 };
 use proptest::prelude::*;
 
@@ -20,6 +20,47 @@ fn bipartite() -> impl Strategy<Value = (u32, u32, Vec<(u32, u32, f64)>)> {
         );
         (Just(nl), Just(nr), edges)
     })
+}
+
+/// Strategy: a fixed `(u, v)`-sorted topology plus several independent weight
+/// columns (including non-positive entries, to exercise the `w <= 0` edge
+/// dropping) and a chain of non-negative increments for monotone updates.
+#[allow(clippy::type_complexity)]
+fn topology_and_columns(
+) -> impl Strategy<Value = (u32, u32, Vec<(u32, u32)>, Vec<Vec<f64>>, Vec<Vec<u64>>)> {
+    (1u32..7, 1u32..7)
+        .prop_flat_map(|(nl, nr)| {
+            (
+                Just(nl),
+                Just(nr),
+                prop::collection::vec((0..nl, 0..nr), 0..16),
+            )
+        })
+        .prop_flat_map(|(nl, nr, mut raw)| {
+            raw.sort_unstable();
+            raw.dedup();
+            let ne = raw.len();
+            let cols = prop::collection::vec(prop::collection::vec(-400i64..8000, ne..=ne), 1..5);
+            let deltas = prop::collection::vec(prop::collection::vec(0u64..64, ne..=ne), 0..4);
+            (Just(nl), Just(nr), Just(raw), cols, deltas)
+        })
+        .prop_map(|(nl, nr, edges, cols, deltas)| {
+            let cols: Vec<Vec<f64>> = cols
+                .into_iter()
+                .map(|c| c.into_iter().map(|w| w as f64 / 8.0).collect())
+                .collect();
+            (nl, nr, edges, cols, deltas)
+        })
+}
+
+/// Cold reference: one-shot kernel on the positive-weight subgraph.
+fn cold_solve(nl: u32, nr: u32, edges: &[(u32, u32)], col: &[f64]) -> Vec<(u32, u32)> {
+    let tuples: Vec<(u32, u32, f64)> = edges
+        .iter()
+        .zip(col)
+        .map(|(&(u, v), &w)| (u, v, w))
+        .collect();
+    maximum_weight_matching(&WeightedBipartiteGraph::from_tuples(nl, nr, tuples))
 }
 
 fn is_matching(m: &[(u32, u32)]) -> bool {
@@ -103,6 +144,64 @@ proptest! {
             })
             .sum();
         prop_assert!(gw * 2.0 + 1e-9 >= want);
+    }
+
+    #[test]
+    fn solver_reweighted_bit_identical_to_cold_solve(
+        (nl, nr, edges, cols, deltas) in topology_and_columns()
+    ) {
+        let mut solver = AssignmentSolver::new();
+        solver.load_topology(nl, nr, &edges);
+        // Independent columns: the workspace result must be a pure function
+        // of (topology, weights), whatever was solved before.
+        for col in &cols {
+            let warm = solver.solve_reweighted(col).to_vec();
+            prop_assert_eq!(&warm, &cold_solve(nl, nr, &edges, col));
+        }
+        // Monotone updates: bump weights in place and re-solve each step.
+        let mut col = cols.last().unwrap().clone();
+        for delta in &deltas {
+            for (w, d) in col.iter_mut().zip(delta) {
+                *w += *d as f64;
+            }
+            let warm = solver.solve_reweighted(&col).to_vec();
+            prop_assert_eq!(&warm, &cold_solve(nl, nr, &edges, &col));
+        }
+    }
+
+    #[test]
+    fn solver_reused_across_graphs_matches_one_shot(
+        (nl1, nr1, edges1) in bipartite(),
+        (nl2, nr2, edges2) in bipartite(),
+    ) {
+        let g1 = WeightedBipartiteGraph::from_tuples(nl1, nr1, edges1);
+        let g2 = WeightedBipartiteGraph::from_tuples(nl2, nr2, edges2);
+        let mut solver = AssignmentSolver::new();
+        prop_assert_eq!(solver.solve(&g1).to_vec(), maximum_weight_matching(&g1));
+        prop_assert!(
+            (solver.last_weight() - matching_weight(&g1, solver.matching())).abs() == 0.0
+        );
+        // Buffer reuse across differently-shaped graphs must not leak state.
+        prop_assert_eq!(solver.solve(&g2).to_vec(), maximum_weight_matching(&g2));
+        prop_assert_eq!(solver.solve(&g1).to_vec(), maximum_weight_matching(&g1));
+    }
+
+    #[test]
+    fn greedy_scratch_bit_identical_to_graph_greedy(
+        (nl, nr, edges, cols, _d) in topology_and_columns()
+    ) {
+        let mut scratch = GreedyScratch::new();
+        let mut out = Vec::new();
+        for col in &cols {
+            let tuples: Vec<(u32, u32, f64)> = edges
+                .iter()
+                .zip(col)
+                .map(|(&(u, v), &w)| (u, v, w))
+                .collect();
+            let g = WeightedBipartiteGraph::from_tuples(nl, nr, tuples);
+            scratch.greedy_on(nl, nr, &edges, col, &mut out);
+            prop_assert_eq!(&out, &greedy_matching(&g));
+        }
     }
 
     #[test]

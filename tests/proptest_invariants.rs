@@ -4,8 +4,8 @@
 
 use octopus_mhs::core::{
     best_configuration, octopus, AlphaSearch, BipartiteFabric, CandidateExtension, HopWeighting,
-    LinkQueues, MatchingKind, OctopusConfig, RemainingTraffic, ScheduleEngine, SearchPolicy,
-    TrafficSource,
+    LinkQueues, LocalFabric, MatchingKind, OctopusConfig, RemainingTraffic, ScheduleEngine,
+    SearchPolicy, TrafficSource,
 };
 use octopus_mhs::net::{topology, Configuration, Schedule};
 use octopus_mhs::sim::{resolve, SimConfig, Simulator};
@@ -253,6 +253,117 @@ proptest! {
         prop_assert_eq!(par.alpha, c);
         prop_assert_eq!(seq.matching, par.matching);
         prop_assert_eq!(seq.score.to_bits(), par.score.to_bits());
+    }
+
+    #[test]
+    fn multi_alpha_sweep_matches_per_alpha_derivation(
+        (n, load, _window, _delta) in instance(),
+        cap in 2u64..600,
+    ) {
+        // The batched sweep must reproduce, per candidate α, exactly the
+        // edge list and matching-weight upper bound of the historical
+        // one-α-at-a-time derivation — bit-for-bit, since the α search
+        // compares and prunes on these numbers.
+        let tr = RemainingTraffic::new(&load, HopWeighting::Uniform).unwrap();
+        let queues = tr.link_queues(n);
+        let candidates = queues.alpha_candidates(cap);
+        let sweep = queues.weighted_edges_multi(&candidates);
+        prop_assert_eq!(sweep.alphas(), &candidates[..]);
+        for (k, &alpha) in candidates.iter().enumerate() {
+            prop_assert_eq!(sweep.edge_list(k), queues.weighted_edges(alpha));
+            prop_assert_eq!(
+                sweep.upper_bound(k).to_bits(),
+                queues.matching_weight_upper_bound(alpha).to_bits(),
+                "upper bound differs at alpha {}", alpha
+            );
+        }
+    }
+
+    #[test]
+    fn batched_select_matches_legacy_per_alpha_evaluation(
+        (n, load, window, delta) in instance(),
+    ) {
+        // `ScheduleEngine::select` runs the batched sweep on reusable
+        // workspaces; `ScheduleEngine::evaluate` runs the historical
+        // build-a-graph-per-α kernel. For every kernel kind the winner must
+        // carry the legacy evaluation's exact matching and benefit, and must
+        // dominate every candidate's legacy score (i.e. pruning on the
+        // batched bounds never discards the true winner).
+        let scale = octopus_mhs::traffic::weight::weight_scale(
+            load.max_route_hops().max(1),
+        );
+        for kind in [
+            MatchingKind::Exact,
+            MatchingKind::GreedySort,
+            MatchingKind::BucketGreedy { scale },
+        ] {
+            let mut tr = RemainingTraffic::new(&load, HopWeighting::Uniform).unwrap();
+            let fabric = BipartiteFabric { kind };
+            let mut engine = ScheduleEngine::new(&mut tr, n, delta);
+            let budget = window.saturating_sub(delta).max(1);
+            let candidates = engine.candidates(budget, CandidateExtension::None);
+            let selected =
+                engine.select(&fabric, budget, CandidateExtension::None, &SearchPolicy::exhaustive());
+            match selected {
+                Some(sel) => {
+                    let legacy = engine.evaluate(&fabric, sel.alpha);
+                    prop_assert_eq!(&sel.matching, &legacy.matching, "kind {:?}", kind);
+                    prop_assert_eq!(sel.benefit.to_bits(), legacy.benefit.to_bits());
+                    prop_assert_eq!(sel.score.to_bits(), legacy.score.to_bits());
+                    for alpha in candidates {
+                        let other = engine.evaluate(&fabric, alpha);
+                        prop_assert!(
+                            other.score.total_cmp(&sel.score).is_le(),
+                            "legacy eval at alpha {} out-scores the batched winner", alpha
+                        );
+                    }
+                }
+                None => {
+                    for alpha in candidates {
+                        prop_assert!(engine.evaluate(&fabric, alpha).benefit <= 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_fabric_sweep_matches_legacy_evaluation(
+        (n, load, window, delta) in instance(),
+    ) {
+        // The persistence-aware fabric sweeps g(i, j, α + Δ) on links carried
+        // over from the previous matching; each step's winner must agree with
+        // the legacy per-α evaluation at the same α and `prev` set.
+        let mut tr = RemainingTraffic::new(&load, HopWeighting::Uniform).unwrap();
+        let mut fabric = LocalFabric {
+            kind: MatchingKind::Exact,
+            delta,
+            prev: std::collections::HashSet::new(),
+        };
+        let policy = SearchPolicy {
+            search: AlphaSearch::Exhaustive,
+            parallel: false,
+            prefer_larger_alpha: true,
+        };
+        let mut engine = ScheduleEngine::new(&mut tr, n, delta);
+        let mut used = 0u64;
+        for _ in 0..3 {
+            if engine.is_drained() || used + delta >= window {
+                break;
+            }
+            let budget = window - used - delta;
+            let Some(sel) =
+                engine.select(&fabric, budget, CandidateExtension::ShiftDown(delta), &policy)
+            else {
+                break;
+            };
+            let legacy = engine.evaluate(&fabric, sel.alpha);
+            prop_assert_eq!(&sel.matching, &legacy.matching);
+            prop_assert_eq!(sel.benefit.to_bits(), legacy.benefit.to_bits());
+            engine.commit(&fabric, &sel.matching, sel.alpha);
+            fabric.prev = sel.matching.iter().copied().collect();
+            used += sel.alpha + delta;
+        }
     }
 
     #[test]

@@ -6,12 +6,34 @@
 //! wall-clock sampler: after one warm-up call, each sample times a batch of
 //! iterations and the report prints the median and min per-iteration time to
 //! stdout. No statistics machinery, plots, or baselines.
+//!
+//! Like the real crate, `cargo bench -- --test` runs in **smoke mode**: every
+//! benchmark body executes exactly once, untimed, and the report prints a
+//! `test ok` line instead of timings — cheap enough for CI to prove the
+//! benches still build and run without paying for measurements.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// Whether benches run in smoke mode (`--test`): one untimed iteration each.
+static SMOKE: AtomicBool = AtomicBool::new(false);
+
+/// Parses harness arguments (called by [`criterion_main!`]). Only `--test`
+/// is interpreted; everything else is ignored, matching this stand-in's
+/// no-filtering behavior.
+pub fn configure_from_args() {
+    if std::env::args().skip(1).any(|a| a == "--test") {
+        SMOKE.store(true, Ordering::Relaxed);
+    }
+}
+
+fn smoke() -> bool {
+    SMOKE.load(Ordering::Relaxed)
+}
 
 pub use std::hint::black_box as criterion_black_box;
 
@@ -129,6 +151,8 @@ pub struct Bencher {
     sample_size: usize,
     /// Per-iteration nanoseconds, one entry per sample.
     samples: Vec<f64>,
+    /// Whether the body ran (once) under smoke mode.
+    ran_smoke: bool,
 }
 
 impl Bencher {
@@ -136,12 +160,19 @@ impl Bencher {
         Bencher {
             sample_size,
             samples: Vec::new(),
+            ran_smoke: false,
         }
     }
 
     /// Measures `f`, batching iterations so each sample is long enough to
     /// time reliably (~5 ms target per sample, at least one iteration).
+    /// In smoke mode (`--test`) runs `f` once, untimed.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if smoke() {
+            black_box(f());
+            self.ran_smoke = true;
+            return;
+        }
         // Warm-up and batch sizing.
         let t = Instant::now();
         black_box(f());
@@ -160,6 +191,10 @@ impl Bencher {
     }
 
     fn report(&self, group: &str, label: &str) {
+        if self.ran_smoke {
+            println!("  {group}/{label}: test ok (1 smoke iteration)");
+            return;
+        }
         if self.samples.is_empty() {
             println!("  {group}/{label}: no samples (Bencher::iter never called)");
             return;
@@ -212,6 +247,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::configure_from_args();
             $($group();)+
         }
     };
