@@ -17,7 +17,7 @@
 use crate::one_hop::{one_hop_schedule, OneHopDemand, OneHopOutput};
 use octopus_core::{AlphaSearch, MatchingKind, OctopusConfig, SchedError};
 use octopus_net::{Network, Schedule};
-use octopus_traffic::{FlowId, TrafficLoad};
+use octopus_traffic::TrafficLoad;
 
 /// Runs plain Eclipse over explicit one-hop demands (unit weights).
 pub fn eclipse_schedule(n: u32, demands: &[OneHopDemand], delta: u64, window: u64) -> OneHopOutput {
@@ -64,10 +64,7 @@ pub fn eclipse_based_schedule(
     load: &TrafficLoad,
     cfg: &OctopusConfig,
 ) -> Result<Schedule, SchedError> {
-    load.validate(net).map_err(|e| match e {
-        octopus_traffic::TrafficError::InvalidRoute(id, _) => SchedError::InvalidRoute(id),
-        _ => SchedError::InvalidRoute(FlowId(u64::MAX)),
-    })?;
+    load.validate(net)?;
     if !load.is_single_route() {
         let id = load
             .flows()
@@ -87,7 +84,7 @@ mod tests {
     use super::*;
     use octopus_net::topology;
     use octopus_sim::{resolve, SimConfig, Simulator};
-    use octopus_traffic::{Flow, Route};
+    use octopus_traffic::{Flow, FlowId, Route};
 
     fn cfg(window: u64, delta: u64) -> OctopusConfig {
         OctopusConfig {

@@ -191,7 +191,7 @@ fn ext_local(opts: &Opts) -> Vec<Series> {
         let global_plan_local_hw = avg(&e, |i| run(i, false, true));
         let local_plan_local_hw = avg(&e, |i| run(i, true, true));
         s.push(
-            d,
+            &d,
             vec![global_hw, global_plan_local_hw, local_plan_local_hw],
         );
     }
@@ -296,7 +296,7 @@ fn fig45(opts: &Opts) -> Vec<Series> {
     for &n in nodes {
         let e = Env { n, ..base };
         eprintln!("[fig4a] n={n}");
-        s.push(n, point_main(&e, |c| c));
+        s.push(&n, point_main(&e, |c| c));
     }
     out.push(s);
 
@@ -315,7 +315,7 @@ fn fig45(opts: &Opts) -> Vec<Series> {
     for &d in deltas {
         let e = Env { delta: d, ..base };
         eprintln!("[fig4b] delta={d}");
-        s.push(d, point_main(&e, |c| c));
+        s.push(&d, point_main(&e, |c| c));
     }
     out.push(s);
 
@@ -330,7 +330,7 @@ fn fig45(opts: &Opts) -> Vec<Series> {
     for &k in skews {
         eprintln!("[fig4c] skew={k}%");
         let frac = k as f64 / 100.0;
-        s.push(k, point_main(&base, move |c| c.with_skew(frac)));
+        s.push(&k, point_main(&base, move |c| c.with_skew(frac)));
     }
     out.push(s);
 
@@ -344,7 +344,7 @@ fn fig45(opts: &Opts) -> Vec<Series> {
     );
     for &k in sparsity {
         eprintln!("[fig4d] flows/port={k}");
-        s.push(k, point_main(&base, move |c| c.with_flows_per_port(k)));
+        s.push(&k, point_main(&base, move |c| c.with_flows_per_port(k)));
     }
     out.push(s);
     out
@@ -367,7 +367,7 @@ fn fig6(opts: &Opts) -> Vec<Series> {
         let ecl = avg(&e, |i| run_eclipse_based(&e, &trace_instance(&e, i, kind)));
         let ub = avg(&e, |i| run_ub(&e, &trace_instance(&e, i, kind)));
         let abs = avg(&e, |i| run_absolute_bound(&e, &trace_instance(&e, i, kind)));
-        s.push(kind.label(), vec![oct, ecl, ub, abs]);
+        s.push(&kind.label(), vec![oct, ecl, ub, abs]);
     }
     vec![s]
 }
@@ -396,7 +396,7 @@ fn fig7a(opts: &Opts) -> Vec<Series> {
             run_eclipse_based(&e, &synthetic_instance(&e, i, |c| c))
         });
         let ub = avg(&e, |i| run_ub(&e, &synthetic_instance(&e, i, |c| c)));
-        s.push(d, vec![oct, ecl, ub]);
+        s.push(&d, vec![oct, ecl, ub]);
     }
     vec![s]
 }
@@ -428,7 +428,7 @@ fn fig7b(opts: &Opts) -> Vec<Series> {
         let ub = avg(&base, |i| {
             run_ub(&base, &synthetic_instance(&base, i, tweak))
         });
-        s.push(hops, vec![oct, octe, ub]);
+        s.push(&hops, vec![oct, octe, ub]);
     }
     vec![s]
 }
@@ -454,7 +454,7 @@ fn fig8(opts: &Opts) -> Vec<Series> {
             run_octopus(&e, &synthetic_instance(&e, i, |c| c), &e.octopus_cfg())
         });
         let rot = avg(&e, |i| run_rotornet(&e, &synthetic_instance(&e, i, |c| c)));
-        s.push(d, vec![oct, rot]);
+        s.push(&d, vec![oct, rot]);
     }
     vec![s]
 }
@@ -483,7 +483,7 @@ fn fig9a(opts: &Opts) -> Vec<Series> {
         let octb = avg(&e, |i| {
             run_octopus(&e, &synthetic_instance(&e, i, |c| c), &b_cfg)
         });
-        s.push(d, vec![oct, octb]);
+        s.push(&d, vec![oct, octb]);
     }
     vec![s]
 }
@@ -518,7 +518,7 @@ fn fig9b(opts: &Opts) -> Vec<Series> {
         };
         let plus = avg(&e, |i| point(i, true));
         let rand = avg(&e, |i| point(i, false));
-        s.push(d, vec![plus, rand]);
+        s.push(&d, vec![plus, rand]);
     }
     vec![s]
 }
@@ -561,7 +561,7 @@ fn fig10a(opts: &Opts) -> Vec<Series> {
         // Store ms/100 in the delivered field: the percentage renderer
         // multiplies by 100, so the printed number is milliseconds.
         s.push(
-            n,
+            &n,
             vec![
                 Metrics {
                     delivered: exact / 100.0,
@@ -609,7 +609,7 @@ fn fig10b(opts: &Opts) -> Vec<Series> {
         let octg = avg(&e, |i| {
             run_octopus(&e, &synthetic_instance(&e, i, |c| c), &g_cfg)
         });
-        s.push(d, vec![oct, octg]);
+        s.push(&d, vec![oct, octg]);
     }
     vec![s]
 }

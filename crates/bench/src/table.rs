@@ -25,13 +25,13 @@ impl Series {
             id: id.to_string(),
             title: title.to_string(),
             x_label: x_label.to_string(),
-            columns: columns.iter().map(|s| s.to_string()).collect(),
+            columns: columns.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }
 
     /// Appends a sweep point.
-    pub fn push(&mut self, x: impl ToString, metrics: Vec<Metrics>) {
+    pub fn push(&mut self, x: &impl ToString, metrics: Vec<Metrics>) {
         assert_eq!(metrics.len(), self.columns.len());
         self.rows.push((x.to_string(), metrics));
     }
@@ -100,8 +100,8 @@ mod tests {
     #[test]
     fn render_and_csv() {
         let mut s = Series::new("figX", "Demo", "delta", &["Octopus", "UB"]);
-        s.push(20, vec![m(0.5), m(0.6)]);
-        s.push(100, vec![m(0.4), vec![m(0.5)][0]]);
+        s.push(&20, vec![m(0.5), m(0.6)]);
+        s.push(&100, vec![m(0.4), vec![m(0.5)][0]]);
         let txt = s.render(|m| m.delivered, "packets delivered");
         assert!(txt.contains("Octopus"));
         assert!(txt.contains("50.00"));
@@ -116,6 +116,6 @@ mod tests {
     #[should_panic]
     fn column_count_enforced() {
         let mut s = Series::new("f", "t", "x", &["A", "B"]);
-        s.push(1, vec![m(0.1)]);
+        s.push(&1, vec![m(0.1)]);
     }
 }

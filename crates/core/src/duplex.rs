@@ -52,10 +52,7 @@ pub fn octopus_duplex_with(
         });
     }
     let directed = net.to_directed();
-    load.validate(&directed).map_err(|e| match e {
-        octopus_traffic::TrafficError::InvalidRoute(id, _) => SchedError::InvalidRoute(id),
-        _ => SchedError::InvalidRoute(octopus_traffic::FlowId(u64::MAX)),
-    })?;
+    load.validate(&directed)?;
     let n = directed.num_nodes();
     // Scale factor that makes Uniform hop weights integral (for the exact
     // blossom's integer duals); ε-weights are rounded at 2^20 granularity.

@@ -105,6 +105,8 @@ pub trait TrafficSource {
     /// [`TrafficSource::apply_served`] / [`TrafficSource::apply_chained`].
     fn refresh_link(&self, link: (u32, u32)) -> Option<LinkQueue> {
         let _ = link;
+        // lint:allow(panic) — contract stub: only reachable if an impl
+        // reports dirty links without overriding refresh_link.
         unreachable!("source reported dirty links but does not refresh them")
     }
 
@@ -119,6 +121,8 @@ pub trait TrafficSource {
         moves: &[(FlowId, Route, u32, u32, u64)],
     ) -> Option<Vec<(u32, u32)>> {
         let _ = moves;
+        // lint:allow(panic) — capability stub: chained movement is opt-in
+        // per source; kernels query support before calling.
         unimplemented!("this traffic source does not support chained movement")
     }
 }

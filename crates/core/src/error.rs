@@ -1,4 +1,4 @@
-use octopus_traffic::FlowId;
+use octopus_traffic::{FlowId, TrafficError};
 use std::fmt;
 
 /// Scheduling errors.
@@ -6,6 +6,8 @@ use std::fmt;
 pub enum SchedError {
     /// A flow's route uses a link absent from the fabric.
     InvalidRoute(FlowId),
+    /// The traffic load itself is malformed (bad routes, duplicate IDs, …).
+    Traffic(TrafficError),
     /// The window is too small to fit even one configuration (`W ≤ Δ`).
     WindowTooSmall {
         /// Requested window.
@@ -28,6 +30,7 @@ impl fmt::Display for SchedError {
             SchedError::InvalidRoute(id) => {
                 write!(f, "route of flow {id} uses a link absent from the fabric")
             }
+            SchedError::Traffic(e) => write!(f, "invalid traffic load: {e}"),
             SchedError::WindowTooSmall { window, delta } => write!(
                 f,
                 "window {window} cannot fit a configuration with delta {delta}"
@@ -44,3 +47,14 @@ impl fmt::Display for SchedError {
 }
 
 impl std::error::Error for SchedError {}
+
+impl From<TrafficError> for SchedError {
+    fn from(e: TrafficError) -> Self {
+        match e {
+            // Fabric-membership failures keep the specific scheduling error
+            // (and the offending flow), everything else is a load problem.
+            TrafficError::InvalidRoute(id, _) => SchedError::InvalidRoute(id),
+            other => SchedError::Traffic(other),
+        }
+    }
+}

@@ -16,7 +16,7 @@
 use crate::{octopus, OctopusConfig, OctopusOutput, SchedError};
 use octopus_net::Network;
 use octopus_traffic::{Flow, FlowId, TrafficLoad};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The hybrid fabric's packet-network model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +73,8 @@ pub fn octopus_hybrid(
     let mut order: Vec<&Flow> = load.flows().iter().collect();
     order.sort_by_key(|f| (f.size, f.id));
 
-    let mut offload: HashMap<FlowId, u64> = HashMap::new();
+    // Ordered map: summed and drained into the output below (octopus-lint L1).
+    let mut offload: BTreeMap<FlowId, u64> = BTreeMap::new();
     for f in order {
         let s = f.src().0;
         let d = f.dst().0;
@@ -82,9 +83,7 @@ pub fn octopus_hybrid(
         let take = f.size.min(*tx).min(*rx);
         if take > 0 {
             *tx -= take;
-            // Re-borrow rx after tx (two entries may alias only if s == d,
-            // which flows forbid).
-            *rx_budget.get_mut(&d).expect("just inserted") -= take;
+            *rx -= take;
             offload.insert(f.id, take);
         }
     }
@@ -106,8 +105,8 @@ pub fn octopus_hybrid(
     let circuit = octopus(net, &circuit_load, cfg)?;
 
     let offloaded: u64 = offload.values().sum();
-    let mut packet_offload: Vec<(FlowId, u64)> = offload.into_iter().collect();
-    packet_offload.sort_unstable();
+    // Already (FlowId, _)-sorted: BTreeMap drains in key order.
+    let packet_offload: Vec<(FlowId, u64)> = offload.into_iter().collect();
     Ok(HybridOutput {
         packet_offload,
         offloaded,

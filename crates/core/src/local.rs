@@ -38,10 +38,7 @@ pub fn octopus_local(
             delta: cfg.delta,
         });
     }
-    load.validate(net).map_err(|e| match e {
-        octopus_traffic::TrafficError::InvalidRoute(id, _) => SchedError::InvalidRoute(id),
-        _ => SchedError::InvalidRoute(octopus_traffic::FlowId(u64::MAX)),
-    })?;
+    load.validate(net)?;
     let mut tr = RemainingTraffic::new(load, cfg.weighting)?;
     // Ties break toward the *larger* α: with persistent service, a longer
     // configuration at equal per-slot value also leaves less unusable tail

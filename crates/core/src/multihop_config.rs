@@ -23,7 +23,7 @@ use crate::engine::{CandidateExtension, ScheduleEngine, SearchPolicy};
 use crate::{RemainingTraffic, SchedError};
 use octopus_net::{Configuration, Matching, Network, Schedule};
 use octopus_traffic::{FlowId, HopWeighting, Route, TrafficLoad, Weight};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Octopus with chain-aware (multi-hop within a configuration) benefit and
 /// greedy edge-by-edge matchings — the modified algorithm of Theorem 2.
@@ -38,10 +38,7 @@ pub fn octopus_multihop(
             delta: cfg.delta,
         });
     }
-    load.validate(net).map_err(|e| match e {
-        octopus_traffic::TrafficError::InvalidRoute(id, _) => SchedError::InvalidRoute(id),
-        _ => SchedError::InvalidRoute(FlowId(u64::MAX)),
-    })?;
+    load.validate(net)?;
     let mut tr = RemainingTraffic::new(load, cfg.weighting)?;
     let policy = SearchPolicy::exhaustive();
     // Chained packets lag one slot per upstream hop, so the useful α values
@@ -143,7 +140,7 @@ impl Snapshot {
             for &(i, j) in &edge_set {
                 // Highest-priority waiting packet whose next hop is (i, j).
                 let mut bestk: Option<(PrioEntry, (usize, u32))> = None;
-                for (&(idx, pos), &c) in avail.iter() {
+                for (&(idx, pos), &c) in &avail {
                     if c == 0 {
                         continue;
                     }
@@ -209,7 +206,10 @@ impl Snapshot {
 fn greedy_chain_matching(snap: &Snapshot, net: &Network, alpha: u64) -> (Vec<(u32, u32)>, f64) {
     // Candidate edges: any hop appearing in a remaining route (others can
     // never carry traffic this configuration).
-    let mut cands: HashSet<(u32, u32)> = HashSet::new();
+    // Ordered set: the greedy loop below iterates it (octopus-lint L1); the
+    // marginal-benefit argmax has an explicit (i, j) tie-break, but a fixed
+    // visit order keeps float summation order reproducible too.
+    let mut cands: BTreeSet<(u32, u32)> = BTreeSet::new();
     for (_, route, pos, _) in &snap.entries {
         for x in *pos..route.hops() {
             let (a, b) = route.hop(x);

@@ -101,10 +101,7 @@ pub fn octopus(
             delta: cfg.delta,
         });
     }
-    load.validate(net).map_err(|e| match e {
-        octopus_traffic::TrafficError::InvalidRoute(id, _) => SchedError::InvalidRoute(id),
-        _ => SchedError::InvalidRoute(octopus_traffic::FlowId(u64::MAX)),
-    })?;
+    load.validate(net)?;
     let mut tr = RemainingTraffic::new(load, cfg.weighting)?;
     Ok(octopus_on(net, &mut tr, cfg))
 }

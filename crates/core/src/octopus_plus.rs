@@ -36,7 +36,7 @@ use octopus_sim::ResolvedFlow;
 use octopus_traffic::{Flow, FlowId, HopWeighting, Route, TrafficLoad, Weight};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Extra knobs for Octopus+.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,7 +76,11 @@ pub struct PlusOutput {
 }
 
 /// Where a group of packets currently sits in the plan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` gives plan bookkeeping a fixed total order: candidate enumeration
+/// walks `portions` in this order, and the serve-priority comparator uses it
+/// as the final tie-break, so schedules cannot depend on map iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 enum Portion {
     /// At the source, route not yet chosen.
     AtSource { flow: u32 },
@@ -103,10 +107,13 @@ type Candidate = ((u32, u32), Weight, u64, Portion, Action);
 struct PlusState<'a> {
     flows: &'a [Flow],
     weighting: HopWeighting,
-    portions: HashMap<Portion, u64>,
+    /// Ordered: candidate enumeration and plan resolution iterate this map,
+    /// and iteration order must be deterministic for schedules to be
+    /// reproducible (octopus-lint L1).
+    portions: BTreeMap<Portion, u64>,
     /// Packets delivered per (flow, route index); u32::MAX = direct
-    /// backtrack route.
-    delivered_via: HashMap<(u32, u32), u64>,
+    /// backtrack route. Ordered: aggregated into the resolved-flow output.
+    delivered_via: BTreeMap<(u32, u32), u64>,
     delivered: u64,
     total: u64,
     psi: f64,
@@ -116,7 +123,7 @@ const DIRECT: u32 = u32::MAX;
 
 impl<'a> PlusState<'a> {
     fn new(load: &'a TrafficLoad, weighting: HopWeighting) -> Self {
-        let mut portions = HashMap::new();
+        let mut portions = BTreeMap::new();
         for (fi, f) in load.flows().iter().enumerate() {
             if f.size > 0 {
                 portions.insert(Portion::AtSource { flow: fi as u32 }, f.size);
@@ -126,7 +133,7 @@ impl<'a> PlusState<'a> {
             flows: load.flows(),
             weighting,
             portions,
-            delivered_via: HashMap::new(),
+            delivered_via: BTreeMap::new(),
             delivered: 0,
             total: load.total_packets(),
             psi: 0.0,
@@ -227,8 +234,15 @@ impl<'a> PlusState<'a> {
             let Some(mut cands) = per_link.remove(&link) else {
                 continue;
             };
-            // Weight desc, then flow ID asc, then Backtrack > Commit > Advance.
-            cands.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+            // Weight desc, then flow ID asc, then Backtrack > Commit > Advance,
+            // then portion order — a strict total order (a portion appears at
+            // most once per (link, action)), so the serve order is unique.
+            cands.sort_unstable_by(|a, b| {
+                b.0.cmp(&a.0)
+                    .then(a.1.cmp(&b.1))
+                    .then(a.2.cmp(&b.2))
+                    .then(a.3.cmp(&b.3))
+            });
             let mut budget = alpha;
             for (_, _, action, portion, count) in cands {
                 if budget == 0 {
@@ -314,7 +328,7 @@ impl<'a> PlusState<'a> {
     /// simulation. Undecided source packets get their best-weight candidate
     /// (shortest route, lowest index).
     fn resolve(&self) -> Vec<ResolvedFlow> {
-        let mut agg: HashMap<(u32, u32), u64> = self.delivered_via.clone();
+        let mut agg: BTreeMap<(u32, u32), u64> = self.delivered_via.clone();
         for (&portion, &count) in &self.portions {
             match portion {
                 Portion::AtSource { flow } => {
@@ -403,10 +417,7 @@ pub fn octopus_plus(
             delta: base.delta,
         });
     }
-    load.validate(net).map_err(|e| match e {
-        octopus_traffic::TrafficError::InvalidRoute(id, _) => SchedError::InvalidRoute(id),
-        _ => SchedError::InvalidRoute(FlowId(u64::MAX)),
-    })?;
+    load.validate(net)?;
     let fabric = BipartiteFabric {
         kind: base.matching,
     };

@@ -97,10 +97,7 @@ impl OnlineScheduler {
                 delta: self.cfg.delta,
             });
         }
-        arrivals.validate(&self.net).map_err(|e| match e {
-            octopus_traffic::TrafficError::InvalidRoute(id, _) => SchedError::InvalidRoute(id),
-            _ => SchedError::InvalidRoute(FlowId(u64::MAX)),
-        })?;
+        arrivals.validate(&self.net)?;
         let arrived: u64 = arrivals.total_packets();
         for f in arrivals.flows() {
             if f.routes.len() != 1 {
@@ -291,10 +288,7 @@ impl HysteresisScheduler {
 
     /// Admits arrivals and serves one epoch with a single matching.
     pub fn run_epoch(&mut self, arrivals: &TrafficLoad) -> Result<EpochReport, SchedError> {
-        arrivals.validate(&self.net).map_err(|e| match e {
-            octopus_traffic::TrafficError::InvalidRoute(id, _) => SchedError::InvalidRoute(id),
-            _ => SchedError::InvalidRoute(FlowId(u64::MAX)),
-        })?;
+        arrivals.validate(&self.net)?;
         let arrived = arrivals.total_packets();
         for f in arrivals.flows() {
             if f.routes.len() != 1 {

@@ -21,6 +21,13 @@ use octopus_net::NodeId;
 use octopus_traffic::{FlowId, HopWeighting, Route, TrafficLoad, Weight};
 use std::collections::{BTreeMap, HashMap};
 
+// Determinism note (enforced by `octopus-lint`, L1): every map that is ever
+// *iterated* on a scheduling path is a `BTreeMap` keyed by `(u32, u32)` links
+// or `(flow index, position)` rows, so iteration order is a fixed total order
+// independent of hasher seeds and insertion history. `HashMap` remains only
+// for pure point lookups (`from_subflows`' dedup index, `advance_chained`'s
+// flow-id index), which cannot observe iteration order.
+
 /// One waiting packet group as seen by a link queue: weight, flow ID (the
 /// tie-breaker), flow index, route position, packet count.
 type QueueEntry = (Weight, FlowId, u32, u32, u64);
@@ -45,7 +52,9 @@ pub struct RemainingTraffic {
     flows: Vec<FlowMeta>,
     /// `link → (flow index, position) → packets` planned to sit at
     /// `route[position]`, waiting to cross `link = route.hop(position)`.
-    counts: HashMap<(u32, u32), HashMap<(u32, u32), u64>>,
+    /// Ordered maps: scheduling iterates these, and iteration order must be
+    /// a fixed total order for schedules to be reproducible.
+    counts: BTreeMap<(u32, u32), BTreeMap<(u32, u32), u64>>,
     weighting: HopWeighting,
     delivered: u64,
     total: u64,
@@ -56,7 +65,7 @@ impl RemainingTraffic {
     /// Initializes `T^r = T` for a single-route load.
     pub fn new(load: &TrafficLoad, weighting: HopWeighting) -> Result<Self, SchedError> {
         let mut flows = Vec::with_capacity(load.len());
-        let mut counts: HashMap<(u32, u32), HashMap<(u32, u32), u64>> = HashMap::new();
+        let mut counts: BTreeMap<(u32, u32), BTreeMap<(u32, u32), u64>> = BTreeMap::new();
         for (fi, f) in load.flows().iter().enumerate() {
             if f.routes.len() != 1 {
                 return Err(SchedError::MultiRouteFlow(f.id));
@@ -102,7 +111,7 @@ impl RemainingTraffic {
     ) -> Self {
         let mut flows: Vec<FlowMeta> = Vec::new();
         let mut index: HashMap<(FlowId, Route), u32> = HashMap::new();
-        let mut counts: HashMap<(u32, u32), HashMap<(u32, u32), u64>> = HashMap::new();
+        let mut counts: BTreeMap<(u32, u32), BTreeMap<(u32, u32), u64>> = BTreeMap::new();
         let mut total = 0u64;
         for (id, route, pos, count) in subflows {
             if count == 0 {
@@ -211,7 +220,7 @@ impl RemainingTraffic {
     /// Builds the per-link queue snapshot used to compute `g`, `h` and the
     /// candidate α set for the current iteration.
     pub fn link_queues(&self, n: u32) -> LinkQueues {
-        let per_link: HashMap<(u32, u32), Vec<QueueEntry>> = self
+        let per_link: BTreeMap<(u32, u32), Vec<QueueEntry>> = self
             .counts
             .keys()
             .filter_map(|&link| self.entries_on(link).map(|e| (link, e)))
@@ -548,7 +557,7 @@ impl LinkQueue {
 }
 
 impl LinkQueues {
-    fn from_entries(n: u32, per_link: HashMap<(u32, u32), Vec<QueueEntry>>) -> Self {
+    fn from_entries(n: u32, per_link: BTreeMap<(u32, u32), Vec<QueueEntry>>) -> Self {
         LinkQueues {
             n,
             queues: per_link
@@ -564,7 +573,7 @@ impl LinkQueues {
         n: u32,
         triples: impl IntoIterator<Item = ((u32, u32), f64, u64)>,
     ) -> Self {
-        let mut per_link: HashMap<(u32, u32), Vec<QueueEntry>> = HashMap::new();
+        let mut per_link: BTreeMap<(u32, u32), Vec<QueueEntry>> = BTreeMap::new();
         for ((i, j), w, c) in triples {
             if c > 0 {
                 per_link

@@ -1,0 +1,68 @@
+//! The allowlist baseline: legacy violation counts the linter tolerates.
+//!
+//! Format: one line per `(lint, file)` pair, `<lint-key> <count> <path>`,
+//! sorted, `#` comments allowed. The gate compares *counts*: a file may
+//! reduce its debt freely, but any count above baseline means new violations
+//! and a nonzero exit. `--update-baseline` rewrites the file from current
+//! findings (the sanctioned way to record a deliberate exception after
+//! pragma review).
+
+use crate::lints::Lint;
+use std::collections::BTreeMap;
+
+/// Baseline counts keyed by `(file, lint)`.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    counts: BTreeMap<(String, Lint), u32>,
+}
+
+impl Baseline {
+    /// Parses baseline text; unparsable lines are errors (the file is
+    /// machine-written and tiny, so silent tolerance would hide corruption).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, ' ');
+            let (Some(key), Some(count), Some(path)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected `<lint> <count> <path>`",
+                    no + 1
+                ));
+            };
+            let lint = Lint::from_key(key)
+                .ok_or_else(|| format!("baseline line {}: unknown lint `{key}`", no + 1))?;
+            let count: u32 = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", no + 1))?;
+            counts.insert((path.to_string(), lint), count);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Serializes current violation counts as baseline text.
+    pub fn render(current: &BTreeMap<(String, Lint), u32>) -> String {
+        let mut out = String::from(
+            "# octopus-lint baseline: tolerated legacy violations per (lint, file).\n\
+             # Regenerate with `cargo run -p octopus-lint -- --update-baseline`.\n",
+        );
+        for ((path, lint), count) in current {
+            if *count > 0 {
+                out.push_str(&format!("{} {} {}\n", lint.key(), count, path));
+            }
+        }
+        out
+    }
+
+    /// Baseline count for one `(file, lint)` cell.
+    pub fn allowance(&self, path: &str, lint: Lint) -> u32 {
+        self.counts
+            .get(&(path.to_string(), lint))
+            .copied()
+            .unwrap_or(0)
+    }
+}

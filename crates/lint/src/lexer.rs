@@ -1,0 +1,398 @@
+//! A minimal Rust lexer, sufficient for token-stream linting.
+//!
+//! The point of hand-rolling this (rather than depending on `syn`) is that
+//! the lints must never fire inside strings, char literals, raw strings, or
+//! comments — the places where a regex-grep approach goes wrong. The lexer
+//! handles:
+//!
+//! * line comments and **nested** block comments (Rust allows `/* /* */ */`),
+//! * string literals with escapes, byte strings, and raw strings
+//!   `r"…"` / `r#"…"#` / `br##"…"##` with any number of hashes,
+//! * char literals vs. lifetimes (`'a'` is a char, `'a` in `&'a T` is not),
+//! * numeric literals, classifying floats (`1.0`, `1e9`, `2f64`) while
+//!   leaving range expressions like `0..10` as integers,
+//! * multi-character punctuation (`::`, `==`, `!=`, `..=`, `->`, …) as
+//!   single tokens so lints can match on exact operators.
+//!
+//! Comments are not tokens, but their text and line numbers are preserved in
+//! [`LexOutput::comments`] — the pragma (`lint:allow`) and `SAFETY:` checks
+//! read them.
+
+/// Kinds of tokens the linter distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime such as `'a` (including `'static`).
+    Lifetime,
+    /// Character literal `'x'`, including escapes.
+    CharLit,
+    /// String or byte-string literal (escaped form).
+    StrLit,
+    /// Raw (byte) string literal `r#"…"#`.
+    RawStrLit,
+    /// Integer literal.
+    IntLit,
+    /// Float literal (`1.0`, `1e9`, `1f32`, …).
+    FloatLit,
+    /// One punctuation token, possibly multi-character (`::`, `==`, `..=`).
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text. Empty for string-like literals (content is
+    /// irrelevant to every lint; only the token boundary matters).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment: its 1-based start line and full text (without delimiters).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line where the comment begins.
+    pub line: u32,
+    /// Comment body, `//`/`/*`..`*/` delimiters stripped, untrimmed.
+    pub text: String,
+}
+
+/// The lexed file: token stream plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// All non-comment tokens in order.
+    pub tokens: Vec<Token>,
+    /// All comments in order of appearance.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character punctuation, longest-first so greedy matching is correct.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`, returning the token stream and comments.
+///
+/// The lexer is forgiving: on malformed input (unterminated string, stray
+/// byte) it skips a character rather than failing, because the linter must
+/// degrade gracefully on code that rustc itself will reject anyway.
+pub fn lex(src: &str) -> LexOutput {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = LexOutput::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Counts newlines in b[from..to] into `line`.
+    macro_rules! advance_lines {
+        ($from:expr, $to:expr) => {
+            for k in $from..$to {
+                if b[k] == '\n' {
+                    line += 1;
+                }
+            }
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers doc comments `///` and `//!`).
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < b.len() && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: b[start..j].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let comment_line = line;
+            let start = i + 2;
+            let mut depth = 1u32;
+            let mut j = start;
+            while j < b.len() && depth > 0 {
+                if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let end = if depth == 0 { j - 2 } else { j };
+            advance_lines!(i, j);
+            out.comments.push(Comment {
+                line: comment_line,
+                text: b[start..end.max(start)].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        // Raw strings and byte strings: r"…", r#"…"#, br"…", b"…", b'…'.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            let mut raw = c == 'r';
+            if c == 'b' && j < b.len() && b[j] == 'r' {
+                raw = true;
+                j += 1;
+            }
+            if raw {
+                // Count hashes, then require a quote.
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == '"' {
+                    j += 1;
+                    // Scan to `"` followed by `hashes` hashes.
+                    'raw: while j < b.len() {
+                        if b[j] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    let tok_line = line;
+                    advance_lines!(i, j);
+                    out.tokens.push(Token {
+                        kind: TokenKind::RawStrLit,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                    i = j;
+                    continue;
+                }
+                // Not a raw string after all (e.g. identifier `r#keyword` or
+                // just `r` / `br` as idents) — fall through to ident lexing.
+            }
+            if c == 'b' && i + 1 < b.len() && (b[i + 1] == '"' || b[i + 1] == '\'') {
+                // Byte string / byte char: delegate to the quoted scanners
+                // below by skipping the `b` prefix.
+                let quote = b[i + 1];
+                let (j, tok_line) = scan_quoted(&b, i + 2, quote, &mut line);
+                out.tokens.push(Token {
+                    kind: if quote == '"' {
+                        TokenKind::StrLit
+                    } else {
+                        TokenKind::CharLit
+                    },
+                    text: String::new(),
+                    line: tok_line,
+                });
+                i = j;
+                continue;
+            }
+        }
+        // String literal.
+        if c == '"' {
+            let (j, tok_line) = scan_quoted(&b, i + 1, '"', &mut line);
+            out.tokens.push(Token {
+                kind: TokenKind::StrLit,
+                text: String::new(),
+                line: tok_line,
+            });
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // `'\…'` is always a char; `'x'` is a char; `'ident` (no closing
+            // quote right after one ident char) is a lifetime.
+            if i + 1 < b.len() && b[i + 1] == '\\' {
+                let (j, tok_line) = scan_quoted(&b, i + 1, '\'', &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::CharLit,
+                    text: String::new(),
+                    line: tok_line,
+                });
+                i = j;
+                continue;
+            }
+            if i + 2 < b.len() && b[i + 2] == '\'' && b[i + 1] != '\'' {
+                out.tokens.push(Token {
+                    kind: TokenKind::CharLit,
+                    text: String::new(),
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            // Lifetime: consume ident chars.
+            let mut j = i + 1;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                text: b[i + 1..j].iter().collect(),
+                line,
+            });
+            i = j.max(i + 1);
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            let mut is_float = false;
+            if c == '0' && j < b.len() && matches!(b[j], 'x' | 'o' | 'b') {
+                // Radix literal: never a float; consume digits + underscores.
+                j += 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+            } else {
+                while j < b.len() && (b[j].is_ascii_digit() || b[j] == '_') {
+                    j += 1;
+                }
+                // Fractional part — but `1..10` is a range and `1.max(2)` a
+                // method call, so only consume `.` when it is not followed by
+                // another `.` or an identifier start.
+                if j < b.len() && b[j] == '.' {
+                    let after = b.get(j + 1).copied();
+                    let part_of_float = match after {
+                        Some('.') => false,
+                        Some(a) if is_ident_start(a) => false,
+                        _ => true,
+                    };
+                    if part_of_float {
+                        is_float = true;
+                        j += 1;
+                        while j < b.len() && (b[j].is_ascii_digit() || b[j] == '_') {
+                            j += 1;
+                        }
+                    }
+                }
+                // Exponent.
+                if j < b.len() && matches!(b[j], 'e' | 'E') {
+                    let mut k = j + 1;
+                    if k < b.len() && matches!(b[k], '+' | '-') {
+                        k += 1;
+                    }
+                    if k < b.len() && b[k].is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < b.len() && (b[j].is_ascii_digit() || b[j] == '_') {
+                            j += 1;
+                        }
+                    }
+                }
+                // Suffix (`u32`, `f64`, …).
+                let suffix_start = j;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                let suffix: String = b[suffix_start..j].iter().collect();
+                if suffix.starts_with('f') {
+                    is_float = true;
+                }
+            }
+            out.tokens.push(Token {
+                kind: if is_float {
+                    TokenKind::FloatLit
+                } else {
+                    TokenKind::IntLit
+                },
+                text: b[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: b[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Punctuation, longest match first.
+        let mut matched = false;
+        for p in PUNCTS {
+            let pc: Vec<char> = p.chars().collect();
+            if b[i..].starts_with(&pc) {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (*p).to_string(),
+                    line,
+                });
+                i += pc.len();
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Scans an escaped quoted literal starting *after* the opening quote;
+/// returns (index past closing quote, line the literal started on) and
+/// updates `line` past any embedded newlines.
+fn scan_quoted(b: &[char], start: usize, quote: char, line: &mut u32) -> (usize, u32) {
+    let tok_line = *line;
+    let mut j = start;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            c if c == quote => {
+                j += 1;
+                break;
+            }
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j.min(b.len()), tok_line)
+}

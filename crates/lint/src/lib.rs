@@ -1,0 +1,121 @@
+//! octopus-lint: workspace-specific determinism & panic-freedom analyzer.
+//!
+//! Five lints (see DESIGN.md §"Statically enforced invariants"):
+//!
+//! | code | key                  | scope   | what it catches                           |
+//! |------|----------------------|---------|-------------------------------------------|
+//! | L1   | `nondet-iter`        | kernel  | iterating `HashMap`/`HashSet` bindings    |
+//! | L2   | `panic`              | library | `unwrap`/`expect`/`panic!`/`todo!`/…      |
+//! | L3   | `float-eq`           | library | `==`/`!=` against float literals          |
+//! | L4   | `wall-clock`         | kernel  | `Instant::now`/`SystemTime`/`thread_rng`  |
+//! | L5   | `undocumented-unsafe`| all     | `unsafe` block/impl without `// SAFETY:`  |
+//!
+//! Violations on a line carrying (or following) a
+//! `// lint:allow(<key>) — <reason>` pragma are suppressed; everything else
+//! is compared against the checked-in `lint-baseline.txt` and any count
+//! above baseline fails the run.
+
+pub mod baseline;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+
+use baseline::Baseline;
+use lints::{check_file, Lint};
+use report::{FileReport, Report};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Directories never walked: build output, vendored stand-ins, VCS, and
+/// `fixtures` (lint-test inputs that violate the lints on purpose).
+const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", ".git", ".github", "results", "docs", "fixtures",
+];
+
+/// Recursively collects workspace `.rs` files, sorted by relative path.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(std::fs::DirEntry::file_name);
+        for e in entries {
+            let path = e.path();
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !name.starts_with('.') && !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every workspace file under `root` against `baseline`.
+pub fn run(root: &Path, baseline: &Baseline) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        let violations = check_file(&rel, &src);
+        if violations.is_empty() {
+            continue;
+        }
+        // Baseline comparison: within one (file, lint) cell the first
+        // `allowance` findings (in line order) are tolerated, the rest are
+        // new. Count-based rather than line-based so unrelated edits moving
+        // lines around do not churn the baseline.
+        let mut used: BTreeMap<Lint, u32> = BTreeMap::new();
+        let tagged = violations
+            .into_iter()
+            .map(|v| {
+                let u = used.entry(v.lint).or_insert(0);
+                *u += 1;
+                let is_new = *u > baseline.allowance(&rel, v.lint);
+                (v, is_new)
+            })
+            .collect();
+        report.files.push(FileReport {
+            path: rel,
+            violations: tagged,
+        });
+    }
+    Ok(report)
+}
+
+/// Current violation counts per `(file, lint)`, for `--update-baseline`.
+pub fn current_counts(report: &Report) -> BTreeMap<(String, Lint), u32> {
+    let mut counts: BTreeMap<(String, Lint), u32> = BTreeMap::new();
+    for f in &report.files {
+        for (v, _) in &f.violations {
+            *counts.entry((f.path.clone(), v.lint)).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

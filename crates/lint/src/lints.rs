@@ -1,0 +1,557 @@
+//! The five workspace lints (L1–L5), run over a lexed token stream.
+//!
+//! See DESIGN.md §"Statically enforced invariants" for the rationale behind
+//! each lint and the pragma syntax. Lints are heuristic token-stream
+//! matchers, not type-checked analyses: they are tuned to the idioms of this
+//! workspace, and every rule supports a line-level
+//! `// lint:allow(<key>) — <reason>` escape hatch for deliberate exceptions.
+
+use crate::lexer::{lex, LexOutput, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which of the five lints a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// L1: iteration over a hash-ordered collection in kernel code.
+    NondetIter,
+    /// L2: panic path (`unwrap`/`expect`/`panic!`/…) in library code.
+    Panic,
+    /// L3: `==` / `!=` on floats.
+    FloatEq,
+    /// L4: wall clock or ambient RNG in kernel code.
+    WallClock,
+    /// L5: `unsafe` block/impl without a `// SAFETY:` comment.
+    UndocumentedUnsafe,
+}
+
+impl Lint {
+    /// The stable key used in pragmas, reports and the baseline file.
+    pub fn key(self) -> &'static str {
+        match self {
+            Lint::NondetIter => "nondet-iter",
+            Lint::Panic => "panic",
+            Lint::FloatEq => "float-eq",
+            Lint::WallClock => "wall-clock",
+            Lint::UndocumentedUnsafe => "undocumented-unsafe",
+        }
+    }
+
+    /// The short L-code used in human-readable reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            Lint::NondetIter => "L1",
+            Lint::Panic => "L2",
+            Lint::FloatEq => "L3",
+            Lint::WallClock => "L4",
+            Lint::UndocumentedUnsafe => "L5",
+        }
+    }
+
+    /// Parses a pragma/baseline key back into a lint.
+    pub fn from_key(key: &str) -> Option<Lint> {
+        Some(match key {
+            "nondet-iter" => Lint::NondetIter,
+            "panic" => Lint::Panic,
+            "float-eq" => Lint::FloatEq,
+            "wall-clock" => Lint::WallClock,
+            "undocumented-unsafe" => Lint::UndocumentedUnsafe,
+            _ => return None,
+        })
+    }
+}
+
+/// One finding: lint, 1-based line, and a short human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description of what matched.
+    pub message: String,
+}
+
+/// Which lint families apply to a file, derived from its workspace path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileClass {
+    /// Scheduling-kernel code: L1 and L4 apply.
+    pub kernel: bool,
+    /// Library (non-test, non-harness) code: L2 and L3 apply.
+    pub library: bool,
+}
+
+/// Classifies a workspace-relative path (`/`-separated).
+///
+/// * kernel crates' `src/` (minus `src/bin/`): `octopus-core`,
+///   `octopus-matching`, `octopus-net` — the determinism-sensitive hot paths;
+/// * library surface additionally includes `octopus-traffic`, `octopus-sim`,
+///   `octopus-baselines` and the facade's `src/lib.rs`;
+/// * everything else (tests, benches, examples, binaries, the bench harness,
+///   this linter) only gets L5, which applies to every walked file.
+pub fn classify(rel: &str) -> FileClass {
+    let in_bin = rel.contains("/bin/");
+    let kernel = !in_bin
+        && (rel.starts_with("crates/core/src/")
+            || rel.starts_with("crates/matching/src/")
+            || rel.starts_with("crates/net/src/"));
+    let library = kernel
+        || (!in_bin
+            && (rel.starts_with("crates/traffic/src/")
+                || rel.starts_with("crates/sim/src/")
+                || rel.starts_with("crates/baselines/src/")
+                || rel == "src/lib.rs"));
+    FileClass { kernel, library }
+}
+
+/// Per-line pragma table: which lints are allowed on which lines.
+struct Pragmas {
+    allowed: BTreeMap<u32, BTreeSet<Lint>>,
+    /// Lines carrying a `SAFETY:` comment.
+    safety_lines: BTreeSet<u32>,
+    /// Pragmas with a missing/empty reason (themselves violations).
+    malformed: Vec<(u32, String)>,
+}
+
+fn parse_pragmas(lexed: &LexOutput) -> Pragmas {
+    let mut p = Pragmas {
+        allowed: BTreeMap::new(),
+        safety_lines: BTreeSet::new(),
+        malformed: Vec::new(),
+    };
+    for c in &lexed.comments {
+        // Doc comments (`///`, `//!`) are prose, not directives — they may
+        // legitimately *describe* the pragma syntax.
+        let is_doc = c.text.starts_with('/') || c.text.starts_with('!');
+        let t = c.text.trim_start_matches(['/', '!']).trim();
+        if t.starts_with("SAFETY:") {
+            p.safety_lines.insert(c.line);
+        }
+        if is_doc {
+            continue;
+        }
+        let Some(idx) = t.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &t[idx + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            p.malformed
+                .push((c.line, "unclosed lint:allow(".to_string()));
+            continue;
+        };
+        let key = rest[..close].trim();
+        let reason = rest[close + 1..]
+            .trim_start_matches([' ', '\t', '—', '-', '–'])
+            .trim();
+        match Lint::from_key(key) {
+            Some(lint) if !reason.is_empty() => {
+                // A pragma on line N covers findings on N (trailing comment)
+                // and N+1 (comment-above style).
+                p.allowed.entry(c.line).or_default().insert(lint);
+                p.allowed.entry(c.line + 1).or_default().insert(lint);
+            }
+            Some(_) => p
+                .malformed
+                .push((c.line, format!("lint:allow({key}) needs a reason"))),
+            None => p
+                .malformed
+                .push((c.line, format!("unknown lint key `{key}`"))),
+        }
+    }
+    p
+}
+
+/// Runs every applicable lint on one file's source text.
+pub fn check_file(rel: &str, src: &str) -> Vec<Violation> {
+    let class = classify(rel);
+    let lexed = lex(src);
+    let pragmas = parse_pragmas(&lexed);
+    let toks = &lexed.tokens;
+    let test_mask = test_code_mask(toks);
+
+    let mut out: Vec<Violation> = Vec::new();
+    for (line, msg) in &pragmas.malformed {
+        out.push(Violation {
+            lint: Lint::Panic, // malformed pragmas are reported under L2's
+            // family arbitrarily; they always count as new.
+            line: *line,
+            message: format!("malformed pragma: {msg}"),
+        });
+    }
+
+    if class.kernel {
+        lint_nondet_iter(toks, &test_mask, &mut out);
+        lint_wall_clock(toks, &test_mask, &mut out);
+    }
+    if class.library {
+        lint_panic(toks, &test_mask, &mut out);
+        lint_float_eq(toks, &test_mask, &mut out);
+    }
+    lint_undocumented_unsafe(toks, &pragmas, &mut out);
+
+    // Apply pragmas.
+    out.retain(|v| {
+        !pragmas
+            .allowed
+            .get(&v.line)
+            .is_some_and(|s| s.contains(&v.lint))
+    });
+    out.sort_by(|a, b| a.line.cmp(&b.line).then(a.lint.cmp(&b.lint)));
+    out
+}
+
+/// Marks tokens that belong to `#[cfg(test)]` / `#[test]` items, so L1–L4
+/// skip test code. Returns a bool per token index.
+fn test_code_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].kind == TokenKind::Punct && toks[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        // Parse `#[ … ]`, checking whether it is a test-ish attribute.
+        let attr_start = i;
+        let Some(open) = toks.get(i + 1).filter(|t| t.text == "[") else {
+            i += 1;
+            continue;
+        };
+        let _ = open;
+        let mut depth = 1i32;
+        let mut j = i + 2;
+        let mut is_test_attr = false;
+        // `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`, and the proptest
+        // macro wrapper `#[cfg(test)] mod …` all contain the bare ident
+        // `test` at some point inside the brackets.
+        while j < toks.len() && depth > 0 {
+            match toks[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                "test" if toks[j].kind == TokenKind::Ident => is_test_attr = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes, then the item itself: everything up
+        // to the matching close of its first `{ … }` (or a `;` for
+        // item-less forms).
+        let mut k = j;
+        while k + 1 < toks.len() && toks[k].text == "#" && toks[k + 1].text == "[" {
+            let mut d = 1i32;
+            k += 2;
+            while k < toks.len() && d > 0 {
+                match toks[k].text.as_str() {
+                    "[" => d += 1,
+                    "]" => d -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        let body_start = k;
+        let mut brace = 0i32;
+        let mut entered = false;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "{" => {
+                    brace += 1;
+                    entered = true;
+                }
+                "}" => brace -= 1,
+                ";" if !entered => {
+                    k += 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+            if entered && brace == 0 {
+                break;
+            }
+        }
+        for m in mask.iter_mut().take(k).skip(attr_start) {
+            *m = true;
+        }
+        let _ = body_start;
+        i = k;
+    }
+    mask
+}
+
+/// Names of hash-ordered collection types.
+fn is_hash_type(name: &str) -> bool {
+    matches!(name, "HashMap" | "HashSet" | "FxHashMap" | "FxHashSet")
+}
+
+/// Iteration methods whose order reflects the hasher.
+fn is_iter_method(name: &str) -> bool {
+    matches!(
+        name,
+        "iter" | "iter_mut" | "keys" | "values" | "values_mut" | "into_iter" | "drain" | "retain"
+    )
+}
+
+/// L1: iteration over a `HashMap`/`HashSet` binding.
+///
+/// Two passes: first collect names bound to hash collections (let bindings,
+/// struct fields, typed params — anything of the form `name : … HashMap …`
+/// or `let name = … HashMap:: …`), then flag `name.iter()`-style calls and
+/// `for … in name` loops over those names.
+fn lint_nondet_iter(toks: &[Token], test_mask: &[bool], out: &mut Vec<Violation>) {
+    let mut hash_names: BTreeSet<String> = BTreeSet::new();
+    // Pass 1: collect bindings.
+    for i in 0..toks.len() {
+        if toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = &toks[i].text;
+        // `name : <tokens containing HashMap before = ; { )>`
+        if toks.get(i + 1).is_some_and(|t| t.text == ":")
+            && !toks.get(i + 2).is_some_and(|t| t.text == ":")
+        {
+            let mut j = i + 2;
+            let mut steps = 0;
+            while let Some(t) = toks.get(j) {
+                if steps > 40 || matches!(t.text.as_str(), "=" | ";" | "{" | ")") {
+                    break;
+                }
+                if t.kind == TokenKind::Ident && is_hash_type(&t.text) {
+                    hash_names.insert(name.clone());
+                    break;
+                }
+                j += 1;
+                steps += 1;
+            }
+        }
+        // `let [mut] name = … HashMap:: …` (type inferred from constructor)
+        if toks[i].text == "let" {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.text == "mut") {
+                j += 1;
+            }
+            let Some(bound) = toks.get(j).filter(|t| t.kind == TokenKind::Ident) else {
+                continue;
+            };
+            let bound_name = bound.text.clone();
+            if !toks.get(j + 1).is_some_and(|t| t.text == "=") {
+                continue;
+            }
+            let mut k = j + 2;
+            let mut steps = 0;
+            while let Some(t) = toks.get(k) {
+                if steps > 40 || t.text == ";" {
+                    break;
+                }
+                if t.kind == TokenKind::Ident
+                    && is_hash_type(&t.text)
+                    && toks.get(k + 1).is_some_and(|n| n.text == "::")
+                {
+                    hash_names.insert(bound_name.clone());
+                    break;
+                }
+                k += 1;
+                steps += 1;
+            }
+        }
+    }
+    if hash_names.is_empty() {
+        return;
+    }
+    // Pass 2: flag iteration.
+    for i in 0..toks.len() {
+        if test_mask[i] || toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        // `name . iter ( )` / `self . name . keys ( )`
+        if hash_names.contains(&toks[i].text)
+            && toks.get(i + 1).is_some_and(|t| t.text == ".")
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokenKind::Ident && is_iter_method(&t.text))
+            && toks.get(i + 3).is_some_and(|t| t.text == "(")
+        {
+            out.push(Violation {
+                lint: Lint::NondetIter,
+                line: toks[i].line,
+                message: format!(
+                    "iteration over hash-ordered `{}` via `.{}()`",
+                    toks[i].text,
+                    toks[i + 2].text
+                ),
+            });
+        }
+        // `for pat in [&][mut] [self.]name {`
+        if toks[i].text == "for" {
+            // find `in` within a short window
+            let mut j = i + 1;
+            let mut steps = 0;
+            while let Some(t) = toks.get(j) {
+                if steps > 25 || t.text == "{" {
+                    break;
+                }
+                if t.kind == TokenKind::Ident && t.text == "in" {
+                    break;
+                }
+                j += 1;
+                steps += 1;
+            }
+            if !toks.get(j).is_some_and(|t| t.text == "in") {
+                continue;
+            }
+            let mut k = j + 1;
+            while toks
+                .get(k)
+                .is_some_and(|t| matches!(t.text.as_str(), "&" | "mut"))
+            {
+                k += 1;
+            }
+            if toks.get(k).is_some_and(|t| t.text == "self")
+                && toks.get(k + 1).is_some_and(|t| t.text == ".")
+            {
+                k += 2;
+            }
+            let Some(name_tok) = toks.get(k).filter(|t| t.kind == TokenKind::Ident) else {
+                continue;
+            };
+            // Only a *bare* loop over the binding (next token opens the
+            // body); `for x in name.values()` is caught by the rule above.
+            if hash_names.contains(&name_tok.text) && toks.get(k + 1).is_some_and(|t| t.text == "{")
+            {
+                out.push(Violation {
+                    lint: Lint::NondetIter,
+                    line: toks[i].line,
+                    message: format!("`for` loop over hash-ordered `{}`", name_tok.text),
+                });
+            }
+        }
+    }
+}
+
+/// L2: panic paths in library code.
+fn lint_panic(toks: &[Token], test_mask: &[bool], out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        if test_mask[i] || toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        // `.unwrap()` / `.expect(` — method position only.
+        if matches!(name, "unwrap" | "expect")
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|t| t.text == "(")
+        {
+            out.push(Violation {
+                lint: Lint::Panic,
+                line: toks[i].line,
+                message: format!("`.{name}()` in library code"),
+            });
+        }
+        // `panic!(` etc. — macro position only.
+        if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+            && toks.get(i + 1).is_some_and(|t| t.text == "!")
+        {
+            out.push(Violation {
+                lint: Lint::Panic,
+                line: toks[i].line,
+                message: format!("`{name}!` in library code"),
+            });
+        }
+    }
+}
+
+/// L3: `==` / `!=` where one side is a float literal, outside `total_cmp` /
+/// epsilon-helper contexts. A literal-adjacency heuristic: full type-driven
+/// detection needs rustc, but in practice float comparisons in this codebase
+/// involve a literal on one side (`x == 0.0`). Only the tokens immediately
+/// beside the operator are considered — a wider window misreads
+/// `if idx == 0 { 0.0 }` as a float comparison.
+fn lint_float_eq(toks: &[Token], test_mask: &[bool], out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        if test_mask[i]
+            || toks[i].kind != TokenKind::Punct
+            || !(toks[i].text == "==" || toks[i].text == "!=")
+        {
+            continue;
+        }
+        let near_float = (i > 0 && toks[i - 1].kind == TokenKind::FloatLit)
+            || toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::FloatLit);
+        let lo = i.saturating_sub(4);
+        let hi = (i + 5).min(toks.len());
+        let near_total_cmp = toks[lo..hi]
+            .iter()
+            .any(|t| t.text == "total_cmp" || t.text == "abs" || t.text == "EPSILON");
+        if near_float && !near_total_cmp {
+            out.push(Violation {
+                lint: Lint::FloatEq,
+                line: toks[i].line,
+                message: format!(
+                    "float `{}` comparison (use total_cmp or an epsilon)",
+                    toks[i].text
+                ),
+            });
+        }
+    }
+}
+
+/// L4: wall clock and ambient RNG in kernel code.
+fn lint_wall_clock(toks: &[Token], test_mask: &[bool], out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        if test_mask[i] || toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        let flagged = match name {
+            // `Instant::now` (plain `Instant` in type position is fine —
+            // storing a caller-provided timestamp is deterministic).
+            "Instant" => {
+                toks.get(i + 1).is_some_and(|t| t.text == "::")
+                    && toks.get(i + 2).is_some_and(|t| t.text == "now")
+            }
+            "SystemTime" | "thread_rng" => true,
+            // `rand::random`
+            "random" => i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "rand",
+            _ => false,
+        };
+        if flagged {
+            out.push(Violation {
+                lint: Lint::WallClock,
+                line: toks[i].line,
+                message: format!("`{name}` in kernel code breaks reproducibility"),
+            });
+        }
+    }
+}
+
+/// L5: `unsafe` blocks and impls must carry a `// SAFETY:` comment on one of
+/// the three preceding lines (or the same line). `unsafe fn` declarations
+/// are exempt — the obligation sits at their call sites.
+fn lint_undocumented_unsafe(toks: &[Token], pragmas: &Pragmas, out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        if toks[i].kind != TokenKind::Ident || toks[i].text != "unsafe" {
+            continue;
+        }
+        let next = toks.get(i + 1);
+        let is_block = next.is_some_and(|t| t.text == "{");
+        let is_impl = next.is_some_and(|t| t.text == "impl");
+        if !(is_block || is_impl) {
+            continue;
+        }
+        let line = toks[i].line;
+        let documented = (line.saturating_sub(3)..=line).any(|l| pragmas.safety_lines.contains(&l));
+        if !documented {
+            out.push(Violation {
+                lint: Lint::UndocumentedUnsafe,
+                line,
+                message: format!(
+                    "`unsafe {}` without a preceding `// SAFETY:` comment",
+                    if is_block { "block" } else { "impl" }
+                ),
+            });
+        }
+    }
+}

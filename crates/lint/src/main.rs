@@ -1,0 +1,108 @@
+//! CLI for octopus-lint. See `--help`.
+
+use octopus_lint::baseline::Baseline;
+use octopus_lint::{current_counts, find_workspace_root, run};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+octopus-lint: workspace determinism & panic-freedom analyzer (L1-L5)
+
+USAGE: octopus-lint [OPTIONS]
+
+OPTIONS:
+  --root <DIR>        workspace root (default: walk up from cwd to the
+                      first Cargo.toml containing [workspace])
+  --baseline <FILE>   baseline file (default: <root>/lint-baseline.txt)
+  --json              emit the machine-readable JSON report
+  --deny-new          exit nonzero if any violation exceeds the baseline
+                      (this is already the default; the flag exists so CI
+                      invocations read as intent)
+  --update-baseline   rewrite the baseline from current findings and exit 0
+  -h, --help          show this help
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut update_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--baseline" => baseline_path = args.next().map(PathBuf::from),
+            "--json" => json = true,
+            "--deny-new" => { /* default behavior; accepted for CI clarity */ }
+            "--update-baseline" => update_baseline = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("octopus-lint: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("octopus-lint: could not locate a workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("octopus-lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Baseline::default(), // no baseline file: everything is new
+    };
+
+    let report = match run(&root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("octopus-lint: walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if update_baseline {
+        let text = Baseline::render(&current_counts(&report));
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!(
+                "octopus-lint: cannot write {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "octopus-lint: baseline updated ({} findings tolerated)",
+            report.new_count() + report.baselined_count()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.new_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,125 @@
+//! Report rendering: human-readable text and hand-rolled `--json`.
+
+use crate::lints::Violation;
+use std::collections::BTreeMap;
+
+/// One file's findings plus whether each exceeds the baseline.
+#[derive(Debug, Clone)]
+pub struct FileReport {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Findings in the file, each tagged `new` if it exceeds the baseline
+    /// allowance for its `(file, lint)` cell.
+    pub violations: Vec<(Violation, bool)>,
+}
+
+/// The whole run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Per-file findings, path-sorted.
+    pub files: Vec<FileReport>,
+}
+
+impl Report {
+    /// Total number of findings exceeding the baseline.
+    pub fn new_count(&self) -> usize {
+        self.files
+            .iter()
+            .flat_map(|f| &f.violations)
+            .filter(|(_, is_new)| *is_new)
+            .count()
+    }
+
+    /// Total number of baselined (tolerated) findings.
+    pub fn baselined_count(&self) -> usize {
+        self.files
+            .iter()
+            .flat_map(|f| &f.violations)
+            .filter(|(_, is_new)| !*is_new)
+            .count()
+    }
+
+    /// Human-readable report. Baselined findings are summarized per file;
+    /// new findings are listed individually.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut baselined_by_file: BTreeMap<&str, usize> = BTreeMap::new();
+        for f in &self.files {
+            for (v, is_new) in &f.violations {
+                if *is_new {
+                    out.push_str(&format!(
+                        "{}:{}: [{}/{}] {}\n",
+                        f.path,
+                        v.line,
+                        v.lint.code(),
+                        v.lint.key(),
+                        v.message
+                    ));
+                } else {
+                    *baselined_by_file.entry(f.path.as_str()).or_default() += 1;
+                }
+            }
+        }
+        if !baselined_by_file.is_empty() {
+            out.push_str("baselined (tolerated legacy debt):\n");
+            for (path, n) in &baselined_by_file {
+                out.push_str(&format!("  {path}: {n}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "octopus-lint: {} new, {} baselined\n",
+            self.new_count(),
+            self.baselined_count()
+        ));
+        out
+    }
+
+    /// Machine-readable JSON (stable key order, no external deps).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [");
+        let mut first = true;
+        for f in &self.files {
+            for (v, is_new) in &f.violations {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "\n    {{\"lint\": \"{}\", \"key\": \"{}\", \"file\": \"{}\", \"line\": {}, \"new\": {}, \"message\": \"{}\"}}",
+                    v.lint.code(),
+                    v.lint.key(),
+                    json_escape(&f.path),
+                    v.line,
+                    is_new,
+                    json_escape(&v.message)
+                ));
+            }
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"new\": {},\n  \"baselined\": {}\n}}\n",
+            self.new_count(),
+            self.baselined_count()
+        ));
+        out
+    }
+}
+
+/// Escapes a string for JSON output.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,16 @@
+// Fixture: L1 positive — kernel code iterating hash-ordered collections.
+use std::collections::{HashMap, HashSet};
+
+pub fn nondet(counts: HashMap<u32, u64>) -> u64 {
+    let mut acc = 0;
+    for (_k, v) in counts.iter() {
+        acc += v;
+    }
+    let mut seen: HashSet<u32> = HashSet::new();
+    seen.insert(3);
+    for s in &seen {
+        acc += u64::from(*s);
+    }
+    let inferred = HashMap::<u32, u64>::new();
+    acc + inferred.values().sum::<u64>()
+}

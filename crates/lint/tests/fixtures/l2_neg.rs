@@ -1,0 +1,23 @@
+// Fixture: L2 negative — fallible propagation, panics confined to tests,
+// and non-method uses of the words.
+pub fn propagates(v: &[u32]) -> Option<u32> {
+    let first = v.first()?;
+    // A doc string mentioning unwrap() or panic! must not fire:
+    let _msg = "call .unwrap() and panic! at your peril";
+    Some(*first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(propagates(&[3]).unwrap(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn panics_in_tests_are_fine() {
+        panic!("expected");
+    }
+}

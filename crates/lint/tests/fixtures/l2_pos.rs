@@ -1,0 +1,13 @@
+// Fixture: L2 positive — panic paths in library code.
+pub fn panicky(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    let second = v.get(1).expect("has two");
+    if *first > *second {
+        panic!("unsorted");
+    }
+    match first {
+        0 => todo!(),
+        1 => unreachable!(),
+        _ => *first,
+    }
+}

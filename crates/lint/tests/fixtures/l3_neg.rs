@@ -1,0 +1,16 @@
+// Fixture: L3 negative — total_cmp / epsilon comparisons and integer
+// comparisons that merely sit near float literals.
+pub fn float_safe(x: f64, y: f64, idx: usize) -> f64 {
+    if x.total_cmp(&0.0) == std::cmp::Ordering::Equal {
+        return 1.0;
+    }
+    if (x - y).abs() < f64::EPSILON {
+        return 2.0;
+    }
+    // Integer comparison followed by a float literal in the branch:
+    if idx == 0 {
+        0.0
+    } else {
+        3.0
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: L3 positive — float literal equality comparisons.
+pub fn float_eq(x: f64, y: f64) -> bool {
+    if x == 0.0 {
+        return false;
+    }
+    0.5 != y
+}

@@ -1,0 +1,13 @@
+// Fixture: L4 negative — caller-provided timestamps and seeded RNG are
+// deterministic; `Instant` in type position is fine.
+use std::time::Instant;
+
+pub struct Stamped {
+    pub at: Instant,
+}
+
+pub fn reproducible(at: Instant, seed: u64) -> u64 {
+    let _keep = Stamped { at };
+    // A seeded generator, not ambient RNG:
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

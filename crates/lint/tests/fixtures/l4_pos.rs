@@ -1,0 +1,11 @@
+// Fixture: L4 positive — wall clock and ambient RNG in kernel code.
+use std::time::{Instant, SystemTime};
+
+pub fn nonreproducible() -> u128 {
+    let t = Instant::now();
+    let _epoch = SystemTime::now();
+    let _r: u64 = rand::random();
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+    t.elapsed().as_nanos()
+}

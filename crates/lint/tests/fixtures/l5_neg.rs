@@ -1,0 +1,18 @@
+// Fixture: L5 negative — SAFETY-documented unsafe, and `unsafe fn` (whose
+// obligation sits at call sites).
+pub fn raw(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees p is valid and aligned (fixture).
+    unsafe { *p }
+}
+
+pub struct Wrapper(*const u32);
+
+// SAFETY: the pointer is never dereferenced off-thread (fixture).
+unsafe impl Send for Wrapper {}
+
+/// # Safety
+/// Caller must pass a valid pointer.
+pub unsafe fn declared_unsafe(p: *const u32) -> u32 {
+    // SAFETY: contract delegated to the caller above.
+    unsafe { *p }
+}

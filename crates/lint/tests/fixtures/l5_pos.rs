@@ -1,0 +1,8 @@
+// Fixture: L5 positive — undocumented unsafe block and impl.
+pub fn raw(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub struct Wrapper(*const u32);
+
+unsafe impl Send for Wrapper {}

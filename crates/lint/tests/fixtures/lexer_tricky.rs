@@ -1,0 +1,18 @@
+// Fixture: lexer stress cases. Never compiled — parsed only.
+fn tricky<'a>(x: &'a str) -> char {
+    let _raw = r#"not a ".unwrap()" call: x.unwrap()"#;
+    let _raw2 = br##"nested "#" hash: panic!("no")"##;
+    let _s = "escaped \" quote with x.unwrap() inside";
+    let _c = '"';
+    let _newline = '\n';
+    let _quote_escape = '\'';
+    /* block /* nested block with x.unwrap() */ still comment */
+    let _lifetime_not_char: &'a str = x;
+    let _range = 0..10; // not a float
+    let _float = 1.0e3;
+    'q'.is_alphabetic();
+    'outer: loop {
+        break 'outer;
+    }
+    ' '
+}

@@ -1,0 +1,279 @@
+//! Tests for octopus-lint: lexer stress cases, one positive and one negative
+//! fixture per lint, the JSON golden file, and the binary's exit codes on an
+//! injected-violation mini-workspace.
+
+use octopus_lint::baseline::Baseline;
+use octopus_lint::lexer::{lex, TokenKind};
+use octopus_lint::lints::{check_file, Lint};
+use octopus_lint::{current_counts, run};
+use std::path::PathBuf;
+
+const KERNEL: &str = "crates/core/src/fixture.rs";
+const LIBRARY: &str = "crates/traffic/src/fixture.rs";
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(path).unwrap()
+}
+
+fn lints_of(rel: &str, src: &str) -> Vec<Lint> {
+    check_file(rel, src).into_iter().map(|v| v.lint).collect()
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[test]
+fn lexer_skips_strings_comments_and_char_literals() {
+    let lexed = lex(&fixture("lexer_tricky.rs"));
+    // None of the panic words smuggled inside strings, raw strings, or
+    // comments may surface as identifier tokens.
+    assert!(lexed
+        .tokens
+        .iter()
+        .all(|t| !(t.kind == TokenKind::Ident && (t.text == "unwrap" || t.text == "panic"))));
+    // The nested block comment is captured as one comment.
+    assert!(lexed
+        .comments
+        .iter()
+        .any(|c| c.text.contains("nested block") && c.text.contains("still comment")));
+    // Char literals vs lifetimes: 'q', '"', '\n', '\'', ' ' are chars;
+    // 'a (twice) and 'outer (twice) are lifetimes.
+    let chars = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::CharLit)
+        .count();
+    let lifetimes: Vec<&str> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, 5, "char literals: {lexed:?}");
+    assert_eq!(lifetimes, ["a", "a", "a", "outer", "outer"]);
+    // `0..10` stays integral, `1.0e3` is a float.
+    assert!(lexed
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::IntLit && t.text == "10"));
+    assert!(lexed
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::FloatLit && t.text == "1.0e3"));
+    assert!(!lexed
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::FloatLit && t.text.starts_with("0.")));
+}
+
+#[test]
+fn lexer_handles_raw_strings_with_hashes() {
+    let lexed = lex(r####"let x = r##"a "#" b"## ; let y = 1;"####);
+    let kinds: Vec<TokenKind> = lexed.tokens.iter().map(|t| t.kind).collect();
+    assert!(kinds.contains(&TokenKind::RawStrLit));
+    // Tokens after the raw string are still lexed.
+    assert!(lexed.tokens.iter().any(|t| t.text == "y"));
+}
+
+#[test]
+fn lexer_tracks_lines_across_multiline_constructs() {
+    let src = "let a = \"x\ny\";\nlet b = 1; /* c\nc2 */ let d = 2;\n";
+    let lexed = lex(src);
+    let b = lexed.tokens.iter().find(|t| t.text == "b").unwrap();
+    let d = lexed.tokens.iter().find(|t| t.text == "d").unwrap();
+    assert_eq!(b.line, 3);
+    assert_eq!(d.line, 4);
+}
+
+// ---------------------------------------------------------------- lints
+
+#[test]
+fn l1_fires_on_hash_iteration_in_kernel_code() {
+    let found = lints_of(KERNEL, &fixture("l1_pos.rs"));
+    assert_eq!(
+        found.iter().filter(|l| **l == Lint::NondetIter).count(),
+        3,
+        "for-over-HashMap, for-over-HashSet, .values(): {found:?}"
+    );
+}
+
+#[test]
+fn l1_is_quiet_on_ordered_lookup_pragma_and_test_code() {
+    let found = lints_of(KERNEL, &fixture("l1_neg.rs"));
+    assert!(
+        !found.contains(&Lint::NondetIter),
+        "false positives: {found:?}"
+    );
+}
+
+#[test]
+fn l1_does_not_apply_outside_kernel_crates() {
+    let found = lints_of("crates/bench/src/lib.rs", &fixture("l1_pos.rs"));
+    assert!(!found.contains(&Lint::NondetIter));
+}
+
+#[test]
+fn l2_fires_on_panic_paths_in_library_code() {
+    let found = lints_of(LIBRARY, &fixture("l2_pos.rs"));
+    assert_eq!(
+        found.iter().filter(|l| **l == Lint::Panic).count(),
+        5,
+        "unwrap, expect, panic!, todo!, unreachable!: {found:?}"
+    );
+}
+
+#[test]
+fn l2_is_quiet_on_propagation_strings_and_tests() {
+    let found = lints_of(LIBRARY, &fixture("l2_neg.rs"));
+    assert!(!found.contains(&Lint::Panic), "false positives: {found:?}");
+}
+
+#[test]
+fn l3_fires_on_float_literal_comparison() {
+    let found = lints_of(LIBRARY, &fixture("l3_pos.rs"));
+    assert_eq!(found.iter().filter(|l| **l == Lint::FloatEq).count(), 2);
+}
+
+#[test]
+fn l3_is_quiet_on_total_cmp_epsilon_and_int_compares() {
+    let found = lints_of(LIBRARY, &fixture("l3_neg.rs"));
+    assert!(
+        !found.contains(&Lint::FloatEq),
+        "false positives: {found:?}"
+    );
+}
+
+#[test]
+fn l4_fires_on_wall_clock_and_ambient_rng_in_kernels() {
+    let found = lints_of(KERNEL, &fixture("l4_pos.rs"));
+    assert!(found.iter().filter(|l| **l == Lint::WallClock).count() >= 4);
+}
+
+#[test]
+fn l4_is_quiet_on_caller_timestamps_and_seeded_rng() {
+    let found = lints_of(KERNEL, &fixture("l4_neg.rs"));
+    assert!(
+        !found.contains(&Lint::WallClock),
+        "false positives: {found:?}"
+    );
+}
+
+#[test]
+fn l5_fires_on_undocumented_unsafe_everywhere() {
+    // L5 applies even to non-kernel, non-library files.
+    let found = lints_of("crates/bench/src/bin/tool.rs", &fixture("l5_pos.rs"));
+    assert_eq!(
+        found
+            .iter()
+            .filter(|l| **l == Lint::UndocumentedUnsafe)
+            .count(),
+        2,
+        "unsafe block + unsafe impl: {found:?}"
+    );
+}
+
+#[test]
+fn l5_is_quiet_on_safety_comments_and_unsafe_fn() {
+    let found = lints_of("crates/bench/src/bin/tool.rs", &fixture("l5_neg.rs"));
+    assert!(
+        !found.contains(&Lint::UndocumentedUnsafe),
+        "false positives: {found:?}"
+    );
+}
+
+#[test]
+fn pragma_with_missing_reason_is_itself_a_violation() {
+    let src = "// lint:allow(nondet-iter)\npub fn f() {}\n";
+    let found = check_file(KERNEL, src);
+    assert!(found.iter().any(|v| v.message.contains("needs a reason")));
+}
+
+// ------------------------------------------------- workspace walk + JSON
+
+/// Builds a throwaway mini-workspace; returns its root.
+fn mini_workspace(tag: &str, core_src: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("octopus-lint-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(root.join("crates/core/src")).unwrap();
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(root.join("crates/core/src/lib.rs"), core_src).unwrap();
+    root
+}
+
+const INJECTED: &str = "use std::collections::HashMap;\n\
+    pub fn f(m: HashMap<u32, u32>) -> u32 {\n\
+        let mut acc = 0;\n\
+        for (_k, v) in m.iter() {\n\
+            acc += m.get(v).copied().unwrap();\n\
+        }\n\
+        acc\n\
+    }\n";
+
+#[test]
+fn json_report_matches_golden_file() {
+    let root = mini_workspace("golden", INJECTED);
+    let report = run(&root, &Baseline::default()).unwrap();
+    let got = report.render_json();
+    let golden = fixture("golden.json");
+    assert_eq!(
+        got, golden,
+        "JSON report drifted from tests/fixtures/golden.json"
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn baseline_roundtrip_tolerates_exactly_current_counts() {
+    let root = mini_workspace("baseline", INJECTED);
+    let fresh = run(&root, &Baseline::default()).unwrap();
+    assert!(fresh.new_count() > 0);
+    // Render the baseline from current counts, re-parse, re-run: clean.
+    let text = Baseline::render(&current_counts(&fresh));
+    let baseline = Baseline::parse(&text).unwrap();
+    let rerun = run(&root, &baseline).unwrap();
+    assert_eq!(rerun.new_count(), 0);
+    assert_eq!(rerun.baselined_count(), fresh.new_count());
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+// ---------------------------------------------------------- binary gate
+
+fn run_binary(root: &PathBuf, extra: &[&str]) -> std::process::Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_octopus-lint"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .unwrap()
+}
+
+#[test]
+fn binary_exits_nonzero_on_injected_violation() {
+    let root = mini_workspace("deny", INJECTED);
+    let out = run_binary(&root, &["--deny-new"]);
+    assert!(!out.status.success(), "expected failure: {out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("nondet-iter"), "{stdout}");
+    assert!(stdout.contains("panic"), "{stdout}");
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn binary_exits_zero_on_clean_workspace_and_after_baseline_update() {
+    let root = mini_workspace("clean", "pub fn ok() {}\n");
+    let out = run_binary(&root, &["--deny-new"]);
+    assert!(out.status.success(), "expected success: {out:?}");
+
+    // Inject debt, record it via --update-baseline, and the gate is green
+    // again — while a *further* violation still fails.
+    std::fs::write(root.join("crates/core/src/lib.rs"), INJECTED).unwrap();
+    assert!(!run_binary(&root, &[]).status.success());
+    assert!(run_binary(&root, &["--update-baseline"]).status.success());
+    assert!(run_binary(&root, &["--deny-new"]).status.success());
+    let more = format!("{INJECTED}pub fn g(v: &[u32]) -> u32 {{ *v.first().unwrap() }}\n");
+    std::fs::write(root.join("crates/core/src/lib.rs"), more).unwrap();
+    assert!(!run_binary(&root, &["--deny-new"]).status.success());
+    std::fs::remove_dir_all(&root).unwrap();
+}

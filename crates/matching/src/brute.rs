@@ -65,7 +65,11 @@ fn try_kuhn(
         let v = e.v as usize;
         if !seen[v] {
             seen[v] = true;
-            if match_r[v].is_none() || try_kuhn(g, match_r[v].unwrap(), seen, match_r) {
+            let free = match match_r[v] {
+                None => true,
+                Some(w) => try_kuhn(g, w, seen, match_r),
+            };
+            if free {
                 match_r[v] = Some(u);
                 return true;
             }

@@ -182,12 +182,15 @@ impl Matching {
     }
 }
 
-impl FromIterator<Link> for Matching {
-    /// Collects links into a matching, panicking on invariant violations.
-    /// Prefer [`Matching::new`] / [`Matching::new_free`] in fallible code.
-    fn from_iter<T: IntoIterator<Item = Link>>(iter: T) -> Self {
+/// Fallible counterpart of `FromIterator`: collects links into a matching,
+/// surfacing invariant violations as [`NetError`] instead of panicking.
+/// (A panicking `FromIterator` impl used to live here; octopus-lint L2
+/// forbids panics in library paths, so collection goes through this.)
+impl Matching {
+    /// Collects an iterator of links into a matching, validating the
+    /// port-disjointness invariants.
+    pub fn try_from_links<T: IntoIterator<Item = Link>>(iter: T) -> Result<Self, NetError> {
         Matching::new_unchecked_edges(iter.into_iter().map(|(i, j)| (i.0, j.0)))
-            .expect("links do not form a matching")
     }
 }
 

@@ -125,7 +125,7 @@ pub fn multi_switch<R: Rng + ?Sized>(
         } else {
             Vec::new()
         };
-        for &v in ids.iter() {
+        for &v in &ids {
             if members.len() >= port_count as usize {
                 break;
             }

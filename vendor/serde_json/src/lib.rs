@@ -612,7 +612,7 @@ mod tests {
         assert_eq!(from_str::<u64>("42").unwrap(), 42);
         assert_eq!(from_str::<i64>("-3").unwrap(), -3);
         assert_eq!(from_str::<f64>("2.5").unwrap(), 2.5);
-        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert!(from_str::<bool>("true").unwrap());
         assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
         assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
         assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
