@@ -1,0 +1,448 @@
+//! Allocation + wall-clock comparison of the two state-layer representations
+//! behind the α-search:
+//!
+//! * **legacy** — the pre-flat tree layout: one `BTreeMap<(u32, u32),
+//!   LinkQueue>` of per-link boxed queues, rebuilt-and-reinserted on every
+//!   commit, with the candidate/sweep walks chasing tree nodes.
+//! * **batched** — the arena/CSR [`LinkQueues`]: sorted link keys, contiguous
+//!   class/prefix arenas with per-link spans, and in-place
+//!   [`LinkQueues::set_link`] patches.
+//!
+//! Each measured run replays the same engine-shaped workload on one
+//! representation: build the snapshot from identical weighted-count triples,
+//! then for a fixed number of commit rounds enumerate the α candidates, run
+//! the full multi-α weight sweep (g for every link × every α, plus the
+//! per-column matching upper bounds), and apply a pre-recorded patch script
+//! (the dirty-link refreshes a real `RemainingTraffic` produced while being
+//! served). A digest of every produced bit (candidates, edges, weight
+//! columns, upper bounds) is folded per run and asserted equal across the two
+//! paths before any timing is kept. Run with `--out <path>` to write the JSON
+//! baseline (`BENCH_state.json` at the workspace root); numbers are
+//! single-threaded.
+
+use octopus_bench::runners::synthetic_instance;
+use octopus_bench::Env;
+use octopus_core::{HopWeighting, LinkQueue, LinkQueues, RemainingTraffic, TrafficSource};
+use octopus_net::NodeId;
+use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator wrapped with allocation counters, so the two state
+/// layouts can be compared on heap traffic as well as wall clock.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the counters are lock-free atomics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn counters() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Counters for one path of one case, as serialized into the JSON baseline.
+#[derive(Serialize)]
+struct PathStats {
+    allocs: u64,
+    bytes: u64,
+    nanos: u64,
+}
+
+/// One `n` row of the JSON baseline.
+#[derive(Serialize)]
+struct Case {
+    n: u32,
+    candidates: usize,
+    legacy: PathStats,
+    batched: PathStats,
+    alloc_ratio: f64,
+    speedup: f64,
+}
+
+/// The whole JSON baseline (`BENCH_state.json`).
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    kernel: &'static str,
+    threads: u32,
+    reps: usize,
+    metric: &'static str,
+    cases: Vec<Case>,
+}
+
+/// One measured run: digest of everything the sweep produced (order- and
+/// bit-sensitive), with counters and wall clock around the whole workload.
+struct Measured {
+    digest: u64,
+    allocs: u64,
+    bytes: u64,
+    nanos: u128,
+}
+
+/// FNV-1a fold — cheap, charged identically to both paths.
+fn fold(digest: u64, word: u64) -> u64 {
+    (digest ^ word).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// The pre-flat tree layout, reimplemented faithfully: per-link owned queues
+/// in an ordered map, patched by rebuild-and-reinsert.
+struct TreeQueues {
+    n: u32,
+    map: BTreeMap<(u32, u32), LinkQueue>,
+}
+
+impl TreeQueues {
+    fn from_weighted_counts(n: u32, triples: &[((u32, u32), f64, u64)]) -> Self {
+        let mut v: Vec<((u32, u32), f64, u64)> =
+            triples.iter().copied().filter(|&(_, _, c)| c > 0).collect();
+        v.sort_by_key(|&(link, _, _)| link);
+        let mut map = BTreeMap::new();
+        let mut s = 0;
+        while s < v.len() {
+            let link = v[s].0;
+            let mut e = s + 1;
+            while e < v.len() && v[e].0 == link {
+                e += 1;
+            }
+            if let Some(q) =
+                LinkQueue::from_weighted_counts(v[s..e].iter().map(|&(_, w, c)| (w, c)))
+            {
+                map.insert(link, q);
+            }
+            s = e;
+        }
+        TreeQueues { n, map }
+    }
+
+    fn alpha_candidates(&self, cap: u64) -> Vec<u64> {
+        let mut set: Vec<u64> = self
+            .map
+            .values()
+            .flat_map(|q| q.boundary_alphas().iter().copied())
+            .map(|a| a.min(cap))
+            .filter(|&a| a > 0)
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    /// The tree-walk sweep: per link, one `g_multi` merge pass; per column,
+    /// the dense row/col-max upper bound — the same math as
+    /// [`LinkQueues::weighted_edges_multi`], chasing tree nodes instead of
+    /// spans.
+    fn weighted_edges_multi(&self, alphas: &[u64]) -> (Vec<(u32, u32)>, Vec<f64>, Vec<f64>) {
+        let ne = self.map.len();
+        let k = alphas.len();
+        let n = self.n as usize;
+        let mut edges = Vec::with_capacity(ne);
+        let mut weights = vec![0.0f64; k * ne];
+        let mut row = vec![0.0f64; k];
+        for (e, (&link, q)) in self.map.iter().enumerate() {
+            edges.push(link);
+            q.g_multi(alphas, &mut row);
+            for (kk, &g) in row.iter().enumerate() {
+                weights[kk * ne + e] = g;
+            }
+        }
+        let mut ubs = Vec::with_capacity(k);
+        let mut row_max = vec![0.0f64; n];
+        let mut col_max = vec![0.0f64; n];
+        for kk in 0..k {
+            row_max.fill(0.0);
+            col_max.fill(0.0);
+            let col = &weights[kk * ne..(kk + 1) * ne];
+            for (e, &(i, j)) in edges.iter().enumerate() {
+                let g = col[e];
+                if g > row_max[i as usize] {
+                    row_max[i as usize] = g;
+                }
+                if g > col_max[j as usize] {
+                    col_max[j as usize] = g;
+                }
+            }
+            let rs: f64 = row_max.iter().sum();
+            let cs: f64 = col_max.iter().sum();
+            ubs.push(rs.min(cs));
+        }
+        (edges, weights, ubs)
+    }
+
+    fn set_link(&mut self, link: (u32, u32), queue: Option<LinkQueue>) {
+        match queue {
+            Some(q) => {
+                self.map.insert(link, q);
+            }
+            None => {
+                self.map.remove(&link);
+            }
+        }
+    }
+}
+
+/// A pre-recorded commit round: the refreshed queue (or removal) per dirty
+/// link, exactly what the engine's patch path feeds `set_link`.
+type PatchRound = Vec<((u32, u32), Option<LinkQueue>)>;
+
+/// Replays serving on a real [`RemainingTraffic`] to record the per-round
+/// dirty-link refreshes both representations will apply. Each round serves
+/// every other non-empty link (alternating halves) at the median candidate α.
+fn record_patch_script(
+    tr0: &RemainingTraffic,
+    n: u32,
+    window: u64,
+    rounds: usize,
+) -> Vec<PatchRound> {
+    let mut tr = tr0.clone();
+    let mut q = tr.link_queues(n);
+    let mut script = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let cands = q.alpha_candidates(window);
+        if cands.is_empty() {
+            break;
+        }
+        let alpha = cands[cands.len() / 2];
+        let served: Vec<(NodeId, NodeId, u64)> = q
+            .links()
+            .enumerate()
+            .filter(|(idx, _)| idx % 2 == round % 2)
+            .map(|(_, (i, j))| (NodeId(i), NodeId(j), alpha))
+            .collect();
+        let dirty = tr.apply_served(&served).unwrap_or_default();
+        let patches: PatchRound = dirty
+            .into_iter()
+            .map(|link| (link, tr.refresh_link(link)))
+            .collect();
+        for (link, queue) in &patches {
+            q.set_link(*link, queue.clone());
+        }
+        script.push(patches);
+    }
+    script
+}
+
+fn digest_sweep(
+    mut d: u64,
+    cands: &[u64],
+    edges: &[(u32, u32)],
+    weights: &[f64],
+    ubs: &[f64],
+) -> u64 {
+    for &a in cands {
+        d = fold(d, a);
+    }
+    for &(i, j) in edges {
+        d = fold(d, (u64::from(i) << 32) | u64::from(j));
+    }
+    for &w in weights {
+        d = fold(d, w.to_bits());
+    }
+    for &u in ubs {
+        d = fold(d, u.to_bits());
+    }
+    d
+}
+
+/// The flat path: arena/CSR snapshot, in-place span patches.
+fn run_flat(
+    n: u32,
+    window: u64,
+    triples: &[((u32, u32), f64, u64)],
+    script: &[PatchRound],
+) -> Measured {
+    let (a0, b0) = counters();
+    let start = Instant::now();
+    let mut q = LinkQueues::from_weighted_counts(n, triples.iter().copied());
+    // What the engine does at `TrafficSource` load: intern every link the
+    // patch storm can touch, so `set_link` mutates spans in place instead of
+    // memmoving the sorted key vector.
+    q.intern_links(
+        script
+            .iter()
+            .flat_map(|round| round.iter().map(|&(link, _)| link)),
+    );
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for patches in script {
+        let cands = q.alpha_candidates(window);
+        let sweep = q.weighted_edges_multi(&cands);
+        let ubs: Vec<f64> = (0..cands.len()).map(|k| sweep.upper_bound(k)).collect();
+        let weights: &[f64] = &(0..cands.len())
+            .flat_map(|k| sweep.column(k).iter().copied())
+            .collect::<Vec<f64>>();
+        digest = digest_sweep(digest, &cands, sweep.edges(), weights, &ubs);
+        for (link, queue) in patches {
+            q.set_link(*link, queue.clone());
+        }
+    }
+    let nanos = start.elapsed().as_nanos();
+    let (a1, b1) = counters();
+    Measured {
+        digest,
+        allocs: a1 - a0,
+        bytes: b1 - b0,
+        nanos,
+    }
+}
+
+/// The tree path: per-link owned queues behind `BTreeMap`, patched by
+/// reinsert/remove.
+fn run_tree(
+    n: u32,
+    window: u64,
+    triples: &[((u32, u32), f64, u64)],
+    script: &[PatchRound],
+) -> Measured {
+    let (a0, b0) = counters();
+    let start = Instant::now();
+    let mut q = TreeQueues::from_weighted_counts(n, triples);
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for patches in script {
+        let cands = q.alpha_candidates(window);
+        let (edges, weights, ubs) = q.weighted_edges_multi(&cands);
+        digest = digest_sweep(digest, &cands, &edges, &weights, &ubs);
+        for (link, queue) in patches {
+            q.set_link(*link, queue.clone());
+        }
+    }
+    let nanos = start.elapsed().as_nanos();
+    let (a1, b1) = counters();
+    Measured {
+        digest,
+        allocs: a1 - a0,
+        bytes: b1 - b0,
+        nanos,
+    }
+}
+
+fn main() {
+    let out_path = {
+        let mut args = std::env::args().skip(1);
+        let mut out = None;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--out" => out = args.next(),
+                other => {
+                    eprintln!("unknown argument: {other} (expected --out <path>)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    };
+
+    const REPS: usize = 20;
+    const ROUNDS: usize = 6;
+    const WINDOW: u64 = 10_000;
+    let mut cases = Vec::new();
+    for n in [128u32, 512, 1024] {
+        let env = Env {
+            n,
+            window: WINDOW,
+            delta: 20,
+            instances: 1,
+            seed: 11,
+        };
+        let inst = synthetic_instance(&env, 0, |c| c);
+        let tr = RemainingTraffic::new(&inst.load, HopWeighting::Uniform).unwrap();
+        let triples: Vec<((u32, u32), f64, u64)> = tr
+            .subflows()
+            .into_iter()
+            .map(|(_, route, pos, count)| {
+                let (a, b) = route.hop(pos);
+                let w = tr.weighting().hop_weight(route.hops(), pos).value();
+                ((a.0, b.0), w, count)
+            })
+            .collect();
+        let script = record_patch_script(&tr, n, WINDOW, ROUNDS);
+        let candidates = tr.link_queues(n).alpha_candidates(WINDOW).len();
+
+        // Correctness gate: identical digests (candidates, edge topology,
+        // every weight column bit, every upper bound bit) on both paths.
+        let tree = run_tree(n, WINDOW, &triples, &script);
+        let flat = run_flat(n, WINDOW, &triples, &script);
+        assert_eq!(tree.digest, flat.digest, "paths diverged at n = {n}");
+
+        let mut best_tree = tree;
+        let mut best_flat = flat;
+        for _ in 0..REPS {
+            let t = run_tree(n, WINDOW, &triples, &script);
+            assert_eq!(t.digest, best_tree.digest);
+            if t.nanos < best_tree.nanos {
+                best_tree = t;
+            }
+            let f = run_flat(n, WINDOW, &triples, &script);
+            assert_eq!(f.digest, best_flat.digest);
+            if f.nanos < best_flat.nanos {
+                best_flat = f;
+            }
+        }
+
+        let alloc_ratio = best_tree.allocs as f64 / best_flat.allocs.max(1) as f64;
+        let speedup = best_tree.nanos as f64 / best_flat.nanos.max(1) as f64;
+        println!(
+            "n={n:5}  |A|={candidates:4}  tree: {:6} allocs {:10} B {:10} ns   flat: {:5} allocs {:9} B {:10} ns   alloc x{alloc_ratio:.1}  time x{speedup:.2}",
+            best_tree.allocs,
+            best_tree.bytes,
+            best_tree.nanos,
+            best_flat.allocs,
+            best_flat.bytes,
+            best_flat.nanos,
+        );
+        cases.push(Case {
+            n,
+            candidates,
+            legacy: PathStats {
+                allocs: best_tree.allocs,
+                bytes: best_tree.bytes,
+                nanos: best_tree.nanos as u64,
+            },
+            batched: PathStats {
+                allocs: best_flat.allocs,
+                bytes: best_flat.bytes,
+                nanos: best_flat.nanos as u64,
+            },
+            alloc_ratio,
+            speedup,
+        });
+    }
+
+    let report = Report {
+        bench: "state_layer_tree_vs_flat",
+        kernel: "sweep_g_multi",
+        threads: 1,
+        reps: REPS,
+        metric: "min_over_reps",
+        cases,
+    };
+    let text = serde_json::to_string_pretty(&report).expect("serializable report");
+    match out_path {
+        Some(p) => std::fs::write(&p, text + "\n").expect("write report"),
+        None => println!("{text}"),
+    }
+}

@@ -371,17 +371,26 @@ pub struct DuplexFabric<'a> {
 
 impl<S> Fabric<S> for DuplexFabric<'_> {
     fn evaluate(&self, _source: &S, queues: &LinkQueues, alpha: u64, delta: u64) -> BestChoice {
-        // Undirected edge weight: both directions together.
-        let mut undirected: std::collections::BTreeMap<(u32, u32), f64> =
-            std::collections::BTreeMap::new();
-        for (i, j, w) in queues.weighted_edges(alpha) {
-            let key = if i < j { (i, j) } else { (j, i) };
-            *undirected.entry(key).or_insert(0.0) += w;
-        }
-        let edges: Vec<(u32, u32, f64)> = undirected
+        // Undirected edge weight: both directions together. Sorted-vec merge
+        // instead of a per-evaluate tree: canonicalize each directed edge to
+        // `(min, max)`, stable-sort by key, then fold adjacent duplicates.
+        // `weighted_edges` yields `(i, j)`-sorted edges, so for any pair
+        // {a, b} the `a → b` direction precedes `b → a` both there and after
+        // the stable sort — the two `g` terms are added in the same order the
+        // old `BTreeMap` accumulation used, keeping sums bit-identical.
+        let mut undirected: Vec<((u32, u32), f64)> = queues
+            .weighted_edges(alpha)
             .into_iter()
-            .map(|((a, b), w)| (a, b, w))
+            .map(|(i, j, w)| (if i < j { (i, j) } else { (j, i) }, w))
             .collect();
+        undirected.sort_by_key(|&(key, _)| key);
+        let mut edges: Vec<(u32, u32, f64)> = Vec::with_capacity(undirected.len());
+        for ((a, b), w) in undirected {
+            match edges.last_mut() {
+                Some(last) if (last.0, last.1) == (a, b) => last.2 += w,
+                _ => edges.push((a, b, w)),
+            }
+        }
         let n = queues.n();
         let m = match self.matcher {
             GeneralMatcherKind::Greedy => greedy_general_matching(n, &edges),
@@ -579,39 +588,36 @@ impl<S: TrafficSource> ScheduleEngine<S> {
         self.queues = None;
     }
 
-    fn ensure_queues(&mut self) {
-        if self.queues.is_none() {
-            self.queues = Some(self.source.snapshot_queues(self.n));
-        }
+    /// Builds the snapshot on first use and returns it together with the
+    /// source (callers often need both; destructuring keeps the field
+    /// borrows disjoint and the path panic-free).
+    fn ensure_queues(&mut self) -> (&LinkQueues, &S) {
+        let Self {
+            queues, source, n, ..
+        } = self;
+        (
+            queues.get_or_insert_with(|| source.snapshot_queues(*n)),
+            source,
+        )
     }
 
     /// The current queue snapshot (built on first use, patched afterwards).
     pub fn queues(&mut self) -> &LinkQueues {
-        self.ensure_queues();
-        self.queues.as_ref().expect("just ensured")
+        self.ensure_queues().0
     }
 
     /// The candidate α values for this iteration, capped by `budget` and
     /// extended per `ext`. Sorted ascending, deduplicated.
     pub fn candidates(&mut self, budget: u64, ext: CandidateExtension) -> Vec<u64> {
-        self.ensure_queues();
-        let base = self
-            .queues
-            .as_ref()
-            .expect("just ensured")
-            .alpha_candidates(budget);
+        let base = self.ensure_queues().0.alpha_candidates(budget);
         extend_candidates(base, budget, ext)
     }
 
     /// Evaluates one α on `fabric` against the current snapshot.
     pub fn evaluate<F: Fabric<S>>(&mut self, fabric: &F, alpha: u64) -> BestChoice {
-        self.ensure_queues();
-        fabric.evaluate(
-            &self.source,
-            self.queues.as_ref().expect("just ensured"),
-            alpha,
-            self.delta,
-        )
+        let delta = self.delta;
+        let (queues, source) = self.ensure_queues();
+        fabric.evaluate(source, queues, alpha, delta)
     }
 
     /// One iteration's configuration selection: enumerates candidates,
@@ -632,10 +638,8 @@ impl<S: TrafficSource> ScheduleEngine<S> {
         if budget == 0 {
             return None;
         }
-        self.ensure_queues();
-        let queues = self.queues.as_ref().expect("just ensured");
-        let source = &self.source;
         let delta = self.delta;
+        let (queues, source) = self.ensure_queues();
         let candidates = extend_candidates(queues.alpha_candidates(budget), budget, ext);
         if let Some((sweep, kind)) = fabric.weight_sweep(source, queues, &candidates) {
             // Batched path: one pass over the snapshot produced every α's
@@ -678,8 +682,7 @@ impl<S: TrafficSource> ScheduleEngine<S> {
         if budget == 0 {
             return None;
         }
-        self.ensure_queues();
-        let queues = self.queues.as_ref().expect("just ensured");
+        let queues = self.ensure_queues().0;
         let candidates = extend_candidates(queues.alpha_candidates(budget), budget, ext);
         search_alpha(&candidates, policy, None, eval).filter(|c| c.benefit > 0.0)
     }

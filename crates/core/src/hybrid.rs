@@ -13,10 +13,11 @@
 //! budget; flows are considered smallest-first, the classic
 //! small-flows-to-the-packet-net split.
 
+use crate::flatmap::VecMap;
 use crate::{octopus, OctopusConfig, OctopusOutput, SchedError};
 use octopus_net::Network;
 use octopus_traffic::{Flow, FlowId, TrafficLoad};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 /// The hybrid fabric's packet-network model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +75,7 @@ pub fn octopus_hybrid(
     order.sort_by_key(|f| (f.size, f.id));
 
     // Ordered map: summed and drained into the output below (octopus-lint L1).
-    let mut offload: BTreeMap<FlowId, u64> = BTreeMap::new();
+    let mut offload: VecMap<FlowId, u64> = VecMap::new();
     for f in order {
         let s = f.src().0;
         let d = f.dst().0;
@@ -101,11 +102,11 @@ pub fn octopus_hybrid(
             })
         })
         .collect();
-    let circuit_load = TrafficLoad::new(remaining).expect("ids preserved");
+    let circuit_load = TrafficLoad::new(remaining)?;
     let circuit = octopus(net, &circuit_load, cfg)?;
 
     let offloaded: u64 = offload.values().sum();
-    // Already (FlowId, _)-sorted: BTreeMap drains in key order.
+    // Already (FlowId, _)-sorted: the VecMap drains in key order.
     let packet_offload: Vec<(FlowId, u64)> = offload.into_iter().collect();
     Ok(HybridOutput {
         packet_offload,

@@ -55,6 +55,7 @@
 
 mod best_config;
 mod error;
+mod flatmap;
 mod octopus;
 mod state;
 
@@ -76,4 +77,4 @@ pub use engine::{
 pub use error::SchedError;
 pub use octopus::{octopus, octopus_on, OctopusConfig, OctopusOutput};
 pub use octopus_traffic::HopWeighting;
-pub use state::{LinkQueue, LinkQueues, MultiAlphaEdges, RemainingTraffic};
+pub use state::{LinkQueue, LinkQueueRef, LinkQueues, MultiAlphaEdges, RemainingTraffic};

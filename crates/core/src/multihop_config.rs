@@ -20,10 +20,11 @@
 
 use crate::best_config::BestChoice;
 use crate::engine::{CandidateExtension, ScheduleEngine, SearchPolicy};
+use crate::flatmap::VecMap;
 use crate::{RemainingTraffic, SchedError};
 use octopus_net::{Configuration, Matching, Network, Schedule};
 use octopus_traffic::{FlowId, HopWeighting, Route, TrafficLoad, Weight};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::HashSet;
 
 /// Octopus with chain-aware (multi-hop within a configuration) benefit and
 /// greedy edge-by-edge matchings — the modified algorithm of Theorem 2.
@@ -120,27 +121,26 @@ impl Snapshot {
     /// per-sub-flow advancement.
     fn simulate(&self, edges: &[(u32, u32)], alpha: u64) -> ChainOutcome {
         // Queue state: key (entry idx, current pos) -> available count.
-        let mut avail: BTreeMap<(usize, u32), u64> = BTreeMap::new();
+        let mut avail: VecMap<(usize, u32), u64> = VecMap::new();
         for (idx, &(_, _, pos, count)) in self.entries.iter().enumerate() {
-            *avail.entry((idx, pos)).or_insert(0) += count;
+            *avail.get_or_insert((idx, pos), 0) += count;
         }
         // Pending arrivals: (due slot) -> [(entry, pos, count)].
-        let mut pending: BTreeMap<u64, Vec<(usize, u32, u64)>> = BTreeMap::new();
+        let mut pending: VecMap<u64, Vec<(usize, u32, u64)>> = VecMap::new();
         let edge_set: Vec<(u32, u32)> = edges.to_vec();
         let mut benefit = 0.0;
         // advanced[(idx, final_pos)] tracked at the end from avail/pending.
         for t in 0..alpha {
-            // Admit due arrivals.
-            let due: Vec<u64> = pending.range(..=t).map(|(&k, _)| k).collect();
-            for k in due {
-                for (idx, pos, c) in pending.remove(&k).expect("key observed") {
-                    *avail.entry((idx, pos)).or_insert(0) += c;
+            // Admit due arrivals (a sorted prefix of the pending map).
+            while let Some((_, batch)) = pending.pop_first_if(|&due| due <= t) {
+                for (idx, pos, c) in batch {
+                    *avail.get_or_insert((idx, pos), 0) += c;
                 }
             }
             for &(i, j) in &edge_set {
                 // Highest-priority waiting packet whose next hop is (i, j).
                 let mut bestk: Option<(PrioEntry, (usize, u32))> = None;
-                for (&(idx, pos), &c) in &avail {
+                for &((idx, pos), c) in avail.iter() {
                     if c == 0 {
                         continue;
                     }
@@ -165,16 +165,21 @@ impl Snapshot {
                     }
                 }
                 if let Some((key, (idx, pos))) = bestk {
-                    let c = avail.get_mut(&(idx, pos)).expect("candidate exists");
+                    let Some(c) = avail.get_mut(&(idx, pos)) else {
+                        debug_assert!(false, "argmax candidate came from avail");
+                        continue;
+                    };
                     *c -= 1;
                     benefit += key.0.value();
                     let route = &self.entries[idx].1;
                     let new_pos = pos + 1;
                     if new_pos >= route.hops() {
                         // Delivered: park at the terminal position.
-                        *avail.entry((idx, new_pos)).or_insert(0) += 1;
+                        *avail.get_or_insert((idx, new_pos), 0) += 1;
                     } else {
-                        pending.entry(t + 1).or_default().push((idx, new_pos, 1));
+                        pending
+                            .get_or_insert_with(t + 1, Vec::new)
+                            .push((idx, new_pos, 1));
                     }
                 }
             }
@@ -182,13 +187,13 @@ impl Snapshot {
         // Flush pending into avail for final positions.
         for (_, batch) in pending {
             for (idx, pos, c) in batch {
-                *avail.entry((idx, pos)).or_insert(0) += c;
+                *avail.get_or_insert((idx, pos), 0) += c;
             }
         }
         // Derive per-entry movement: packets of entry idx that ended at pos'
         // >= original pos moved (pos' - pos) hops.
         let mut moves = Vec::new();
-        for (&(idx, pos_end), &c) in &avail {
+        for &((idx, pos_end), c) in avail.iter() {
             if c == 0 {
                 continue;
             }
@@ -206,18 +211,20 @@ impl Snapshot {
 fn greedy_chain_matching(snap: &Snapshot, net: &Network, alpha: u64) -> (Vec<(u32, u32)>, f64) {
     // Candidate edges: any hop appearing in a remaining route (others can
     // never carry traffic this configuration).
-    // Ordered set: the greedy loop below iterates it (octopus-lint L1); the
-    // marginal-benefit argmax has an explicit (i, j) tie-break, but a fixed
-    // visit order keeps float summation order reproducible too.
-    let mut cands: BTreeSet<(u32, u32)> = BTreeSet::new();
+    // Sorted + deduped: the greedy loop below iterates it (octopus-lint L1);
+    // the marginal-benefit argmax has an explicit (i, j) tie-break, but a
+    // fixed visit order keeps float summation order reproducible too.
+    let mut cands: Vec<(u32, u32)> = Vec::new();
     for (_, route, pos, _) in &snap.entries {
         for x in *pos..route.hops() {
             let (a, b) = route.hop(x);
             if net.has_edge(a, b) {
-                cands.insert((a.0, b.0));
+                cands.push((a.0, b.0));
             }
         }
     }
+    cands.sort_unstable();
+    cands.dedup();
     let mut chosen: Vec<(u32, u32)> = Vec::new();
     let mut used_out: HashSet<u32> = HashSet::new();
     let mut used_in: HashSet<u32> = HashSet::new();

@@ -29,6 +29,7 @@
 use crate::engine::{
     BipartiteFabric, CandidateExtension, ScheduleEngine, SearchPolicy, TrafficSource,
 };
+use crate::flatmap::VecMap;
 use crate::state::LinkQueues;
 use crate::{OctopusConfig, SchedError};
 use octopus_net::{Configuration, Network, NodeId, Schedule};
@@ -36,7 +37,7 @@ use octopus_sim::ResolvedFlow;
 use octopus_traffic::{Flow, FlowId, HopWeighting, Route, TrafficLoad, Weight};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 /// Extra knobs for Octopus+.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -110,10 +111,10 @@ struct PlusState<'a> {
     /// Ordered: candidate enumeration and plan resolution iterate this map,
     /// and iteration order must be deterministic for schedules to be
     /// reproducible (octopus-lint L1).
-    portions: BTreeMap<Portion, u64>,
+    portions: VecMap<Portion, u64>,
     /// Packets delivered per (flow, route index); u32::MAX = direct
     /// backtrack route. Ordered: aggregated into the resolved-flow output.
-    delivered_via: BTreeMap<(u32, u32), u64>,
+    delivered_via: VecMap<(u32, u32), u64>,
     delivered: u64,
     total: u64,
     psi: f64,
@@ -123,7 +124,7 @@ const DIRECT: u32 = u32::MAX;
 
 impl<'a> PlusState<'a> {
     fn new(load: &'a TrafficLoad, weighting: HopWeighting) -> Self {
-        let mut portions = BTreeMap::new();
+        let mut portions = VecMap::new();
         for (fi, f) in load.flows().iter().enumerate() {
             if f.size > 0 {
                 portions.insert(Portion::AtSource { flow: fi as u32 }, f.size);
@@ -133,7 +134,7 @@ impl<'a> PlusState<'a> {
             flows: load.flows(),
             weighting,
             portions,
-            delivered_via: BTreeMap::new(),
+            delivered_via: VecMap::new(),
             delivered: 0,
             total: load.total_packets(),
             psi: 0.0,
@@ -164,7 +165,7 @@ impl<'a> PlusState<'a> {
     /// current `T^r` (the Octopus+ `g`/`h` inputs).
     fn candidates(&self, net: &Network, backtracking: bool) -> Vec<Candidate> {
         let mut out = Vec::new();
-        for (&portion, &count) in &self.portions {
+        for &(portion, count) in self.portions.iter() {
             if count == 0 {
                 continue;
             }
@@ -177,9 +178,10 @@ impl<'a> PlusState<'a> {
                     for r in &f.routes {
                         let (a, b) = r.hop(0);
                         if hops_seen.insert((a.0, b.0)) {
-                            let (ri, w) = self
-                                .best_commit(flow, a.0, b.0)
-                                .expect("route with this first hop exists");
+                            let Some((ri, w)) = self.best_commit(flow, a.0, b.0) else {
+                                debug_assert!(false, "route with this first hop exists");
+                                continue;
+                            };
                             out.push(((a.0, b.0), w, count, portion, Action::Commit(ri)));
                         }
                     }
@@ -265,7 +267,10 @@ impl<'a> PlusState<'a> {
     }
 
     fn commit_move(&mut self, portion: Portion, action: Action, take: u64) {
-        let c = self.portions.get_mut(&portion).expect("move source exists");
+        let Some(c) = self.portions.get_mut(&portion) else {
+            debug_assert!(false, "move names a portion absent from the plan");
+            return;
+        };
         debug_assert!(*c >= take);
         *c -= take;
         if *c == 0 {
@@ -278,16 +283,16 @@ impl<'a> PlusState<'a> {
                 self.psi += self.weighting.hop_weight(hops, 0).value() * take as f64;
                 if hops == 1 {
                     self.delivered += take;
-                    *self.delivered_via.entry((flow, route)).or_insert(0) += take;
+                    *self.delivered_via.get_or_insert((flow, route), 0) += take;
                 } else {
-                    *self
-                        .portions
-                        .entry(Portion::Routed {
+                    *self.portions.get_or_insert(
+                        Portion::Routed {
                             flow,
                             route,
                             pos: 1,
-                        })
-                        .or_insert(0) += take;
+                        },
+                        0,
+                    ) += take;
                 }
             }
             (Portion::Routed { flow, route, pos }, Action::Advance) => {
@@ -296,16 +301,16 @@ impl<'a> PlusState<'a> {
                 self.psi += self.weighting.hop_weight(hops, pos).value() * take as f64;
                 if pos + 1 == hops {
                     self.delivered += take;
-                    *self.delivered_via.entry((flow, route)).or_insert(0) += take;
+                    *self.delivered_via.get_or_insert((flow, route), 0) += take;
                 } else {
-                    *self
-                        .portions
-                        .entry(Portion::Routed {
+                    *self.portions.get_or_insert(
+                        Portion::Routed {
                             flow,
                             route,
                             pos: pos + 1,
-                        })
-                        .or_insert(0) += take;
+                        },
+                        0,
+                    ) += take;
                 }
             }
             (Portion::Routed { flow, route, pos }, Action::Backtrack) => {
@@ -318,7 +323,7 @@ impl<'a> PlusState<'a> {
                 self.psi -= annulled * take as f64;
                 self.psi += self.weighting.hop_weight(1, 0).value() * take as f64;
                 self.delivered += take;
-                *self.delivered_via.entry((flow, DIRECT)).or_insert(0) += take;
+                *self.delivered_via.get_or_insert((flow, DIRECT), 0) += take;
             }
             (p, a) => unreachable!("invalid move {p:?} / {a:?}"),
         }
@@ -328,22 +333,25 @@ impl<'a> PlusState<'a> {
     /// simulation. Undecided source packets get their best-weight candidate
     /// (shortest route, lowest index).
     fn resolve(&self) -> Vec<ResolvedFlow> {
-        let mut agg: BTreeMap<(u32, u32), u64> = self.delivered_via.clone();
-        for (&portion, &count) in &self.portions {
+        let mut agg: VecMap<(u32, u32), u64> = self.delivered_via.clone();
+        for &(portion, count) in self.portions.iter() {
             match portion {
                 Portion::AtSource { flow } => {
                     let f = &self.flows[flow as usize];
-                    let best = f
+                    let Some(best) = f
                         .routes
                         .iter()
                         .enumerate()
                         .min_by_key(|(ri, r)| (r.hops(), *ri))
                         .map(|(ri, _)| ri as u32)
-                        .expect("flows have at least one route");
-                    *agg.entry((flow, best)).or_insert(0) += count;
+                    else {
+                        debug_assert!(false, "flows have at least one route");
+                        continue;
+                    };
+                    *agg.get_or_insert((flow, best), 0) += count;
                 }
                 Portion::Routed { flow, route, .. } => {
-                    *agg.entry((flow, route)).or_insert(0) += count;
+                    *agg.get_or_insert((flow, route), 0) += count;
                 }
             }
         }
@@ -466,19 +474,16 @@ pub fn octopus_random<R: Rng + ?Sized>(
     cfg: &OctopusConfig,
     rng: &mut R,
 ) -> Result<(crate::OctopusOutput, TrafficLoad), SchedError> {
-    let flows: Vec<Flow> = load
-        .flows()
-        .iter()
-        .map(|f| {
-            let route = f
-                .routes
-                .choose(rng)
-                .expect("flows have at least one route")
-                .clone();
-            Flow::single(f.id, f.size, route)
-        })
-        .collect();
-    let resolved = TrafficLoad::new(flows).expect("ids preserved");
+    let mut flows: Vec<Flow> = Vec::with_capacity(load.len());
+    for f in load.flows() {
+        // Validated loads guarantee at least one route per flow.
+        let Some(route) = f.routes.choose(rng) else {
+            debug_assert!(false, "flows have at least one route");
+            continue;
+        };
+        flows.push(Flow::single(f.id, f.size, route.clone()));
+    }
+    let resolved = TrafficLoad::new(flows)?;
     let out = crate::octopus(net, &resolved, cfg)?;
     Ok((out, resolved))
 }

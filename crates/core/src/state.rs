@@ -10,23 +10,39 @@
 //!
 //! The multiset is stored *keyed by link*: a sub-flow at `(flow, position)`
 //! waits on exactly one fabric link (`route.hop(position)`, routes never
-//! revisit a node), so `counts[(i, j)]` holds everything queued on `(i, j)`.
-//! That layout is what makes the incremental engine cheap — applying a
-//! configuration touches only the links that lost or gained packets, and
-//! [`RemainingTraffic::refresh_link`] can re-derive a single link's queue
-//! without scanning the rest of the plan.
+//! revisit a node), so the row of link `(i, j)` holds everything queued on
+//! `(i, j)`. That layout is what makes the incremental engine cheap —
+//! applying a configuration touches only the links that lost or gained
+//! packets, and [`RemainingTraffic::refresh_link`] can re-derive a single
+//! link's queue without scanning the rest of the plan.
+//!
+//! # Cache-flat layout (no trees on the hot path)
+//!
+//! Both `T^r` and the [`LinkQueues`] snapshot are stored in sorted-vec /
+//! arena form rather than `BTreeMap`s (see DESIGN.md §6):
+//!
+//! * every fabric link a route can ever cross is *interned* once at load
+//!   into a sorted `Vec<(u32, u32)>`; the dense index into that vec is the
+//!   link's `LinkId`, and each flow precomputes the `LinkId` of every hop;
+//! * `T^r` keeps one flat row `Vec<((flow index, position), count)>` per
+//!   `LinkId`, sorted by key — the same total order the old per-link
+//!   `BTreeMap` iterated in, so schedules are bit-identical by construction;
+//! * [`LinkQueues`] is a CSR: the sorted link keys in one vec, a parallel
+//!   `(offset, len)` span per link, and three contiguous arenas holding the
+//!   weight classes and their prefix sums. Patching a link rewrites its span
+//!   in place (or appends and later compacts) instead of rebalancing a tree.
+//!
+//! Determinism note (enforced by `octopus-lint`, L1/L6): everything that is
+//! ever *iterated* on a scheduling path walks these sorted vecs, so
+//! iteration order is a fixed total order independent of hasher seeds and
+//! insertion history. `HashMap` remains only for pure point lookups
+//! (`from_subflows`' dedup index, `advance_chained`'s flow-id index), which
+//! cannot observe iteration order.
 
 use crate::SchedError;
 use octopus_net::NodeId;
 use octopus_traffic::{FlowId, HopWeighting, Route, TrafficLoad, Weight};
-use std::collections::{BTreeMap, HashMap};
-
-// Determinism note (enforced by `octopus-lint`, L1): every map that is ever
-// *iterated* on a scheduling path is a `BTreeMap` keyed by `(u32, u32)` links
-// or `(flow index, position)` rows, so iteration order is a fixed total order
-// independent of hasher seeds and insertion history. `HashMap` remains only
-// for pure point lookups (`from_subflows`' dedup index, `advance_chained`'s
-// flow-id index), which cannot observe iteration order.
+use std::collections::HashMap;
 
 /// One waiting packet group as seen by a link queue: weight, flow ID (the
 /// tie-breaker), flow index, route position, packet count.
@@ -38,6 +54,9 @@ struct FlowMeta {
     id: FlowId,
     route: Route,
     hops: u32,
+    /// Offset of this flow's per-hop `LinkId`s in
+    /// [`RemainingTraffic::flow_links`].
+    link_off: u32,
 }
 
 /// The directed fabric link a route's `pos`-th hop crosses.
@@ -50,11 +69,16 @@ fn link_of(route: &Route, pos: u32) -> (u32, u32) {
 #[derive(Debug, Clone)]
 pub struct RemainingTraffic {
     flows: Vec<FlowMeta>,
-    /// `link → (flow index, position) → packets` planned to sit at
-    /// `route[position]`, waiting to cross `link = route.hop(position)`.
-    /// Ordered maps: scheduling iterates these, and iteration order must be
-    /// a fixed total order for schedules to be reproducible.
-    counts: BTreeMap<(u32, u32), BTreeMap<(u32, u32), u64>>,
+    /// Interned `LinkId` of every flow's every hop, flow-major; flow `fi`'s
+    /// hop `pos` lives at `flow_links[flows[fi].link_off + pos]`.
+    flow_links: Vec<u32>,
+    /// Every link any route can cross, sorted ascending. The index into
+    /// this vec is the dense `LinkId`; the sorted order is what keeps every
+    /// link iteration on the same fixed total order the old `BTreeMap` had.
+    link_keys: Vec<(u32, u32)>,
+    /// Per `LinkId`: `((flow index, position), packets)` planned to sit at
+    /// `route[position]`, waiting to cross this link. Sorted by key.
+    rows: Vec<Vec<((u32, u32), u64)>>,
     weighting: HopWeighting,
     delivered: u64,
     total: u64,
@@ -62,37 +86,69 @@ pub struct RemainingTraffic {
 }
 
 impl RemainingTraffic {
+    /// Interns the union of all route hops: returns the sorted link-key vec
+    /// and the flow-major per-hop `LinkId` table, setting each flow's
+    /// `link_off`.
+    fn intern(flows: &mut [FlowMeta]) -> (Vec<(u32, u32)>, Vec<u32>) {
+        let total_hops: usize = flows.iter().map(|m| m.hops as usize).sum();
+        let mut keys: Vec<(u32, u32)> = Vec::with_capacity(total_hops);
+        for m in flows.iter() {
+            for pos in 0..m.hops {
+                keys.push(link_of(&m.route, pos));
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        let mut flow_links = Vec::with_capacity(total_hops);
+        for m in flows.iter_mut() {
+            m.link_off = flow_links.len() as u32;
+            for pos in 0..m.hops {
+                let link = link_of(&m.route, pos);
+                // Every hop was just inserted, so the search always hits;
+                // `unwrap_or_else(|i| i)` keeps this panic-free by
+                // construction rather than by `.expect`.
+                let li = keys.binary_search(&link).unwrap_or_else(|i| i);
+                debug_assert_eq!(keys.get(li), Some(&link));
+                flow_links.push(li as u32);
+            }
+        }
+        (keys, flow_links)
+    }
+
     /// Initializes `T^r = T` for a single-route load.
     pub fn new(load: &TrafficLoad, weighting: HopWeighting) -> Result<Self, SchedError> {
         let mut flows = Vec::with_capacity(load.len());
-        let mut counts: BTreeMap<(u32, u32), BTreeMap<(u32, u32), u64>> = BTreeMap::new();
-        for (fi, f) in load.flows().iter().enumerate() {
+        for f in load.flows() {
             if f.routes.len() != 1 {
                 return Err(SchedError::MultiRouteFlow(f.id));
             }
             let route = f.routes[0].clone();
             let hops = route.hops();
-            if f.size > 0 {
-                counts
-                    .entry(link_of(&route, 0))
-                    .or_default()
-                    .insert((fi as u32, 0), f.size);
-            }
             flows.push(FlowMeta {
                 id: f.id,
                 route,
                 hops,
+                link_off: 0,
             });
         }
-        let total = load.total_packets();
-        Ok(RemainingTraffic {
+        let (link_keys, flow_links) = Self::intern(&mut flows);
+        let rows = vec![Vec::new(); link_keys.len()];
+        let mut tr = RemainingTraffic {
             flows,
-            counts,
+            flow_links,
+            link_keys,
+            rows,
             weighting,
             delivered: 0,
-            total,
+            total: load.total_packets(),
             psi: 0.0,
-        })
+        };
+        for (fi, f) in load.flows().iter().enumerate() {
+            if f.size > 0 {
+                tr.add(fi as u32, 0, f.size);
+            }
+        }
+        Ok(tr)
     }
 
     /// Builds `T^r` directly from mid-route sub-flows `(flow id, full
@@ -111,7 +167,7 @@ impl RemainingTraffic {
     ) -> Self {
         let mut flows: Vec<FlowMeta> = Vec::new();
         let mut index: HashMap<(FlowId, Route), u32> = HashMap::new();
-        let mut counts: BTreeMap<(u32, u32), BTreeMap<(u32, u32), u64>> = BTreeMap::new();
+        let mut staged: Vec<(u32, u32, u64)> = Vec::new();
         let mut total = 0u64;
         for (id, route, pos, count) in subflows {
             if count == 0 {
@@ -119,26 +175,34 @@ impl RemainingTraffic {
             }
             let hops = route.hops();
             assert!(pos < hops, "sub-flow position {pos} beyond route end");
-            let link = link_of(&route, pos);
             let fi = *index.entry((id, route.clone())).or_insert_with(|| {
-                flows.push(FlowMeta { id, route, hops });
+                flows.push(FlowMeta {
+                    id,
+                    route,
+                    hops,
+                    link_off: 0,
+                });
                 (flows.len() - 1) as u32
             });
-            *counts
-                .entry(link)
-                .or_default()
-                .entry((fi, pos))
-                .or_insert(0) += count;
+            staged.push((fi, pos, count));
             total += count;
         }
-        RemainingTraffic {
+        let (link_keys, flow_links) = Self::intern(&mut flows);
+        let rows = vec![Vec::new(); link_keys.len()];
+        let mut tr = RemainingTraffic {
             flows,
-            counts,
+            flow_links,
+            link_keys,
+            rows,
             weighting,
             delivered: 0,
             total,
             psi: 0.0,
+        };
+        for (fi, pos, count) in staged {
+            tr.add(fi, pos, count);
         }
+        tr
     }
 
     /// Packets not yet (planned) delivered.
@@ -166,45 +230,83 @@ impl RemainingTraffic {
         self.weighting
     }
 
+    /// The interned `LinkId` of `(fi, pos)`'s waiting link.
+    fn link_id(&self, fi: u32, pos: u32) -> u32 {
+        self.flow_links[self.flows[fi as usize].link_off as usize + pos as usize]
+    }
+
     /// Adds packets at `(fi, pos)`, filing them under their waiting link.
     fn add(&mut self, fi: u32, pos: u32, count: u64) {
         if count == 0 {
             return;
         }
-        let link = link_of(&self.flows[fi as usize].route, pos);
-        *self
-            .counts
-            .entry(link)
-            .or_default()
-            .entry((fi, pos))
-            .or_insert(0) += count;
+        let row = &mut self.rows
+            [self.flow_links[self.flows[fi as usize].link_off as usize + pos as usize] as usize];
+        match row.binary_search_by_key(&(fi, pos), |e| e.0) {
+            Ok(k) => row[k].1 += count,
+            Err(k) => row.insert(k, ((fi, pos), count)),
+        }
     }
 
     /// Removes packets from `(fi, pos)`, dropping empty bookkeeping rows.
     fn sub(&mut self, fi: u32, pos: u32, count: u64) {
-        let link = link_of(&self.flows[fi as usize].route, pos);
-        let per_link = self.counts.get_mut(&link).expect("packets wait on link");
-        let c = per_link
-            .get_mut(&(fi, pos))
-            .expect("packets wait at (fi, pos)");
-        debug_assert!(*c >= count);
-        *c -= count;
-        if *c == 0 {
-            per_link.remove(&(fi, pos));
-            if per_link.is_empty() {
-                self.counts.remove(&link);
-            }
+        let li = self.link_id(fi, pos) as usize;
+        let row = &mut self.rows[li];
+        let Ok(k) = row.binary_search_by_key(&(fi, pos), |e| e.0) else {
+            debug_assert!(false, "packets wait at ({fi}, {pos})");
+            return;
+        };
+        debug_assert!(row[k].1 >= count);
+        row[k].1 -= count;
+        if row[k].1 == 0 {
+            row.remove(k);
         }
     }
 
     /// The queue entries currently waiting on `link`.
     fn entries_on(&self, link: (u32, u32)) -> Option<Vec<QueueEntry>> {
-        let per_link = self.counts.get(&link)?;
-        let entries: Vec<QueueEntry> = per_link
-            .iter()
-            .map(|(&(fi, pos), &count)| {
+        let li = self.link_keys.binary_search(&link).ok()?;
+        let row = &self.rows[li];
+        if row.is_empty() {
+            return None;
+        }
+        Some(
+            row.iter()
+                .map(|&((fi, pos), count)| {
+                    let meta = &self.flows[fi as usize];
+                    debug_assert!(pos < meta.hops, "delivered packets leave the rows");
+                    (
+                        self.weighting.hop_weight(meta.hops, pos),
+                        meta.id,
+                        fi,
+                        pos,
+                        count,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Builds the per-link queue snapshot used to compute `g`, `h` and the
+    /// candidate α set for the current iteration. One pass over the sorted
+    /// link rows, appending straight into the snapshot's arena — no
+    /// intermediate per-link maps.
+    pub fn link_queues(&self, n: u32) -> LinkQueues {
+        let slots: usize = self.rows.iter().map(Vec::len).sum();
+        let mut q = LinkQueues::with_capacity(n, self.link_keys.len(), slots);
+        let mut entries: Vec<QueueEntry> = Vec::new();
+        for (li, row) in self.rows.iter().enumerate() {
+            if row.is_empty() {
+                // Intern the key even when nothing queues there yet: packets
+                // advancing onto this link later then patch an existing span
+                // in place instead of memmoving the sorted key vector.
+                q.push_empty_link(self.link_keys[li]);
+                continue;
+            }
+            entries.clear();
+            entries.extend(row.iter().map(|&((fi, pos), count)| {
                 let meta = &self.flows[fi as usize];
-                debug_assert!(pos < meta.hops, "delivered packets leave `counts`");
+                debug_assert!(pos < meta.hops, "delivered packets leave the rows");
                 (
                     self.weighting.hop_weight(meta.hops, pos),
                     meta.id,
@@ -212,20 +314,10 @@ impl RemainingTraffic {
                     pos,
                     count,
                 )
-            })
-            .collect();
-        (!entries.is_empty()).then_some(entries)
-    }
-
-    /// Builds the per-link queue snapshot used to compute `g`, `h` and the
-    /// candidate α set for the current iteration.
-    pub fn link_queues(&self, n: u32) -> LinkQueues {
-        let per_link: BTreeMap<(u32, u32), Vec<QueueEntry>> = self
-            .counts
-            .keys()
-            .filter_map(|&link| self.entries_on(link).map(|e| (link, e)))
-            .collect();
-        LinkQueues::from_entries(n, per_link)
+            }));
+            q.push_link_entries(self.link_keys[li], &mut entries);
+        }
+        q
     }
 
     /// Re-derives the queue of a single link from the current plan, or
@@ -322,11 +414,11 @@ impl RemainingTraffic {
     /// configuration selection of §5 (Theorem 2).
     pub fn subflows(&self) -> Vec<(FlowId, Route, u32, u64)> {
         let mut v: Vec<(FlowId, Route, u32, u64)> = self
-            .counts
-            .values()
-            .flat_map(|per_link| per_link.iter())
-            .filter(|&(_, &c)| c > 0)
-            .map(|(&(fi, pos), &count)| {
+            .rows
+            .iter()
+            .flat_map(|row| row.iter())
+            .filter(|&&(_, c)| c > 0)
+            .map(|&((fi, pos), count)| {
                 let meta = &self.flows[fi as usize];
                 (meta.id, meta.route.clone(), pos, count)
             })
@@ -353,7 +445,10 @@ impl RemainingTraffic {
         let mut dirty: Vec<(u32, u32)> = Vec::with_capacity(moves.len() * 2);
         for &(id, ref _route, pos, advanced, count) in moves {
             debug_assert!(advanced > 0);
-            let fi = *index.get(&id).expect("flow exists");
+            let Some(&fi) = index.get(&id) else {
+                debug_assert!(false, "chained move names an unknown flow {id}");
+                continue;
+            };
             dirty.push(link_of(&self.flows[fi as usize].route, pos));
             self.sub(fi, pos, count);
             let hops = self.flows[fi as usize].hops;
@@ -387,17 +482,50 @@ impl RemainingTraffic {
 /// * the weighted graph `G'` whose maximum matching is the best
 ///   configuration for a given α ([`LinkQueues::weighted_edges`]).
 ///
+/// # Storage: CSR link index + class arena
+///
+/// The snapshot is three parallel pieces: the sorted link keys
+/// (`links`), one `(offset, len)` span per link (`spans`), and contiguous
+/// arenas holding every link's weight classes and prefix sums back to back.
+/// Each span's prefix sums restart at zero, so a span *is* a complete
+/// [`LinkQueue`] laid out in shared storage; [`LinkQueues::queue`] hands out
+/// a borrowed [`LinkQueueRef`] view of it.
+///
 /// The snapshot can be patched link-by-link ([`LinkQueues::set_link`]): the
 /// class list of a link depends only on that link's waiting packets, so an
 /// incremental rebuild of the touched links yields exactly the snapshot a
-/// full rebuild would.
+/// full rebuild would. A patch that fits its link's existing span rewrites
+/// it in place; a growing patch appends to the arena tail and the stale
+/// span becomes garbage, reclaimed by compaction once garbage outweighs
+/// live data. A drained link keeps its key with a zero-length **tombstone**
+/// span (every read path skips those) rather than shifting the sorted key
+/// vector — commit storms touch thousands of links, and `O(links)` memmoves
+/// per drain/refill would make patching quadratic. Every patch bumps
+/// [`LinkQueues::generation`] so derived caches can detect staleness.
 #[derive(Debug, Clone)]
 pub struct LinkQueues {
     n: u32,
-    queues: BTreeMap<(u32, u32), LinkQueue>,
+    /// Sorted `(i, j)` link keys; the CSR index.
+    links: Vec<(u32, u32)>,
+    /// Per-link `(offset, len)` span into the class arenas.
+    spans: Vec<(u32, u32)>,
+    /// `(weight, packets)` class arena; weight strictly descending within
+    /// each span.
+    classes: Vec<(f64, u64)>,
+    /// Cumulative packet counts at class boundaries, restarting per span.
+    prefix_counts: Vec<u64>,
+    /// Cumulative weight at class boundaries, restarting per span.
+    prefix_weights: Vec<f64>,
+    /// Arena slots referenced by a span; `classes.len() - live` is garbage.
+    live: usize,
+    /// Bumped on every [`LinkQueues::set_link`]; see the type docs.
+    generation: u64,
 }
 
-/// One link's aggregated queue.
+/// One link's aggregated queue, owned. Produced by incremental refreshes
+/// ([`crate::TrafficSource::refresh_link`]); inside a [`LinkQueues`]
+/// snapshot the same data lives in the shared arena and is viewed through
+/// [`LinkQueueRef`].
 #[derive(Debug, Clone)]
 pub struct LinkQueue {
     /// `(weight, packets)` per class, weight strictly descending.
@@ -408,7 +536,119 @@ pub struct LinkQueue {
     prefix_weights: Vec<f64>,
 }
 
+/// A borrowed view of one link's queue inside a [`LinkQueues`] arena.
+/// Offers the same read API as [`LinkQueue`].
+#[derive(Debug, Clone, Copy)]
+pub struct LinkQueueRef<'a> {
+    classes: &'a [(f64, u64)],
+    prefix_counts: &'a [u64],
+    prefix_weights: &'a [f64],
+}
+
+impl<'a> LinkQueueRef<'a> {
+    /// `g(α)`: maximum total weight of α waiting packets.
+    pub fn g(&self, alpha: u64) -> f64 {
+        if alpha == 0 {
+            return 0.0;
+        }
+        // First class boundary with cumulative count >= alpha.
+        match self.prefix_counts.partition_point(|&c| c < alpha) {
+            idx if idx >= self.classes.len() => *self.prefix_weights.last().unwrap_or(&0.0),
+            idx => {
+                let below_count = if idx == 0 {
+                    0
+                } else {
+                    self.prefix_counts[idx - 1]
+                };
+                let below_weight = if idx == 0 {
+                    0.0
+                } else {
+                    self.prefix_weights[idx - 1]
+                };
+                below_weight + (alpha - below_count) as f64 * self.classes[idx].0
+            }
+        }
+    }
+
+    /// Batched `g(α)` over an **ascending** α list: one merge-walk over the
+    /// class boundaries instead of one binary search per α.
+    ///
+    /// Writes `g(alphas[k])` into `out[k]`; `O(classes + alphas.len())`.
+    /// Bit-identical to calling [`LinkQueueRef::g`] per α (the incremental
+    /// boundary advance lands on exactly the `partition_point` index).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != alphas.len()`; debug-asserts that `alphas` is
+    /// ascending.
+    pub fn g_multi(&self, alphas: &[u64], out: &mut [f64]) {
+        assert_eq!(alphas.len(), out.len(), "one output slot per α required");
+        debug_assert!(
+            alphas.windows(2).all(|w| w[0] <= w[1]),
+            "alphas must be ascending"
+        );
+        let mut idx = 0;
+        for (slot, &alpha) in out.iter_mut().zip(alphas) {
+            if alpha == 0 {
+                *slot = 0.0;
+                continue;
+            }
+            while idx < self.prefix_counts.len() && self.prefix_counts[idx] < alpha {
+                idx += 1;
+            }
+            *slot = if idx >= self.classes.len() {
+                *self.prefix_weights.last().unwrap_or(&0.0)
+            } else {
+                let below_count = if idx == 0 {
+                    0
+                } else {
+                    self.prefix_counts[idx - 1]
+                };
+                let below_weight = if idx == 0 {
+                    0.0
+                } else {
+                    self.prefix_weights[idx - 1]
+                };
+                below_weight + (alpha - below_count) as f64 * self.classes[idx].0
+            };
+        }
+    }
+
+    /// Total packets waiting on this link.
+    pub fn total_packets(&self) -> u64 {
+        *self.prefix_counts.last().unwrap_or(&0)
+    }
+
+    /// The per-link candidate α values (class-boundary prefix counts).
+    pub fn boundary_alphas(&self) -> &'a [u64] {
+        self.prefix_counts
+    }
+
+    /// The aggregated `(weight, packets)` classes, weight strictly
+    /// descending. Exposed so equivalence tests can compare snapshots.
+    pub fn classes(&self) -> &'a [(f64, u64)] {
+        self.classes
+    }
+
+    /// Copies the view into an owned [`LinkQueue`].
+    pub fn to_owned(&self) -> LinkQueue {
+        LinkQueue {
+            classes: self.classes.to_vec(),
+            prefix_counts: self.prefix_counts.to_vec(),
+            prefix_weights: self.prefix_weights.to_vec(),
+        }
+    }
+}
+
 impl LinkQueue {
+    /// The borrowed view of this queue (shared read API with arena spans).
+    pub fn view(&self) -> LinkQueueRef<'_> {
+        LinkQueueRef {
+            classes: &self.classes,
+            prefix_counts: &self.prefix_counts,
+            prefix_weights: &self.prefix_weights,
+        }
+    }
+
     pub(crate) fn from_entries(mut entries: Vec<QueueEntry>) -> Self {
         entries.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
         let mut classes: Vec<(f64, u64)> = Vec::new();
@@ -474,74 +714,20 @@ impl LinkQueue {
 
     /// `g(α)`: maximum total weight of α waiting packets.
     pub fn g(&self, alpha: u64) -> f64 {
-        if alpha == 0 {
-            return 0.0;
-        }
-        // First class boundary with cumulative count >= alpha.
-        match self.prefix_counts.partition_point(|&c| c < alpha) {
-            idx if idx >= self.classes.len() => *self.prefix_weights.last().unwrap_or(&0.0),
-            idx => {
-                let below_count = if idx == 0 {
-                    0
-                } else {
-                    self.prefix_counts[idx - 1]
-                };
-                let below_weight = if idx == 0 {
-                    0.0
-                } else {
-                    self.prefix_weights[idx - 1]
-                };
-                below_weight + (alpha - below_count) as f64 * self.classes[idx].0
-            }
-        }
+        self.view().g(alpha)
     }
 
-    /// Batched `g(α)` over an **ascending** α list: one merge-walk over the
-    /// class boundaries instead of one binary search per α.
-    ///
-    /// Writes `g(alphas[k])` into `out[k]`; `O(classes + alphas.len())`.
-    /// Bit-identical to calling [`LinkQueue::g`] per α (the incremental
-    /// boundary advance lands on exactly the `partition_point` index).
+    /// Batched `g(α)`; see [`LinkQueueRef::g_multi`].
     ///
     /// # Panics
-    /// Panics if `out.len() != alphas.len()`; debug-asserts that `alphas` is
-    /// ascending.
+    /// Panics if `out.len() != alphas.len()`.
     pub fn g_multi(&self, alphas: &[u64], out: &mut [f64]) {
-        assert_eq!(alphas.len(), out.len(), "one output slot per α required");
-        debug_assert!(
-            alphas.windows(2).all(|w| w[0] <= w[1]),
-            "alphas must be ascending"
-        );
-        let mut idx = 0;
-        for (slot, &alpha) in out.iter_mut().zip(alphas) {
-            if alpha == 0 {
-                *slot = 0.0;
-                continue;
-            }
-            while idx < self.prefix_counts.len() && self.prefix_counts[idx] < alpha {
-                idx += 1;
-            }
-            *slot = if idx >= self.classes.len() {
-                *self.prefix_weights.last().unwrap_or(&0.0)
-            } else {
-                let below_count = if idx == 0 {
-                    0
-                } else {
-                    self.prefix_counts[idx - 1]
-                };
-                let below_weight = if idx == 0 {
-                    0.0
-                } else {
-                    self.prefix_weights[idx - 1]
-                };
-                below_weight + (alpha - below_count) as f64 * self.classes[idx].0
-            };
-        }
+        self.view().g_multi(alphas, out);
     }
 
     /// Total packets waiting on this link.
     pub fn total_packets(&self) -> u64 {
-        *self.prefix_counts.last().unwrap_or(&0)
+        self.view().total_packets()
     }
 
     /// The per-link candidate α values (class-boundary prefix counts).
@@ -557,13 +743,102 @@ impl LinkQueue {
 }
 
 impl LinkQueues {
-    fn from_entries(n: u32, per_link: BTreeMap<(u32, u32), Vec<QueueEntry>>) -> Self {
+    /// An empty snapshot with pre-sized storage.
+    fn with_capacity(n: u32, links: usize, slots: usize) -> Self {
         LinkQueues {
             n,
-            queues: per_link
-                .into_iter()
-                .map(|(link, entries)| (link, LinkQueue::from_entries(entries)))
-                .collect(),
+            links: Vec::with_capacity(links),
+            spans: Vec::with_capacity(links),
+            classes: Vec::with_capacity(slots),
+            prefix_counts: Vec::with_capacity(slots),
+            prefix_weights: Vec::with_capacity(slots),
+            live: 0,
+            generation: 0,
+        }
+    }
+
+    /// Appends one link's queue, aggregating `entries` into weight classes
+    /// directly in the arena. Links must arrive in ascending key order (the
+    /// builders iterate sorted rows, so this holds by construction).
+    fn push_link_entries(&mut self, link: (u32, u32), entries: &mut [QueueEntry]) {
+        debug_assert!(
+            !self.links.last().is_some_and(|&l| l >= link),
+            "links must be appended in ascending order"
+        );
+        debug_assert!(!entries.is_empty());
+        entries.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+        let off = self.classes.len();
+        for &(w, _, _, _, count) in entries.iter() {
+            let wv = w.value();
+            let top = self.classes.len();
+            if top > off && self.classes[top - 1].0 == wv {
+                self.classes[top - 1].1 += count;
+            } else {
+                self.classes.push((wv, count));
+            }
+        }
+        // Prefix sums are computed after the merge, so each class
+        // contributes exactly one `w * c` term — bit-identical to
+        // [`LinkQueue::from_entries`].
+        let (mut pc, mut pw) = (0u64, 0.0f64);
+        for k in off..self.classes.len() {
+            let (w, c) = self.classes[k];
+            pc += c;
+            pw += w * c as f64;
+            self.prefix_counts.push(pc);
+            self.prefix_weights.push(pw);
+        }
+        let len = self.classes.len() - off;
+        self.links.push(link);
+        self.spans.push((off as u32, len as u32));
+        self.live += len;
+    }
+
+    /// Interns a key with an empty (tombstone) span: the link is known to
+    /// the CSR index but queues nothing yet. Every read path skips it, so
+    /// the snapshot behaves exactly as if the key were absent — but a later
+    /// [`LinkQueues::set_link`] patch finds the key in place instead of
+    /// memmoving the tail of the sorted key vector.
+    fn push_empty_link(&mut self, link: (u32, u32)) {
+        debug_assert!(
+            !self.links.last().is_some_and(|&l| l >= link),
+            "links must be appended in ascending order"
+        );
+        self.links.push(link);
+        self.spans.push((self.classes.len() as u32, 0));
+    }
+
+    /// Pre-interns `keys` into the CSR index ahead of a patch storm: absent
+    /// keys join the sorted key vector with empty (tombstone) spans in one
+    /// `O(old + new)` merge, so subsequent [`LinkQueues::set_link`] calls on
+    /// them mutate spans in place. Reads are unaffected — empty spans are
+    /// invisible. Keys already present are left untouched.
+    pub fn intern_links(&mut self, keys: impl IntoIterator<Item = (u32, u32)>) {
+        let mut fresh: Vec<(u32, u32)> = keys
+            .into_iter()
+            .filter(|k| self.links.binary_search(k).is_err())
+            .collect();
+        if fresh.is_empty() {
+            return;
+        }
+        fresh.sort_unstable();
+        fresh.dedup();
+        let old_links = std::mem::take(&mut self.links);
+        let old_spans = std::mem::take(&mut self.spans);
+        self.links.reserve(old_links.len() + fresh.len());
+        self.spans.reserve(old_spans.len() + fresh.len());
+        let mut new_it = fresh.into_iter().peekable();
+        for (link, span) in old_links.into_iter().zip(old_spans) {
+            while let Some(k) = new_it.next_if(|&k| k < link) {
+                self.links.push(k);
+                self.spans.push((0, 0));
+            }
+            self.links.push(link);
+            self.spans.push(span);
+        }
+        for k in new_it {
+            self.links.push(k);
+            self.spans.push((0, 0));
         }
     }
 
@@ -573,16 +848,22 @@ impl LinkQueues {
         n: u32,
         triples: impl IntoIterator<Item = ((u32, u32), f64, u64)>,
     ) -> Self {
-        let mut per_link: BTreeMap<(u32, u32), Vec<QueueEntry>> = BTreeMap::new();
-        for ((i, j), w, c) in triples {
-            if c > 0 {
-                per_link
-                    .entry((i, j))
-                    .or_default()
-                    .push((Weight(w), FlowId(0), 0, 0, c));
+        let mut v: Vec<((u32, u32), f64, u64)> =
+            triples.into_iter().filter(|&(_, _, c)| c > 0).collect();
+        v.sort_by_key(|&(link, _, _)| link);
+        let mut q = LinkQueues::with_capacity(n, 0, v.len());
+        let mut entries: Vec<QueueEntry> = Vec::new();
+        let mut idx = 0;
+        while idx < v.len() {
+            let link = v[idx].0;
+            entries.clear();
+            while idx < v.len() && v[idx].0 == link {
+                entries.push((Weight(v[idx].1), FlowId(0), 0, 0, v[idx].2));
+                idx += 1;
             }
+            q.push_link_entries(link, &mut entries);
         }
-        Self::from_entries(n, per_link)
+        q
     }
 
     /// Fabric size the snapshot was built for.
@@ -592,35 +873,129 @@ impl LinkQueues {
 
     /// Whether any packet waits on any link.
     pub fn is_empty(&self) -> bool {
-        self.queues.is_empty()
+        self.live == 0
+    }
+
+    /// The patch generation: bumped by every [`LinkQueues::set_link`], so
+    /// state derived from a snapshot (sweeps, workspaces) can detect that
+    /// the snapshot moved on. A freshly built snapshot starts at 0.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The borrowed view of the span at CSR position `idx`.
+    fn view_at(&self, idx: usize) -> LinkQueueRef<'_> {
+        let (off, len) = self.spans[idx];
+        let r = off as usize..(off + len) as usize;
+        LinkQueueRef {
+            classes: &self.classes[r.clone()],
+            prefix_counts: &self.prefix_counts[r.clone()],
+            prefix_weights: &self.prefix_weights[r],
+        }
     }
 
     /// The queue of one link, if non-empty.
-    pub fn queue(&self, i: u32, j: u32) -> Option<&LinkQueue> {
-        self.queues.get(&(i, j))
+    pub fn queue(&self, i: u32, j: u32) -> Option<LinkQueueRef<'_>> {
+        let idx = self.links.binary_search(&(i, j)).ok()?;
+        (self.spans[idx].1 > 0).then(|| self.view_at(idx))
     }
 
     /// Replaces (or, with `None`, removes) one link's queue — the patch
-    /// operation of the incremental engine.
-    pub(crate) fn set_link(&mut self, link: (u32, u32), queue: Option<LinkQueue>) {
-        match queue {
-            Some(q) => {
-                self.queues.insert(link, q);
+    /// operation of the incremental engine. An update that fits the link's
+    /// current span is written in place; a growing one appends to the arena
+    /// tail. Stale slots are reclaimed once they outnumber live ones.
+    pub fn set_link(&mut self, link: (u32, u32), queue: Option<LinkQueue>) {
+        self.generation += 1;
+        match (self.links.binary_search(&link), queue) {
+            (Ok(idx), Some(q)) => {
+                let (off, len) = self.spans[idx];
+                let new_len = q.classes.len() as u32;
+                if new_len <= len {
+                    let o = off as usize;
+                    let nl = new_len as usize;
+                    self.classes[o..o + nl].copy_from_slice(&q.classes);
+                    self.prefix_counts[o..o + nl].copy_from_slice(&q.prefix_counts);
+                    self.prefix_weights[o..o + nl].copy_from_slice(&q.prefix_weights);
+                    self.spans[idx] = (off, new_len);
+                    self.live -= (len - new_len) as usize;
+                } else {
+                    let span = self.arena_append(&q);
+                    self.spans[idx] = span;
+                    self.live += new_len as usize;
+                    self.live -= len as usize;
+                }
             }
-            None => {
-                self.queues.remove(&link);
+            (Ok(idx), None) => {
+                // Tombstone: keep the key, zero the span. Removing would
+                // memmove the tail of the sorted key vector on every drained
+                // link — quadratic under commit storms.
+                let (off, len) = self.spans[idx];
+                self.spans[idx] = (off, 0);
+                self.live -= len as usize;
             }
+            (Err(idx), Some(q)) => {
+                let span = self.arena_append(&q);
+                self.links.insert(idx, link);
+                self.spans.insert(idx, span);
+                self.live += span.1 as usize;
+            }
+            (Err(_), None) => {}
         }
+        self.maybe_compact();
+    }
+
+    /// Appends an owned queue's classes at the arena tail.
+    fn arena_append(&mut self, q: &LinkQueue) -> (u32, u32) {
+        let off = self.classes.len() as u32;
+        self.classes.extend_from_slice(&q.classes);
+        self.prefix_counts.extend_from_slice(&q.prefix_counts);
+        self.prefix_weights.extend_from_slice(&q.prefix_weights);
+        (off, q.classes.len() as u32)
+    }
+
+    /// Rewrites the arenas span by span once garbage slots outnumber both the
+    /// live data and the span table, restoring offset order and dropping the
+    /// dead tail. A compaction pass costs `O(spans + live)`, so the threshold
+    /// must cover both terms for patching to stay amortized `O(1)` per slot —
+    /// with a live-only bound, a near-drained snapshot (tiny `live`, many
+    /// tombstoned spans) would recompact every few patches. Views are
+    /// relocated but bit-identical, so derived results are unchanged.
+    fn maybe_compact(&mut self) {
+        let garbage = self.classes.len() - self.live;
+        if garbage <= self.live.max(self.spans.len()).max(32) {
+            return;
+        }
+        let mut classes = Vec::with_capacity(self.live);
+        let mut prefix_counts = Vec::with_capacity(self.live);
+        let mut prefix_weights = Vec::with_capacity(self.live);
+        for span in &mut self.spans {
+            let (off, len) = *span;
+            let r = off as usize..(off + len) as usize;
+            let new_off = classes.len() as u32;
+            classes.extend_from_slice(&self.classes[r.clone()]);
+            prefix_counts.extend_from_slice(&self.prefix_counts[r.clone()]);
+            prefix_weights.extend_from_slice(&self.prefix_weights[r]);
+            *span = (new_off, len);
+        }
+        self.classes = classes;
+        self.prefix_counts = prefix_counts;
+        self.prefix_weights = prefix_weights;
     }
 
     /// `g(i, j, α)` of §4.1.
     pub fn g(&self, i: u32, j: u32, alpha: u64) -> f64 {
-        self.queues.get(&(i, j)).map_or(0.0, |q| q.g(alpha))
+        self.queue(i, j).map_or(0.0, |q| q.g(alpha))
     }
 
-    /// Iterates non-empty links.
+    /// CSR positions whose spans are live (ascending link order),
+    /// skipping tombstones.
+    fn live_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.links.len()).filter(|&e| self.spans[e].1 > 0)
+    }
+
+    /// Iterates non-empty links (ascending).
     pub fn links(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.queues.keys().copied()
+        self.live_indices().map(|e| self.links[e])
     }
 
     /// The candidate α set of Procedure 1: union of per-link class-boundary
@@ -629,9 +1004,8 @@ impl LinkQueues {
     /// anyway). Sorted ascending, deduplicated.
     pub fn alpha_candidates(&self, cap: u64) -> Vec<u64> {
         let mut set: Vec<u64> = self
-            .queues
-            .values()
-            .flat_map(|q| q.boundary_alphas().iter().copied())
+            .live_indices()
+            .flat_map(|e| self.view_at(e).boundary_alphas().iter().copied())
             .map(|a| a.min(cap))
             .filter(|&a| a > 0)
             .collect();
@@ -642,9 +1016,11 @@ impl LinkQueues {
 
     /// The weighted edges of `G'` for a given α: `(i, j, g(i, j, α))`.
     pub fn weighted_edges(&self, alpha: u64) -> Vec<(u32, u32, f64)> {
-        self.queues
-            .iter()
-            .map(|(&(i, j), q)| (i, j, q.g(alpha)))
+        self.live_indices()
+            .map(|e| {
+                let (i, j) = self.links[e];
+                (i, j, self.view_at(e).g(alpha))
+            })
             .filter(|&(_, _, w)| w > 0.0)
             .collect()
     }
@@ -659,8 +1035,9 @@ impl LinkQueues {
     pub fn matching_weight_upper_bound(&self, alpha: u64) -> f64 {
         let mut row_max = vec![0.0f64; self.n as usize];
         let mut col_max = vec![0.0f64; self.n as usize];
-        for (&(i, j), q) in &self.queues {
-            let g = q.g(alpha);
+        for e in self.live_indices() {
+            let (i, j) = self.links[e];
+            let g = self.view_at(e).g(alpha);
             debug_assert!(i < self.n && j < self.n, "link ({i}, {j}) out of fabric");
             if g > row_max[i as usize] {
                 row_max[i as usize] = g;
@@ -676,7 +1053,7 @@ impl LinkQueues {
 
     /// Batched form of [`LinkQueues::weighted_edges`]: evaluates `g(i, j, α)`
     /// for every non-empty link and every α of an **ascending** candidate
-    /// list in one merge-walk pass per link ([`LinkQueue::g_multi`]),
+    /// list in one merge-walk pass per link ([`LinkQueueRef::g_multi`]),
     /// producing a fixed edge topology plus one weight column per α — the
     /// shape [`octopus_matching::AssignmentSolver`] re-solves without
     /// rebuilding. Per-α matching upper bounds ride along in the same pass.
@@ -697,16 +1074,18 @@ impl LinkQueues {
             alphas.windows(2).all(|w| w[0] <= w[1]),
             "alphas must be ascending"
         );
-        let ne = self.queues.len();
+        let ne = self.live_indices().count();
         let k = alphas.len();
         let n = self.n as usize;
         let mut edges = Vec::with_capacity(ne);
         let mut weights = vec![0.0f64; k * ne];
         let mut row = vec![0.0f64; k];
         let mut shifted: Vec<u64> = Vec::with_capacity(k);
-        for (e, (&(i, j), q)) in self.queues.iter().enumerate() {
+        for (e, idx) in self.live_indices().enumerate() {
+            let (i, j) = self.links[idx];
             edges.push((i, j));
             debug_assert!(i < self.n && j < self.n, "link ({i}, {j}) out of fabric");
+            let q = self.view_at(idx);
             let bonus = extra((i, j));
             if bonus == 0 {
                 q.g_multi(alphas, &mut row);
@@ -1014,5 +1393,120 @@ mod tests {
         assert_eq!(tr.refresh_link((0, 1)).unwrap().total_packets(), 150);
         assert_eq!(tr.refresh_link((2, 1)).unwrap().total_packets(), 40);
         assert_eq!(tr.refresh_link((1, 0)).unwrap().total_packets(), 10);
+    }
+
+    // ---- arena/CSR patching (snapshot/restore and mid-window patching) ----
+
+    /// Structural equality of two snapshots through the public view API.
+    fn assert_snapshots_equal(a: &LinkQueues, b: &LinkQueues) {
+        let la: Vec<_> = a.links().collect();
+        let lb: Vec<_> = b.links().collect();
+        assert_eq!(la, lb, "link sets differ");
+        for &(i, j) in &la {
+            let qa = a.queue(i, j).unwrap();
+            let qb = b.queue(i, j).unwrap();
+            assert_eq!(qa.classes(), qb.classes(), "classes differ on ({i},{j})");
+            assert_eq!(qa.boundary_alphas(), qb.boundary_alphas());
+        }
+        assert_eq!(a.alpha_candidates(u64::MAX), b.alpha_candidates(u64::MAX));
+    }
+
+    #[test]
+    fn set_link_patches_match_full_rebuild_across_commit_cycles() {
+        let mut tr = RemainingTraffic::new(&load_example1(), HopWeighting::Uniform).unwrap();
+        let mut patched = tr.link_queues(4);
+        let serves: &[&[(NodeId, NodeId, u64)]] = &[
+            &[(NodeId(3), NodeId(0), 25)],
+            &[(NodeId(0), NodeId(1), 60), (NodeId(2), NodeId(1), 50)],
+            &[(NodeId(1), NodeId(2), 60), (NodeId(1), NodeId(0), 50)],
+            &[(NodeId(0), NodeId(1), 500)],
+            &[(NodeId(3), NodeId(0), 500)],
+        ];
+        for serve in serves {
+            let (_, moves) = tr.apply_budgets_tracked(serve);
+            for link in tr.dirty_links(&moves) {
+                patched.set_link(link, tr.refresh_link(link));
+            }
+            assert_snapshots_equal(&patched, &tr.link_queues(4));
+        }
+    }
+
+    #[test]
+    fn set_link_handles_empty_and_duplicate_key_edges() {
+        let mut q = LinkQueues::from_weighted_counts(4, [((0, 1), 1.0, 10u64), ((2, 3), 0.5, 4)]);
+        // Removing a link that holds nothing is a no-op.
+        q.set_link((1, 2), None);
+        assert_eq!(q.links().collect::<Vec<_>>(), vec![(0, 1), (2, 3)]);
+        // Re-setting the same key replaces, never duplicates, the CSR entry.
+        q.set_link((0, 1), LinkQueue::from_weighted_counts([(1.0, 3)]));
+        q.set_link(
+            (0, 1),
+            LinkQueue::from_weighted_counts([(2.0, 1), (1.0, 2)]),
+        );
+        assert_eq!(q.links().collect::<Vec<_>>(), vec![(0, 1), (2, 3)]);
+        assert_eq!(q.queue(0, 1).unwrap().classes(), &[(2.0, 1), (1.0, 2)]);
+        // Emptying a link drops it from the index entirely.
+        q.set_link((0, 1), None);
+        assert_eq!(q.links().collect::<Vec<_>>(), vec![(2, 3)]);
+        assert!(q.queue(0, 1).is_none());
+        // Inserting a brand-new link lands in sorted position.
+        q.set_link((1, 1), LinkQueue::from_weighted_counts([(3.0, 7)]));
+        assert_eq!(q.links().collect::<Vec<_>>(), vec![(1, 1), (2, 3)]);
+        assert_eq!(q.queue(1, 1).unwrap().total_packets(), 7);
+    }
+
+    #[test]
+    fn generation_counts_every_patch() {
+        let mut q = LinkQueues::from_weighted_counts(4, [((0, 1), 1.0, 10u64)]);
+        assert_eq!(q.generation(), 0);
+        q.set_link((0, 1), LinkQueue::from_weighted_counts([(1.0, 5)]));
+        assert_eq!(q.generation(), 1);
+        q.set_link((0, 1), None);
+        q.set_link((2, 2), None); // even a no-op patch advances the clock
+        assert_eq!(q.generation(), 3);
+    }
+
+    #[test]
+    fn snapshot_clone_restores_pre_patch_state() {
+        // Snapshot/restore: a clone taken mid-window is a full checkpoint of
+        // the arena; patching the original never disturbs it.
+        let mut tr = RemainingTraffic::new(&load_example1(), HopWeighting::Uniform).unwrap();
+        let mut q = tr.link_queues(4);
+        let checkpoint = q.clone();
+        let (_, moves) = tr.apply_budgets_tracked(&[(NodeId(0), NodeId(1), 100)]);
+        for link in tr.dirty_links(&moves) {
+            q.set_link(link, tr.refresh_link(link));
+        }
+        // All 100 packets of f1 left (0, 1); the checkpoint still holds them.
+        assert!(q.queue(0, 1).is_none());
+        assert_eq!(checkpoint.queue(0, 1).unwrap().total_packets(), 100);
+        // Rollback: the checkpoint still equals a fresh build of the old plan.
+        let fresh = RemainingTraffic::new(&load_example1(), HopWeighting::Uniform)
+            .unwrap()
+            .link_queues(4);
+        assert_snapshots_equal(&checkpoint, &fresh);
+    }
+
+    #[test]
+    fn heavy_patch_churn_compacts_without_changing_answers() {
+        // Grow-shrink churn on one link forces arena garbage past the
+        // compaction threshold; every intermediate state must still answer
+        // g/alpha queries exactly like a fresh build.
+        let mut q = LinkQueues::from_weighted_counts(4, [((0, 1), 1.0, 1u64), ((3, 3), 4.0, 2)]);
+        for round in 1..100u64 {
+            let pairs: Vec<(f64, u64)> = (0..(round % 7) + 1)
+                .map(|k| (1.0 + k as f64, round + k))
+                .collect();
+            q.set_link((0, 1), LinkQueue::from_weighted_counts(pairs.clone()));
+            let expect = LinkQueues::from_weighted_counts(
+                4,
+                pairs
+                    .iter()
+                    .map(|&(w, c)| ((0, 1), w, c))
+                    .chain([((3, 3), 4.0, 2)]),
+            );
+            assert_snapshots_equal(&q, &expect);
+        }
+        assert_eq!(q.generation(), 99);
     }
 }

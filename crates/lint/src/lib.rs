@@ -1,6 +1,6 @@
 //! octopus-lint: workspace-specific determinism & panic-freedom analyzer.
 //!
-//! Five lints (see DESIGN.md §"Statically enforced invariants"):
+//! Six lints (see DESIGN.md §"Statically enforced invariants"):
 //!
 //! | code | key                  | scope   | what it catches                           |
 //! |------|----------------------|---------|-------------------------------------------|
@@ -9,6 +9,7 @@
 //! | L3   | `float-eq`           | library | `==`/`!=` against float literals          |
 //! | L4   | `wall-clock`         | kernel  | `Instant::now`/`SystemTime`/`thread_rng`  |
 //! | L5   | `undocumented-unsafe`| all     | `unsafe` block/impl without `// SAFETY:`  |
+//! | L6   | `btree-alloc`        | kernel  | fresh `BTreeMap`/`BTreeSet` construction  |
 //!
 //! Violations on a line carrying (or following) a
 //! `// lint:allow(<key>) — <reason>` pragma are suppressed; everything else

@@ -1,4 +1,4 @@
-//! The five workspace lints (L1–L5), run over a lexed token stream.
+//! The six workspace lints (L1–L6), run over a lexed token stream.
 //!
 //! See DESIGN.md §"Statically enforced invariants" for the rationale behind
 //! each lint and the pragma syntax. Lints are heuristic token-stream
@@ -9,7 +9,7 @@
 use crate::lexer::{lex, LexOutput, Token, TokenKind};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Which of the five lints a violation belongs to.
+/// Which of the six lints a violation belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Lint {
     /// L1: iteration over a hash-ordered collection in kernel code.
@@ -22,6 +22,8 @@ pub enum Lint {
     WallClock,
     /// L5: `unsafe` block/impl without a `// SAFETY:` comment.
     UndocumentedUnsafe,
+    /// L6: fresh `BTreeMap`/`BTreeSet` allocation in kernel code.
+    BtreeAlloc,
 }
 
 impl Lint {
@@ -33,6 +35,7 @@ impl Lint {
             Lint::FloatEq => "float-eq",
             Lint::WallClock => "wall-clock",
             Lint::UndocumentedUnsafe => "undocumented-unsafe",
+            Lint::BtreeAlloc => "btree-alloc",
         }
     }
 
@@ -44,6 +47,7 @@ impl Lint {
             Lint::FloatEq => "L3",
             Lint::WallClock => "L4",
             Lint::UndocumentedUnsafe => "L5",
+            Lint::BtreeAlloc => "L6",
         }
     }
 
@@ -55,6 +59,7 @@ impl Lint {
             "float-eq" => Lint::FloatEq,
             "wall-clock" => Lint::WallClock,
             "undocumented-unsafe" => Lint::UndocumentedUnsafe,
+            "btree-alloc" => Lint::BtreeAlloc,
             _ => return None,
         })
     }
@@ -74,7 +79,7 @@ pub struct Violation {
 /// Which lint families apply to a file, derived from its workspace path.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FileClass {
-    /// Scheduling-kernel code: L1 and L4 apply.
+    /// Scheduling-kernel code: L1, L4 and L6 apply.
     pub kernel: bool,
     /// Library (non-test, non-harness) code: L2 and L3 apply.
     pub library: bool,
@@ -181,6 +186,7 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Violation> {
     if class.kernel {
         lint_nondet_iter(toks, &test_mask, &mut out);
         lint_wall_clock(toks, &test_mask, &mut out);
+        lint_btree_alloc(toks, &test_mask, &mut out);
     }
     if class.library {
         lint_panic(toks, &test_mask, &mut out);
@@ -522,6 +528,152 @@ fn lint_wall_clock(toks: &[Token], test_mask: &[bool], out: &mut Vec<Violation>)
                 lint: Lint::WallClock,
                 line: toks[i].line,
                 message: format!("`{name}` in kernel code breaks reproducibility"),
+            });
+        }
+    }
+}
+
+/// Names of node-allocating ordered collection types. `VecMap` / the arena
+/// snapshot are the flat replacements; a B-tree in a hot path is a
+/// per-element allocation and pointer-chase regression (PR 6).
+fn is_btree_type(name: &str) -> bool {
+    matches!(name, "BTreeMap" | "BTreeSet")
+}
+
+/// L6: fresh `BTreeMap`/`BTreeSet` allocation in kernel code.
+///
+/// Three constructor shapes: a path call (`BTreeMap::new()` / `default` /
+/// `from` / `from_iter`, with or without a `::<…>` turbofish), a `collect`
+/// turbofish naming a B-tree, and a `let` binding whose type annotation
+/// names one (catching `let x: BTreeMap<_, _> = iter.collect()`). Borrowed
+/// annotations (`&BTreeMap`) are fine — only construction allocates.
+fn lint_btree_alloc(toks: &[Token], test_mask: &[bool], out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        if test_mask[i] || toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        // `BTreeMap::new(` — optionally `BTreeMap::<K, V>::new(`.
+        if is_btree_type(name) && toks.get(i + 1).is_some_and(|t| t.text == "::") {
+            let mut j = i + 2;
+            if toks.get(j).is_some_and(|t| t.text == "<") {
+                let mut depth = 1i32;
+                j += 1;
+                let mut steps = 0;
+                while let Some(t) = toks.get(j) {
+                    if steps > 40 || depth == 0 {
+                        break;
+                    }
+                    match t.text.as_str() {
+                        "<" => depth += 1,
+                        ">" => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                    steps += 1;
+                }
+                if !toks.get(j).is_some_and(|t| t.text == "::") {
+                    continue;
+                }
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| {
+                t.kind == TokenKind::Ident
+                    && matches!(t.text.as_str(), "new" | "default" | "from" | "from_iter")
+            }) && toks.get(j + 1).is_some_and(|t| t.text == "(")
+            {
+                out.push(Violation {
+                    lint: Lint::BtreeAlloc,
+                    line: toks[i].line,
+                    message: format!(
+                        "`{name}::{}` allocates a node-based map in kernel code",
+                        toks[j].text
+                    ),
+                });
+            }
+        }
+        // `collect::<BTreeMap<…>>(` — turbofish naming a B-tree.
+        if name == "collect"
+            && toks.get(i + 1).is_some_and(|t| t.text == "::")
+            && toks.get(i + 2).is_some_and(|t| t.text == "<")
+        {
+            let mut j = i + 3;
+            let mut steps = 0;
+            while let Some(t) = toks.get(j) {
+                if steps > 40 || t.text == "(" {
+                    break;
+                }
+                if t.kind == TokenKind::Ident && is_btree_type(&t.text) {
+                    out.push(Violation {
+                        lint: Lint::BtreeAlloc,
+                        line: toks[i].line,
+                        message: format!(
+                            "`collect::<{}<…>>()` builds a node-based map in kernel code",
+                            t.text
+                        ),
+                    });
+                    break;
+                }
+                j += 1;
+                steps += 1;
+            }
+        }
+        // `let [mut] x: … BTreeMap … = …` — annotation-driven constructor
+        // (plain `collect()`, `Default::default()`). Skipped when the
+        // initializer is itself a B-tree path call (the first rule reports
+        // that one) or when the annotation is a borrow.
+        if name == "let" {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.text == "mut") {
+                j += 1;
+            }
+            if !toks.get(j).is_some_and(|t| t.kind == TokenKind::Ident)
+                || !toks.get(j + 1).is_some_and(|t| t.text == ":")
+            {
+                continue;
+            }
+            let mut k = j + 2;
+            let mut steps = 0;
+            let mut hit: Option<&Token> = None;
+            while let Some(t) = toks.get(k) {
+                if steps > 40 || matches!(t.text.as_str(), "=" | ";" | "&") {
+                    break;
+                }
+                if t.kind == TokenKind::Ident && is_btree_type(&t.text) {
+                    hit = Some(t);
+                    break;
+                }
+                k += 1;
+                steps += 1;
+            }
+            let Some(ty) = hit else { continue };
+            // Find the `=`; require an initializer and make sure it is not a
+            // `BTreeMap::…(` call already reported above.
+            let mut e = k + 1;
+            let mut steps = 0;
+            while let Some(t) = toks.get(e) {
+                if steps > 40 || matches!(t.text.as_str(), "=" | ";") {
+                    break;
+                }
+                e += 1;
+                steps += 1;
+            }
+            if !toks.get(e).is_some_and(|t| t.text == "=") {
+                continue;
+            }
+            if toks
+                .get(e + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident && is_btree_type(&t.text))
+            {
+                continue;
+            }
+            out.push(Violation {
+                lint: Lint::BtreeAlloc,
+                line: toks[i].line,
+                message: format!(
+                    "`let` binding builds a node-based `{}` in kernel code",
+                    ty.text
+                ),
             });
         }
     }

@@ -6,7 +6,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-octopus-lint: workspace determinism & panic-freedom analyzer (L1-L5)
+octopus-lint: workspace determinism & panic-freedom analyzer (L1-L6)
 
 USAGE: octopus-lint [OPTIONS]
 

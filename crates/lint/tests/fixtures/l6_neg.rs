@@ -1,0 +1,24 @@
+// Fixture: L6 negative — borrowed trees, pragmas, and test code are quiet.
+use std::collections::BTreeMap;
+
+pub fn borrow_is_fine(m: &BTreeMap<u32, u64>) -> u64 {
+    let view: &BTreeMap<u32, u64> = m;
+    view.values().sum()
+}
+
+pub fn pragma_is_honored() -> usize {
+    // lint:allow(btree-alloc) — fixture: deliberate cold-path allocation.
+    let cold: BTreeMap<u32, u64> = BTreeMap::new();
+    cold.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn test_code_may_build_trees() {
+        let s: BTreeSet<u32> = (0..4).collect();
+        assert_eq!(s.len(), 4);
+    }
+}

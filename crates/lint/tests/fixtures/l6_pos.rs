@@ -1,0 +1,13 @@
+// Fixture: L6 positive — kernel code allocating node-based ordered maps.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn fresh_trees(pairs: &[(u32, u64)]) -> u64 {
+    let direct: BTreeMap<u32, u64> = BTreeMap::new();
+    let turbofished = BTreeMap::<u32, u64>::default();
+    let collected = pairs.iter().copied().collect::<BTreeMap<u32, u64>>();
+    let annotated: BTreeSet<u32> = pairs.iter().map(|&(k, _)| k).collect();
+    direct.len() as u64
+        + turbofished.len() as u64
+        + collected.len() as u64
+        + annotated.len() as u64
+}

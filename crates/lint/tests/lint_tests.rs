@@ -184,6 +184,31 @@ fn l5_is_quiet_on_safety_comments_and_unsafe_fn() {
 }
 
 #[test]
+fn l6_fires_on_fresh_btree_construction_in_kernels() {
+    let found = lints_of(KERNEL, &fixture("l6_pos.rs"));
+    assert_eq!(
+        found.iter().filter(|l| **l == Lint::BtreeAlloc).count(),
+        4,
+        "::new, turbofish default, collect turbofish, annotated collect: {found:?}"
+    );
+}
+
+#[test]
+fn l6_is_quiet_on_borrows_pragmas_and_test_code() {
+    let found = lints_of(KERNEL, &fixture("l6_neg.rs"));
+    assert!(
+        !found.contains(&Lint::BtreeAlloc),
+        "false positives: {found:?}"
+    );
+}
+
+#[test]
+fn l6_does_not_apply_outside_kernel_crates() {
+    let found = lints_of("crates/bench/src/lib.rs", &fixture("l6_pos.rs"));
+    assert!(!found.contains(&Lint::BtreeAlloc));
+}
+
+#[test]
 fn pragma_with_missing_reason_is_itself_a_violation() {
     let src = "// lint:allow(nondet-iter)\npub fn f() {}\n";
     let found = check_file(KERNEL, src);

@@ -49,6 +49,7 @@ pub fn maximum_weight_matching_general(n: u32, edges: &[(u32, u32, i64)]) -> Vec
                 (b, a)
             }
         })
+        // lint:allow(btree-alloc) — cold path: one edge dedup per blossom call
         .collect::<std::collections::BTreeSet<_>>()
         .into_iter()
         .collect()
