@@ -73,7 +73,9 @@ fn run_incremental_with(load: &TrafficLoad, n: u32, policy: SearchPolicy) -> usi
         let Some(choice) = engine.select(&fabric, budget, CandidateExtension::None, &policy) else {
             break;
         };
-        engine.commit(&fabric, &choice.matching, choice.alpha);
+        engine
+            .commit(&fabric, &choice.matching, choice.alpha)
+            .unwrap();
         used += choice.alpha + DELTA;
         iterations += 1;
     }

@@ -1,0 +1,198 @@
+//! Throughput/latency benchmark for the streaming scheduler daemon.
+//!
+//! Drives an in-process [`ServeState`] (no socket, no JSON parsing — this
+//! measures the scheduler, not the transport) with a deterministic stream of
+//! flow events: arrivals on random multihop routes, cancellations of live
+//! flows, and a periodic `Replan` under the hysteresis policy. Reports
+//!
+//! * **flow-event throughput** — arrivals + cancels handled per second,
+//!   timed over the pure event stretches (re-plans excluded), and
+//! * **re-plan latency** — p50/p99/max over every re-plan in the run.
+//!
+//! The event stream exercises the mid-window interning path throughout: the
+//! daemon starts with an empty key vector and every link it ever schedules
+//! on was interned by some arrival. Run with `--out <path>` to write the
+//! JSON baseline (`BENCH_serve.json` at the workspace root); numbers are
+//! single-threaded.
+
+use octopus_net::topology;
+use octopus_serve::{PolicyMode, ServeConfig, ServeState};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Re-plan latency percentiles, in microseconds.
+#[derive(Serialize)]
+struct ReplanStats {
+    count: usize,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+/// The whole JSON baseline (`BENCH_serve.json`).
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    policy: &'static str,
+    threads: u32,
+    n: u32,
+    events: u64,
+    arrivals: u64,
+    cancels: u64,
+    events_per_sec: f64,
+    interned_links: u64,
+    final_backlog: u64,
+    replan: ReplanStats,
+}
+
+/// Deterministic xorshift64* — the stream must be identical run to run.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// A random loop-free route of `hops` hops over the complete fabric.
+fn random_route(rng: &mut Rng, n: u32, hops: usize) -> Vec<u32> {
+    let mut route = Vec::with_capacity(hops + 1);
+    route.push(rng.below(u64::from(n)) as u32);
+    while route.len() < hops + 1 {
+        let next = rng.below(u64::from(n)) as u32;
+        if !route.contains(&next) {
+            route.push(next);
+        }
+    }
+    route
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let out_path = {
+        let mut args = std::env::args().skip(1);
+        let mut out = None;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--out" => out = args.next(),
+                other => {
+                    eprintln!("unknown argument: {other} (expected --out <path>)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    };
+
+    const N: u32 = 64;
+    const EVENTS: u64 = 400_000;
+    const REPLAN_EVERY: u64 = 1_000;
+
+    let cfg = ServeConfig {
+        policy: PolicyMode::Hysteresis,
+        ..ServeConfig::default()
+    };
+    let mut state = ServeState::new(topology::complete(N), cfg).expect("valid config");
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+
+    let mut live: Vec<u64> = Vec::new();
+    let mut next_id = 1u64;
+    let mut arrivals = 0u64;
+    let mut cancels = 0u64;
+    let mut event_nanos = 0u128;
+    let mut replan_us: Vec<u64> = Vec::new();
+
+    let mut handled = 0u64;
+    while handled < EVENTS {
+        // One pure-event stretch, timed as a block (Instant per event would
+        // dominate at these rates).
+        let stretch = REPLAN_EVERY.min(EVENTS - handled);
+        let start = Instant::now();
+        for _ in 0..stretch {
+            // 1 in 5 events cancels a live flow, once enough are live.
+            if live.len() > 64 && rng.below(5) == 0 {
+                let victim = live.swap_remove(rng.below(live.len() as u64) as usize);
+                state.cancel(victim);
+                cancels += 1;
+            } else {
+                let hops = 1 + rng.below(3) as usize; // 1..=3 hops
+                let route = random_route(&mut rng, N, hops);
+                let size = 1 + rng.below(64);
+                state
+                    .admit(next_id, &route, size)
+                    .expect("valid synthetic arrival");
+                live.push(next_id);
+                next_id += 1;
+                arrivals += 1;
+            }
+        }
+        event_nanos += start.elapsed().as_nanos();
+        handled += stretch;
+
+        let plan = state.replan().expect("replan");
+        replan_us.push(plan.elapsed_us);
+    }
+
+    let events_per_sec = (arrivals + cancels) as f64 / (event_nanos as f64 / 1e9);
+    replan_us.sort_unstable();
+    let stats = state.stats();
+    let replan = ReplanStats {
+        count: replan_us.len(),
+        p50_us: percentile(&replan_us, 0.50),
+        p99_us: percentile(&replan_us, 0.99),
+        max_us: *replan_us.last().unwrap_or(&0),
+    };
+
+    println!(
+        "n={N}  {} events ({arrivals} arrivals, {cancels} cancels): {events_per_sec:.0} events/s",
+        arrivals + cancels,
+    );
+    println!(
+        "replan x{}: p50 {} us  p99 {} us  max {} us   (interned links: {}, final backlog: {})",
+        replan.count,
+        replan.p50_us,
+        replan.p99_us,
+        replan.max_us,
+        stats.interned_links,
+        stats.backlog,
+    );
+    assert!(
+        events_per_sec >= 100_000.0,
+        "throughput floor missed: {events_per_sec:.0} events/s < 100k"
+    );
+
+    let report = Report {
+        bench: "serve_event_stream",
+        policy: "hysteresis",
+        threads: 1,
+        n: N,
+        events: arrivals + cancels,
+        arrivals,
+        cancels,
+        events_per_sec,
+        interned_links: stats.interned_links,
+        final_backlog: stats.backlog,
+        replan,
+    };
+    let text = serde_json::to_string_pretty(&report).expect("serializable report");
+    match out_path {
+        Some(p) => std::fs::write(&p, text + "\n").expect("write report"),
+        None => println!("{text}"),
+    }
+}

@@ -81,6 +81,9 @@ struct Case {
     candidates: usize,
     legacy: PathStats,
     batched: PathStats,
+    /// Peak arena capacity of the flat path over the commit rounds, in
+    /// entries (one entry ≈ 24 B across the three parallel arenas).
+    arena_peak_entries: usize,
     alloc_ratio: f64,
     speedup: f64,
 }
@@ -103,6 +106,9 @@ struct Measured {
     allocs: u64,
     bytes: u64,
     nanos: u128,
+    /// Peak arena *capacity* (entries) across the rounds — flat path only
+    /// (the tree layout has no arena; always 0 there).
+    arena_peak: usize,
 }
 
 /// FNV-1a fold — cheap, charged identically to both paths.
@@ -247,11 +253,11 @@ fn record_patch_script(
     script
 }
 
-fn digest_sweep(
+fn digest_sweep<'a>(
     mut d: u64,
     cands: &[u64],
     edges: &[(u32, u32)],
-    weights: &[f64],
+    columns: impl IntoIterator<Item = &'a [f64]>,
     ubs: &[f64],
 ) -> u64 {
     for &a in cands {
@@ -260,8 +266,10 @@ fn digest_sweep(
     for &(i, j) in edges {
         d = fold(d, (u64::from(i) << 32) | u64::from(j));
     }
-    for &w in weights {
-        d = fold(d, w.to_bits());
+    for col in columns {
+        for &w in col {
+            d = fold(d, w.to_bits());
+        }
     }
     for &u in ubs {
         d = fold(d, u.to_bits());
@@ -288,17 +296,25 @@ fn run_flat(
             .flat_map(|round| round.iter().map(|&(link, _)| link)),
     );
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut arena_peak = 0usize;
     for patches in script {
         let cands = q.alpha_candidates(window);
         let sweep = q.weighted_edges_multi(&cands);
         let ubs: Vec<f64> = (0..cands.len()).map(|k| sweep.upper_bound(k)).collect();
-        let weights: &[f64] = &(0..cands.len())
-            .flat_map(|k| sweep.column(k).iter().copied())
-            .collect::<Vec<f64>>();
-        digest = digest_sweep(digest, &cands, sweep.edges(), weights, &ubs);
+        // Digest straight off the sweep's columns — an owned copy of the
+        // full weight matrix here would charge the flat path bench-only
+        // bytes the tree path never pays.
+        digest = digest_sweep(
+            digest,
+            &cands,
+            sweep.edges(),
+            (0..cands.len()).map(|k| sweep.column(k)),
+            &ubs,
+        );
         for (link, queue) in patches {
             q.set_link(*link, queue.clone());
         }
+        arena_peak = arena_peak.max(q.arena_usage().2);
     }
     let nanos = start.elapsed().as_nanos();
     let (a1, b1) = counters();
@@ -307,6 +323,7 @@ fn run_flat(
         allocs: a1 - a0,
         bytes: b1 - b0,
         nanos,
+        arena_peak,
     }
 }
 
@@ -325,7 +342,14 @@ fn run_tree(
     for patches in script {
         let cands = q.alpha_candidates(window);
         let (edges, weights, ubs) = q.weighted_edges_multi(&cands);
-        digest = digest_sweep(digest, &cands, &edges, &weights, &ubs);
+        let ne = edges.len();
+        digest = digest_sweep(
+            digest,
+            &cands,
+            &edges,
+            (0..cands.len()).map(|kk| &weights[kk * ne..(kk + 1) * ne]),
+            &ubs,
+        );
         for (link, queue) in patches {
             q.set_link(*link, queue.clone());
         }
@@ -337,6 +361,7 @@ fn run_tree(
         allocs: a1 - a0,
         bytes: b1 - b0,
         nanos,
+        arena_peak: 0,
     }
 }
 
@@ -406,17 +431,19 @@ fn main() {
         let alloc_ratio = best_tree.allocs as f64 / best_flat.allocs.max(1) as f64;
         let speedup = best_tree.nanos as f64 / best_flat.nanos.max(1) as f64;
         println!(
-            "n={n:5}  |A|={candidates:4}  tree: {:6} allocs {:10} B {:10} ns   flat: {:5} allocs {:9} B {:10} ns   alloc x{alloc_ratio:.1}  time x{speedup:.2}",
+            "n={n:5}  |A|={candidates:4}  tree: {:6} allocs {:10} B {:10} ns   flat: {:5} allocs {:9} B {:10} ns (arena peak {} entries)  alloc x{alloc_ratio:.1}  time x{speedup:.2}",
             best_tree.allocs,
             best_tree.bytes,
             best_tree.nanos,
             best_flat.allocs,
             best_flat.bytes,
             best_flat.nanos,
+            best_flat.arena_peak,
         );
         cases.push(Case {
             n,
             candidates,
+            arena_peak_entries: best_flat.arena_peak,
             legacy: PathStats {
                 allocs: best_tree.allocs,
                 bytes: best_tree.bytes,

@@ -82,7 +82,7 @@ pub fn octopus_duplex_with(
         };
         matchings_computed += choice.matchings_computed;
         iterations += 1;
-        let directed_m = engine.commit(&fabric, &choice.matching, choice.alpha);
+        let directed_m = engine.commit(&fabric, &choice.matching, choice.alpha)?;
         schedule.push(Configuration::new(directed_m, choice.alpha));
         used += choice.alpha + cfg.delta;
     }

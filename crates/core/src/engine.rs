@@ -34,6 +34,7 @@ use crate::best_config::{
 };
 use crate::duplex::GeneralMatcherKind;
 use crate::state::{LinkQueue, LinkQueues, MultiAlphaEdges, RemainingTraffic};
+use crate::SchedError;
 use octopus_matching::blossom::maximum_weight_matching_general;
 use octopus_matching::general::greedy_general_matching;
 use octopus_net::duplex::{DuplexMatching, DuplexNetwork};
@@ -102,28 +103,26 @@ pub trait TrafficSource {
 
     /// Re-derives one link's queue from the current state (`None` when the
     /// link is now empty). Called only for links reported dirty by
-    /// [`TrafficSource::apply_served`] / [`TrafficSource::apply_chained`].
-    fn refresh_link(&self, link: (u32, u32)) -> Option<LinkQueue> {
-        let _ = link;
-        // lint:allow(panic) — contract stub: only reachable if an impl
-        // reports dirty links without overriding refresh_link.
-        unreachable!("source reported dirty links but does not refresh them")
-    }
+    /// [`TrafficSource::apply_served`] / [`TrafficSource::apply_chained`];
+    /// sources that always request full rebuilds (return `None` from
+    /// `apply_served`) can honestly answer `None` here, since no link is
+    /// ever reported dirty.
+    fn refresh_link(&self, link: (u32, u32)) -> Option<LinkQueue>;
 
     /// Whether every packet has (planned to) come home.
     fn is_drained(&self) -> bool;
 
     /// Applies chained movements `(flow, route, from-position, hops-advanced,
     /// count)` where a packet may cross several hops in one configuration
-    /// (§5). Same return contract as [`TrafficSource::apply_served`].
+    /// (§5). Same dirty-link contract as [`TrafficSource::apply_served`].
+    /// Chained movement is opt-in per source; the default reports
+    /// [`SchedError::ChainedUnsupported`] instead of applying anything.
     fn apply_chained(
         &mut self,
         moves: &[(FlowId, Route, u32, u32, u64)],
-    ) -> Option<Vec<(u32, u32)>> {
+    ) -> Result<Option<Vec<(u32, u32)>>, SchedError> {
         let _ = moves;
-        // lint:allow(panic) — capability stub: chained movement is opt-in
-        // per source; kernels query support before calling.
-        unimplemented!("this traffic source does not support chained movement")
+        Err(SchedError::ChainedUnsupported)
     }
 }
 
@@ -148,8 +147,8 @@ impl TrafficSource for RemainingTraffic {
     fn apply_chained(
         &mut self,
         moves: &[(FlowId, Route, u32, u32, u64)],
-    ) -> Option<Vec<(u32, u32)>> {
-        Some(self.advance_chained(moves))
+    ) -> Result<Option<Vec<(u32, u32)>>, SchedError> {
+        Ok(Some(self.advance_chained(moves)))
     }
 }
 
@@ -173,10 +172,14 @@ impl<T: TrafficSource + ?Sized> TrafficSource for &mut T {
     fn apply_chained(
         &mut self,
         moves: &[(FlowId, Route, u32, u32, u64)],
-    ) -> Option<Vec<(u32, u32)>> {
+    ) -> Result<Option<Vec<(u32, u32)>>, SchedError> {
         (**self).apply_chained(moves)
     }
 }
+
+/// A realized configuration: the matching pushed onto the schedule plus the
+/// `(src, dst, slots)` budgets the traffic source should serve under it.
+pub type Realized = Result<(Matching, Vec<(NodeId, NodeId, u64)>), SchedError>;
 
 /// What a *configuration* is on a given fabric: how one candidate α is
 /// evaluated into a [`BestChoice`], and how a chosen link set is realized
@@ -187,12 +190,12 @@ pub trait Fabric<S> {
 
     /// Turns the winning link set into the matching pushed onto the schedule
     /// and the `(src, dst, slots)` budgets applied to the traffic source.
-    fn realize(
-        &self,
-        source: &S,
-        links: &[(u32, u32)],
-        alpha: u64,
-    ) -> (Matching, Vec<(NodeId, NodeId, u64)>);
+    ///
+    /// # Errors
+    /// [`SchedError::Net`] when the link set violates the fabric's port
+    /// constraints — the matching kernel and the fabric model disagree,
+    /// which a correct kernel never produces.
+    fn realize(&self, source: &S, links: &[(u32, u32)], alpha: u64) -> Realized;
 
     /// Whether [`LinkQueues::matching_weight_upper_bound`] bounds this
     /// fabric's per-α benefit (enables pruning in the exhaustive search).
@@ -239,18 +242,13 @@ impl<S> Fabric<S> for BipartiteFabric {
         }
     }
 
-    fn realize(
-        &self,
-        _source: &S,
-        links: &[(u32, u32)],
-        alpha: u64,
-    ) -> (Matching, Vec<(NodeId, NodeId, u64)>) {
-        let matching = Matching::new_free(links.iter().copied()).expect("kernel outputs matchings");
+    fn realize(&self, _source: &S, links: &[(u32, u32)], alpha: u64) -> Realized {
+        let matching = Matching::new_free(links.iter().copied())?;
         let budgets = links
             .iter()
             .map(|&(i, j)| (NodeId(i), NodeId(j), alpha))
             .collect();
-        (matching, budgets)
+        Ok((matching, budgets))
     }
 
     fn upper_bound_valid(&self) -> bool {
@@ -292,19 +290,13 @@ impl<S: Borrow<RemainingTraffic>> Fabric<S> for KPortFabric {
         }
     }
 
-    fn realize(
-        &self,
-        _source: &S,
-        links: &[(u32, u32)],
-        alpha: u64,
-    ) -> (Matching, Vec<(NodeId, NodeId, u64)>) {
-        let matching = Matching::new_free_with_capacity(links.iter().copied(), self.r)
-            .expect("union of r edge-disjoint matchings");
+    fn realize(&self, _source: &S, links: &[(u32, u32)], alpha: u64) -> Realized {
+        let matching = Matching::new_free_with_capacity(links.iter().copied(), self.r)?;
         let budgets = links
             .iter()
             .map(|&(i, j)| (NodeId(i), NodeId(j), alpha))
             .collect();
-        (matching, budgets)
+        Ok((matching, budgets))
     }
 }
 
@@ -415,21 +407,15 @@ impl<S> Fabric<S> for DuplexFabric<'_> {
         }
     }
 
-    fn realize(
-        &self,
-        _source: &S,
-        links: &[(u32, u32)],
-        alpha: u64,
-    ) -> (Matching, Vec<(NodeId, NodeId, u64)>) {
-        let dm = DuplexMatching::new(self.net, links.iter().copied())
-            .expect("matcher returns edges of the duplex graph");
+    fn realize(&self, _source: &S, links: &[(u32, u32)], alpha: u64) -> Realized {
+        let dm = DuplexMatching::new(self.net, links.iter().copied())?;
         let directed = dm.to_directed();
         let budgets = directed
             .links()
             .iter()
             .map(|&(i, j)| (i, j, alpha))
             .collect();
-        (directed, budgets)
+        Ok((directed, budgets))
     }
 }
 
@@ -475,18 +461,13 @@ impl<S> Fabric<S> for LocalFabric {
         }
     }
 
-    fn realize(
-        &self,
-        _source: &S,
-        links: &[(u32, u32)],
-        alpha: u64,
-    ) -> (Matching, Vec<(NodeId, NodeId, u64)>) {
-        let matching = Matching::new_free(links.iter().copied()).expect("kernel outputs matchings");
+    fn realize(&self, _source: &S, links: &[(u32, u32)], alpha: u64) -> Realized {
+        let matching = Matching::new_free(links.iter().copied())?;
         let budgets = links
             .iter()
             .map(|&(i, j)| (NodeId(i), NodeId(j), self.slots((i, j), alpha)))
             .collect();
-        (matching, budgets)
+        Ok((matching, budgets))
     }
 
     fn weight_sweep(
@@ -528,7 +509,7 @@ impl<S> Fabric<S> for LocalFabric {
 ///     .select(&fabric, 100, CandidateExtension::None, &SearchPolicy::exhaustive())
 ///     .unwrap();
 /// assert_eq!(choice.alpha, 10);
-/// engine.commit(&fabric, &choice.matching, choice.alpha);
+/// engine.commit(&fabric, &choice.matching, choice.alpha).unwrap();
 /// assert!(engine.is_drained());
 /// ```
 #[derive(Debug)]
@@ -690,15 +671,19 @@ impl<S: TrafficSource> ScheduleEngine<S> {
     /// Commits a chosen configuration: realizes it on `fabric`, applies the
     /// resulting budgets to the source, and patches the snapshot on exactly
     /// the dirty links. Returns the matching to push onto the schedule.
+    ///
+    /// # Errors
+    /// [`SchedError::Net`] when realization fails (see [`Fabric::realize`]);
+    /// the source and snapshot are untouched in that case.
     pub fn commit<F: Fabric<S>>(
         &mut self,
         fabric: &F,
         links: &[(u32, u32)],
         alpha: u64,
-    ) -> Matching {
-        let (matching, budgets) = fabric.realize(&self.source, links, alpha);
+    ) -> Result<Matching, SchedError> {
+        let (matching, budgets) = fabric.realize(&self.source, links, alpha)?;
         self.commit_budgets(&budgets);
-        matching
+        Ok(matching)
     }
 
     /// Applies explicit per-link slot budgets to the source and patches the
@@ -718,8 +703,15 @@ impl<S: TrafficSource> ScheduleEngine<S> {
     }
 
     /// Commits chained movements (§5) and patches the snapshot.
-    pub fn commit_chained(&mut self, moves: &[(FlowId, Route, u32, u32, u64)]) {
-        match self.source.apply_chained(moves) {
+    ///
+    /// # Errors
+    /// [`SchedError::ChainedUnsupported`] when the source does not opt into
+    /// chained movement; nothing is applied in that case.
+    pub fn commit_chained(
+        &mut self,
+        moves: &[(FlowId, Route, u32, u32, u64)],
+    ) -> Result<(), SchedError> {
+        match self.source.apply_chained(moves)? {
             Some(dirty) => {
                 if let Some(queues) = self.queues.as_mut() {
                     for link in dirty {
@@ -728,6 +720,24 @@ impl<S: TrafficSource> ScheduleEngine<S> {
                 }
             }
             None => self.queues = None,
+        }
+        Ok(())
+    }
+
+    /// Brings the cached snapshot back in sync after the traffic source was
+    /// mutated behind the engine's back on a known set of links — the
+    /// streaming admission/cancellation path ([`RemainingTraffic::admit_subflows`]
+    /// returns exactly this dirty set). Each link's queue is re-derived from
+    /// the source; links the snapshot has never interned are inserted in
+    /// sorted position. A no-op when no snapshot is cached yet.
+    ///
+    /// Callers mutating the source on an *unknown* link set must use
+    /// [`ScheduleEngine::invalidate`] instead.
+    pub fn patch_links(&mut self, dirty: &[(u32, u32)]) {
+        if let Some(queues) = self.queues.as_mut() {
+            for &link in dirty {
+                queues.set_link(link, self.source.refresh_link(link));
+            }
         }
     }
 }
@@ -805,7 +815,9 @@ mod tests {
         let mut engine = ScheduleEngine::new(&mut tr, 4, 5);
         let mut budget = 295u64;
         while let Some(choice) = engine.select(&fabric, budget, CandidateExtension::None, &policy) {
-            engine.commit(&fabric, &choice.matching, choice.alpha);
+            engine
+                .commit(&fabric, &choice.matching, choice.alpha)
+                .unwrap();
             assert_snapshot_matches_rebuild(&mut engine);
             budget = budget.saturating_sub(choice.alpha + 5);
             if budget == 0 {

@@ -22,6 +22,20 @@ pub enum SchedError {
         /// Largest window tried.
         tried: u64,
     },
+    /// A streamed sub-flow admission names a position at or beyond its
+    /// route's end.
+    PositionBeyondRoute {
+        /// The offending flow.
+        flow: FlowId,
+        /// The out-of-range position.
+        pos: u32,
+    },
+    /// The traffic source does not support chained (multi-hop-per-
+    /// configuration) movement.
+    ChainedUnsupported,
+    /// A realized configuration violates the fabric's port constraints —
+    /// the matching kernel and the fabric model disagree.
+    Net(octopus_net::NetError),
 }
 
 impl fmt::Display for SchedError {
@@ -42,11 +56,29 @@ impl fmt::Display for SchedError {
             SchedError::MakespanUnreachable { tried } => {
                 write!(f, "traffic not fully servable within window {tried}")
             }
+            SchedError::PositionBeyondRoute { flow, pos } => {
+                write!(
+                    f,
+                    "sub-flow of {flow} admitted at position {pos} beyond its route"
+                )
+            }
+            SchedError::ChainedUnsupported => {
+                write!(f, "this traffic source does not support chained movement")
+            }
+            SchedError::Net(e) => {
+                write!(f, "configuration violates fabric port constraints: {e}")
+            }
         }
     }
 }
 
 impl std::error::Error for SchedError {}
+
+impl From<octopus_net::NetError> for SchedError {
+    fn from(e: octopus_net::NetError) -> Self {
+        SchedError::Net(e)
+    }
+}
 
 impl From<TrafficError> for SchedError {
     fn from(e: TrafficError) -> Self {

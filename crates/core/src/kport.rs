@@ -58,7 +58,7 @@ pub fn octopus_kport(
         };
         matchings_computed += choice.matchings_computed;
         iterations += 1;
-        let matching = engine.commit(&fabric, &choice.matching, choice.alpha);
+        let matching = engine.commit(&fabric, &choice.matching, choice.alpha)?;
         schedule.push(Configuration::new(matching, choice.alpha));
         used += choice.alpha + cfg.delta;
     }

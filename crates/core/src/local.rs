@@ -73,7 +73,7 @@ pub fn octopus_local(
         };
         matchings_computed += choice.matchings_computed;
         iterations += 1;
-        let matching = engine.commit(&fabric, &choice.matching, choice.alpha);
+        let matching = engine.commit(&fabric, &choice.matching, choice.alpha)?;
         fabric.prev = choice.matching.iter().copied().collect();
         schedule.push(Configuration::new(matching, choice.alpha));
         used += choice.alpha + cfg.delta;

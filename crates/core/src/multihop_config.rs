@@ -73,7 +73,7 @@ pub fn octopus_multihop(
         iterations += 1;
         // Advance the plan with chaining: packets move as the mini-sim says.
         let moved = snap.simulate(&choice.matching, choice.alpha).moves;
-        engine.commit_chained(&moved);
+        engine.commit_chained(&moved)?;
         let matching =
             Matching::new_free(choice.matching.iter().copied()).expect("greedy keeps ports free");
         schedule.push(Configuration::new(matching, choice.alpha));

@@ -131,7 +131,13 @@ pub fn octopus_on(net: &Network, tr: &mut RemainingTraffic, cfg: &OctopusConfig)
         };
         matchings_computed += choice.matchings_computed;
         iterations += 1;
-        let matching = engine.commit(&fabric, &choice.matching, choice.alpha);
+        let Ok(matching) = engine.commit(&fabric, &choice.matching, choice.alpha) else {
+            // The kernel emitted a non-matching — unreachable with the
+            // shipped kernels; stop extending the schedule rather than
+            // panicking mid-window.
+            debug_assert!(false, "kernel output failed to realize");
+            break;
+        };
         schedule.push(Configuration::new(matching, choice.alpha));
         used += choice.alpha + cfg.delta;
     }

@@ -30,7 +30,7 @@ use crate::engine::{
     BipartiteFabric, CandidateExtension, ScheduleEngine, SearchPolicy, TrafficSource,
 };
 use crate::flatmap::VecMap;
-use crate::state::LinkQueues;
+use crate::state::{LinkQueue, LinkQueues};
 use crate::{OctopusConfig, SchedError};
 use octopus_net::{Configuration, Network, NodeId, Schedule};
 use octopus_sim::ResolvedFlow;
@@ -407,6 +407,12 @@ impl TrafficSource for PlusSource<'_> {
         None
     }
 
+    fn refresh_link(&self, _link: (u32, u32)) -> Option<LinkQueue> {
+        // `apply_served` always requests a full rebuild (returns `None`),
+        // so the engine never reports a dirty link to refresh here.
+        None
+    }
+
     fn is_drained(&self) -> bool {
         self.st.is_drained()
     }
@@ -450,7 +456,7 @@ pub fn octopus_plus(
             break;
         };
         iterations += 1;
-        let matching = engine.commit(&fabric, &choice.matching, choice.alpha);
+        let matching = engine.commit(&fabric, &choice.matching, choice.alpha)?;
         schedule.push(Configuration::new(matching, choice.alpha));
         used += choice.alpha + base.delta;
     }

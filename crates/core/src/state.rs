@@ -21,9 +21,13 @@
 //! Both `T^r` and the [`LinkQueues`] snapshot are stored in sorted-vec /
 //! arena form rather than `BTreeMap`s (see DESIGN.md §6):
 //!
-//! * every fabric link a route can ever cross is *interned* once at load
-//!   into a sorted `Vec<(u32, u32)>`; the dense index into that vec is the
-//!   link's `LinkId`, and each flow precomputes the `LinkId` of every hop;
+//! * every fabric link a route can cross is *interned* into a sorted
+//!   `Vec<(u32, u32)>`; the dense index into that vec is the link's
+//!   `LinkId`, and each flow precomputes the `LinkId` of every hop. The key
+//!   vector is seeded at load and **may grow mid-window**: admitting a flow
+//!   whose route crosses an unknown link sorted-inserts the new keys and
+//!   remaps every stored `LinkId` in one pass
+//!   ([`RemainingTraffic::admit_subflows`]);
 //! * `T^r` keeps one flat row `Vec<((flow index, position), count)>` per
 //!   `LinkId`, sorted by key — the same total order the old per-link
 //!   `BTreeMap` iterated in, so schedules are bit-identical by construction;
@@ -75,6 +79,8 @@ pub struct RemainingTraffic {
     /// Every link any route can cross, sorted ascending. The index into
     /// this vec is the dense `LinkId`; the sorted order is what keeps every
     /// link iteration on the same fixed total order the old `BTreeMap` had.
+    /// Grows on mid-window admission (with a full `LinkId` remap); never
+    /// shrinks.
     link_keys: Vec<(u32, u32)>,
     /// Per `LinkId`: `((flow index, position), packets)` planned to sit at
     /// `route[position]`, waiting to cross this link. Sorted by key.
@@ -83,6 +89,11 @@ pub struct RemainingTraffic {
     delivered: u64,
     total: u64,
     psi: f64,
+    /// Lazy flow-ID index for the streaming entry points (admit/cancel):
+    /// flow id → indices into `flows`. Point lookups only — never iterated
+    /// on a scheduling path, so hasher order cannot leak into schedules
+    /// (L1-safe). Built on first use; `None` for pure batch runs.
+    index: Option<HashMap<FlowId, Vec<u32>>>,
 }
 
 impl RemainingTraffic {
@@ -142,6 +153,7 @@ impl RemainingTraffic {
             delivered: 0,
             total: load.total_packets(),
             psi: 0.0,
+            index: None,
         };
         for (fi, f) in load.flows().iter().enumerate() {
             if f.size > 0 {
@@ -198,6 +210,7 @@ impl RemainingTraffic {
             delivered: 0,
             total,
             psi: 0.0,
+            index: None,
         };
         for (fi, pos, count) in staged {
             tr.add(fi, pos, count);
@@ -228,6 +241,12 @@ impl RemainingTraffic {
     /// The hop-weighting in force.
     pub fn weighting(&self) -> HopWeighting {
         self.weighting
+    }
+
+    /// Links interned into the key vector so far. Seeded at load, grows on
+    /// [`RemainingTraffic::admit_subflows`]; never shrinks.
+    pub fn interned_links(&self) -> usize {
+        self.link_keys.len()
     }
 
     /// The interned `LinkId` of `(fi, pos)`'s waiting link.
@@ -467,6 +486,199 @@ impl RemainingTraffic {
         dirty.sort_unstable();
         dirty.dedup();
         dirty
+    }
+
+    /// Builds the flow-ID point-lookup index on first use. Admissions keep
+    /// it current afterwards; nothing else mutates `flows`, so once built it
+    /// never goes stale.
+    fn ensure_index(&mut self) {
+        if self.index.is_some() {
+            return;
+        }
+        let mut idx: HashMap<FlowId, Vec<u32>> = HashMap::with_capacity(self.flows.len());
+        for (fi, m) in self.flows.iter().enumerate() {
+            idx.entry(m.id).or_default().push(fi as u32);
+        }
+        self.index = Some(idx);
+    }
+
+    /// The bookkeeping row for `(id, route)`, if one exists.
+    fn flow_index_of(&self, id: FlowId, route: &Route) -> Option<u32> {
+        self.index
+            .as_ref()
+            .and_then(|idx| idx.get(&id))
+            .and_then(|cands| {
+                cands
+                    .iter()
+                    .copied()
+                    .find(|&fi| self.flows[fi as usize].route == *route)
+            })
+    }
+
+    /// Interns link keys not yet present: one sorted merge into
+    /// `link_keys`/`rows`, then a dense remap of every stored per-hop
+    /// `LinkId` (an id at or past an insertion point shifts up by the number
+    /// of fresh keys inserted before it). `O(links + hops)` per batch, not
+    /// per key — the mid-window growth path the layout originally forbade.
+    fn intern_new_links(&mut self, mut fresh: Vec<(u32, u32)>) {
+        fresh.sort_unstable();
+        fresh.dedup();
+        fresh.retain(|k| self.link_keys.binary_search(k).is_err());
+        if fresh.is_empty() {
+            return;
+        }
+        let old_keys = std::mem::take(&mut self.link_keys);
+        let old_rows = std::mem::take(&mut self.rows);
+        // shift[i] = number of fresh keys sorting before old key `i`.
+        let mut shift = vec![0u32; old_keys.len()];
+        self.link_keys.reserve(old_keys.len() + fresh.len());
+        self.rows.reserve(old_rows.len() + fresh.len());
+        let mut fresh_it = fresh.into_iter().peekable();
+        let mut inserted = 0u32;
+        for (i, (key, row)) in old_keys.into_iter().zip(old_rows).enumerate() {
+            while let Some(k) = fresh_it.next_if(|&k| k < key) {
+                self.link_keys.push(k);
+                self.rows.push(Vec::new());
+                inserted += 1;
+            }
+            shift[i] = inserted;
+            self.link_keys.push(key);
+            self.rows.push(row);
+        }
+        for k in fresh_it {
+            self.link_keys.push(k);
+            self.rows.push(Vec::new());
+        }
+        for l in &mut self.flow_links {
+            *l += shift[*l as usize];
+        }
+    }
+
+    /// Admits sub-flows `(flow id, route, position, count)` into a live
+    /// plan — the streaming counterpart of [`RemainingTraffic::from_subflows`].
+    /// Routes crossing links the plan has never seen grow the interned key
+    /// vector in place (see [`RemainingTraffic::intern_new_links`]). Entries
+    /// matching an existing `(id, route)` row merge into it, so re-admitting
+    /// traffic for a live flow accumulates bit-identically to having loaded
+    /// the merged counts cold (`w*c1 + w*c2` summed per entry would not).
+    ///
+    /// Returns the links whose queues changed, sorted and deduplicated —
+    /// feed them to [`crate::ScheduleEngine::patch_links`] to bring a live
+    /// snapshot back in sync.
+    ///
+    /// # Errors
+    /// [`SchedError::PositionBeyondRoute`] if any entry's position is at or
+    /// past its route's end; the plan is untouched on error.
+    pub fn admit_subflows(
+        &mut self,
+        subflows: impl IntoIterator<Item = (FlowId, Route, u32, u64)>,
+    ) -> Result<Vec<(u32, u32)>, SchedError> {
+        let incoming: Vec<(FlowId, Route, u32, u64)> = subflows
+            .into_iter()
+            .filter(|&(_, _, _, count)| count > 0)
+            .collect();
+        // Validate everything before mutating anything: an error mid-batch
+        // must not leave a half-admitted plan.
+        for &(id, ref route, pos, _) in &incoming {
+            if pos >= route.hops() {
+                return Err(SchedError::PositionBeyondRoute { flow: id, pos });
+            }
+        }
+        if incoming.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.ensure_index();
+        let first_new = self.flows.len();
+        let mut staged: Vec<(u32, u32, u64)> = Vec::with_capacity(incoming.len());
+        let mut fresh_keys: Vec<(u32, u32)> = Vec::new();
+        for (id, route, pos, count) in incoming {
+            let fi = match self.flow_index_of(id, &route) {
+                Some(fi) => fi,
+                None => {
+                    let fi = self.flows.len() as u32;
+                    let hops = route.hops();
+                    for p in 0..hops {
+                        fresh_keys.push(link_of(&route, p));
+                    }
+                    self.flows.push(FlowMeta {
+                        id,
+                        route,
+                        hops,
+                        // Assigned below, after the key merge: hop ids of a
+                        // new flow are only meaningful post-remap.
+                        link_off: u32::MAX,
+                    });
+                    if let Some(idx) = self.index.as_mut() {
+                        idx.entry(id).or_default().push(fi);
+                    }
+                    fi
+                }
+            };
+            staged.push((fi, pos, count));
+            self.total += count;
+        }
+        self.intern_new_links(fresh_keys);
+        for fi in first_new..self.flows.len() {
+            let link_off = self.flow_links.len() as u32;
+            let (hops, route) = {
+                let m = &self.flows[fi];
+                (m.hops, m.route.clone())
+            };
+            for pos in 0..hops {
+                let link = link_of(&route, pos);
+                // The key was just interned, so the search always hits;
+                // `unwrap_or_else(|i| i)` keeps this panic-free by
+                // construction (mirrors `intern`).
+                let li = self.link_keys.binary_search(&link).unwrap_or_else(|i| i);
+                debug_assert_eq!(self.link_keys.get(li), Some(&link));
+                self.flow_links.push(li as u32);
+            }
+            self.flows[fi].link_off = link_off;
+        }
+        let mut dirty: Vec<(u32, u32)> = Vec::with_capacity(staged.len());
+        for (fi, pos, count) in staged {
+            self.add(fi, pos, count);
+            dirty.push(self.link_keys[self.link_id(fi, pos) as usize]);
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        Ok(dirty)
+    }
+
+    /// Cancels every sub-flow of `id` still waiting in the plan: the
+    /// packets vanish from `T^r` and from the total (they were never
+    /// delivered, so ψ and the delivered count are untouched). The flow's
+    /// bookkeeping row stays (indices are stable); a later re-admission of
+    /// the same `(id, route)` reuses it.
+    ///
+    /// Returns `(packets removed, dirty links)` — the links, sorted and
+    /// deduplicated, whose queues lost packets.
+    pub fn cancel_flow(&mut self, id: FlowId) -> (u64, Vec<(u32, u32)>) {
+        self.ensure_index();
+        let fis: Vec<u32> = self
+            .index
+            .as_ref()
+            .and_then(|idx| idx.get(&id))
+            .cloned()
+            .unwrap_or_default();
+        let mut removed = 0u64;
+        let mut dirty: Vec<(u32, u32)> = Vec::new();
+        for fi in fis {
+            let hops = self.flows[fi as usize].hops;
+            for pos in 0..hops {
+                let li = self.link_id(fi, pos) as usize;
+                let row = &mut self.rows[li];
+                if let Ok(k) = row.binary_search_by_key(&(fi, pos), |e| e.0) {
+                    removed += row[k].1;
+                    row.remove(k);
+                    dirty.push(self.link_keys[li]);
+                }
+            }
+        }
+        self.total -= removed;
+        dirty.sort_unstable();
+        dirty.dedup();
+        (removed, dirty)
     }
 }
 
@@ -821,6 +1033,10 @@ impl LinkQueues {
         if fresh.is_empty() {
             return;
         }
+        // Interning reshapes the CSR index (span positions shift), so
+        // derived caches keyed on the generation must be invalidated even
+        // though no queue content changed.
+        self.generation += 1;
         fresh.sort_unstable();
         fresh.dedup();
         let old_links = std::mem::take(&mut self.links);
@@ -881,6 +1097,14 @@ impl LinkQueues {
     /// the snapshot moved on. A freshly built snapshot starts at 0.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Arena occupancy `(live slots, arena length, reserved capacity)`:
+    /// live data, length including garbage awaiting compaction, and the
+    /// allocation actually held. For memory accounting in benches and
+    /// compaction tests.
+    pub fn arena_usage(&self) -> (usize, usize, usize) {
+        (self.live, self.classes.len(), self.classes.capacity())
     }
 
     /// The borrowed view of the span at CSR position `idx`.
@@ -962,6 +1186,25 @@ impl LinkQueues {
     /// relocated but bit-identical, so derived results are unchanged.
     fn maybe_compact(&mut self) {
         let garbage = self.classes.len() - self.live;
+        if self.live == 0 {
+            // Threshold edge: with nothing live the `spans.len()` term keeps
+            // garbage parked just under the span count forever (an
+            // all-drained snapshot never shrinks its arenas). Dropping dead
+            // slots is O(spans) here — no data to copy — so a flat floor is
+            // enough to keep it amortized.
+            if garbage <= 32 {
+                return;
+            }
+            self.classes.clear();
+            self.prefix_counts.clear();
+            self.prefix_weights.clear();
+            // Every span is a tombstone, but offsets must still be in
+            // bounds: `view_at` slices `classes[off..off]` even for len 0.
+            for span in &mut self.spans {
+                *span = (0, 0);
+            }
+            return;
+        }
         if garbage <= self.live.max(self.spans.len()).max(32) {
             return;
         }
@@ -1508,5 +1751,154 @@ mod tests {
             assert_snapshots_equal(&q, &expect);
         }
         assert_eq!(q.generation(), 99);
+    }
+
+    // ---- mid-window admission / cancellation ----
+
+    #[test]
+    fn admit_subflows_matches_cold_rebuild_on_merged_load() {
+        // Admit-then-solve ≡ cold rebuild on the merged load: run a live
+        // plan through serves and admissions (including routes over links
+        // the plan has never interned), then rebuild cold from the merged
+        // sub-flows at each step and compare snapshots.
+        let mut tr = RemainingTraffic::new(&load_example1(), HopWeighting::Uniform).unwrap();
+        tr.apply(&[(NodeId(3), NodeId(0))], 50);
+        // New flow over known links plus a flow over brand-new links (4, 5).
+        let dirty = tr
+            .admit_subflows([
+                (FlowId(9), Route::from_ids([2, 1, 0]).unwrap(), 1, 30),
+                (FlowId(10), Route::from_ids([4, 5, 2]).unwrap(), 0, 7),
+            ])
+            .unwrap();
+        assert_eq!(dirty, vec![(1, 0), (4, 5)]);
+        let cold = RemainingTraffic::from_subflows(tr.subflows(), HopWeighting::Uniform);
+        assert_snapshots_equal(&tr.link_queues(8), &cold.link_queues(8));
+        // The merged plan keeps scheduling normally, including on the links
+        // interned mid-window.
+        tr.apply(&[(NodeId(4), NodeId(5))], 7);
+        let q = tr.link_queues(8);
+        assert_eq!(q.queue(5, 2).unwrap().total_packets(), 7);
+    }
+
+    #[test]
+    fn admit_merges_existing_flow_rows_bit_exactly() {
+        let mut tr = RemainingTraffic::new(&load_example1(), HopWeighting::Uniform).unwrap();
+        // Top up flow 1 on its current first hop: same (id, route) row.
+        tr.admit_subflows([(FlowId(1), Route::from_ids([0, 1, 2]).unwrap(), 0, 11)])
+            .unwrap();
+        assert_eq!(tr.remaining_packets(), 211);
+        // One merged entry, not two: subflows reports (id 1, pos 0) once.
+        let entries: Vec<_> = tr
+            .subflows()
+            .into_iter()
+            .filter(|e| e.0 == FlowId(1))
+            .collect();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].3, 111);
+        // The snapshot aggregates into a single weight class.
+        let q = tr.link_queues(4);
+        assert_eq!(q.queue(0, 1).unwrap().classes().len(), 1);
+    }
+
+    #[test]
+    fn admit_rejects_position_beyond_route_without_mutating() {
+        let mut tr = RemainingTraffic::new(&load_example1(), HopWeighting::Uniform).unwrap();
+        let before = tr.subflows();
+        let err = tr
+            .admit_subflows([
+                (FlowId(7), Route::from_ids([0, 1]).unwrap(), 0, 5),
+                (FlowId(8), Route::from_ids([0, 1]).unwrap(), 1, 5), // 1 hop: pos 1 invalid
+            ])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SchedError::PositionBeyondRoute {
+                flow: FlowId(8),
+                pos: 1
+            }
+        );
+        // The valid entry of the failed batch was not half-applied.
+        assert_eq!(tr.subflows(), before);
+        assert_eq!(tr.remaining_packets(), 200);
+    }
+
+    #[test]
+    fn cancel_flow_removes_packets_and_reports_dirty_links() {
+        let mut tr = RemainingTraffic::new(&load_example1(), HopWeighting::Uniform).unwrap();
+        // Split f2 across two positions first.
+        tr.apply(&[(NodeId(3), NodeId(0))], 20);
+        let (removed, dirty) = tr.cancel_flow(FlowId(2));
+        assert_eq!(removed, 50);
+        assert_eq!(dirty, vec![(0, 1), (3, 0)]);
+        assert_eq!(tr.remaining_packets(), 150);
+        assert!(tr.refresh_link((3, 0)).is_none());
+        // Cancelling an unknown flow is a no-op.
+        assert_eq!(tr.cancel_flow(FlowId(99)), (0, vec![]));
+        // Re-admitting the cancelled flow reuses its row and schedules again.
+        tr.admit_subflows([(FlowId(2), Route::from_ids([3, 0, 1]).unwrap(), 0, 8)])
+            .unwrap();
+        let cold = RemainingTraffic::from_subflows(tr.subflows(), HopWeighting::Uniform);
+        assert_snapshots_equal(&tr.link_queues(4), &cold.link_queues(4));
+    }
+
+    #[test]
+    fn intern_links_bumps_generation() {
+        let mut q = LinkQueues::from_weighted_counts(4, [((0, 1), 1.0, 10u64)]);
+        assert_eq!(q.generation(), 0);
+        q.intern_links([(0, 1)]); // already present: nothing reshapes
+        assert_eq!(q.generation(), 0);
+        q.intern_links([(2, 3)]); // CSR index reshapes: caches must refresh
+        assert_eq!(q.generation(), 1);
+    }
+
+    #[test]
+    fn all_drained_snapshot_releases_arena_garbage() {
+        // Threshold edge (satellite of ISSUE 7): with every span tombstoned,
+        // the `spans.len()` term used to park garbage just under the span
+        // count forever. Drain 40 single-class links and require the arenas
+        // to actually empty.
+        let mut q =
+            LinkQueues::from_weighted_counts(64, (0..40u32).map(|k| ((k, k + 1), 1.0, 5u64)));
+        for k in 0..40u32 {
+            q.set_link((k, k + 1), None);
+        }
+        let (live, len, _) = q.arena_usage();
+        assert_eq!(live, 0);
+        assert_eq!(len, 0, "all-drained snapshot must drop its garbage");
+        assert!(q.is_empty());
+        // The zeroed spans must still be patchable and readable.
+        q.set_link((7, 8), LinkQueue::from_weighted_counts([(2.0, 3)]));
+        assert_eq!(q.queue(7, 8).unwrap().total_packets(), 3);
+        assert_snapshots_equal(
+            &q,
+            &LinkQueues::from_weighted_counts(64, [((7, 8), 2.0, 3u64)]),
+        );
+    }
+
+    #[test]
+    fn single_giant_link_churn_keeps_garbage_amortized() {
+        // One link owning almost the whole arena: growth patches append a
+        // full copy each time. Pin the amortization invariant — after every
+        // patch, garbage never exceeds max(live, spans, 32) — and that the
+        // queue keeps answering exactly.
+        let mut q = LinkQueues::from_weighted_counts(
+            4,
+            (0..100u64).map(|k| ((0, 1), 1.0 + k as f64, k + 1)),
+        );
+        for round in 0..50u64 {
+            let n_classes = 50 + (round * 13) % 51; // 50..=100, hits both directions
+            let pairs: Vec<(f64, u64)> = (0..n_classes).map(|k| (1.0 + k as f64, k + 1)).collect();
+            q.set_link((0, 1), LinkQueue::from_weighted_counts(pairs.clone()));
+            let (live, len, _) = q.arena_usage();
+            let garbage = len - live;
+            assert!(
+                garbage <= live.max(2).max(32),
+                "round {round}: garbage {garbage} outgrew live {live}"
+            );
+            assert_snapshots_equal(
+                &q,
+                &LinkQueues::from_weighted_counts(4, pairs.iter().map(|&(w, c)| ((0, 1), w, c))),
+            );
+        }
     }
 }

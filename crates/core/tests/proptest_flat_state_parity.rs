@@ -285,8 +285,8 @@ fn assert_parity(
                 policy
             );
             let Some(choice) = ca else { break };
-            ea.commit(&fabric, &choice.matching, choice.alpha);
-            eb.commit(&fabric, &choice.matching, choice.alpha);
+            ea.commit(&fabric, &choice.matching, choice.alpha).unwrap();
+            eb.commit(&fabric, &choice.matching, choice.alpha).unwrap();
             used += choice.alpha + delta;
         }
         prop_assert_eq!(ea.is_drained(), eb.is_drained());

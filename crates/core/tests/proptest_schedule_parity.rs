@@ -264,8 +264,8 @@ fn assert_parity(
             let cb = eb.select(&fabric, budget, CandidateExtension::None, policy);
             prop_assert_eq!(&ca, &cb, "selection diverged at used = {}", used);
             let Some(choice) = ca else { break };
-            ea.commit(&fabric, &choice.matching, choice.alpha);
-            eb.commit(&fabric, &choice.matching, choice.alpha);
+            ea.commit(&fabric, &choice.matching, choice.alpha).unwrap();
+            eb.commit(&fabric, &choice.matching, choice.alpha).unwrap();
             used += choice.alpha + delta;
         }
         prop_assert_eq!(ea.is_drained(), eb.is_drained());

@@ -90,7 +90,7 @@ pub struct FileClass {
 /// * kernel crates' `src/` (minus `src/bin/`): `octopus-core`,
 ///   `octopus-matching`, `octopus-net` — the determinism-sensitive hot paths;
 /// * library surface additionally includes `octopus-traffic`, `octopus-sim`,
-///   `octopus-baselines` and the facade's `src/lib.rs`;
+///   `octopus-baselines`, `octopus-serve` and the facade's `src/lib.rs`;
 /// * everything else (tests, benches, examples, binaries, the bench harness,
 ///   this linter) only gets L5, which applies to every walked file.
 pub fn classify(rel: &str) -> FileClass {
@@ -104,6 +104,7 @@ pub fn classify(rel: &str) -> FileClass {
             && (rel.starts_with("crates/traffic/src/")
                 || rel.starts_with("crates/sim/src/")
                 || rel.starts_with("crates/baselines/src/")
+                || rel.starts_with("crates/serve/src/")
                 || rel == "src/lib.rs"));
     FileClass { kernel, library }
 }

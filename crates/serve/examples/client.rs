@@ -1,0 +1,82 @@
+//! A minimal TCP client for `octopus-serve`, exercising the full protocol:
+//! connect, stream a burst of arrivals, cancel one flow, re-plan, print the
+//! schedule and the lifetime stats.
+//!
+//! Run the daemon in one terminal and this client in another:
+//!
+//! ```text
+//! cargo run -p octopus-serve --bin octopus-serve -- --complete 8 --listen 127.0.0.1:4700
+//! cargo run -p octopus-serve --example client -- 127.0.0.1:4700
+//! ```
+
+use octopus_serve::{Event, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn send(
+    writer: &mut TcpStream,
+    reader: &mut impl BufRead,
+    event: &Event,
+) -> std::io::Result<Response> {
+    let line = serde_json::to_string(event).map_err(std::io::Error::other)?;
+    writeln!(writer, "{line}")?;
+    let mut answer = String::new();
+    reader.read_line(&mut answer)?;
+    serde_json::from_str(&answer).map_err(std::io::Error::other)
+}
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:4700".to_string());
+    let mut stream = TcpStream::connect(&addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    println!("connected to {addr}");
+
+    // A burst of 2-hop flows through a shared relay, plus one direct flow.
+    for (id, route, size) in [
+        (1u64, vec![0u32, 4, 1], 120u64),
+        (2, vec![2, 4, 3], 80),
+        (3, vec![5, 6], 40),
+    ] {
+        let reply = send(
+            &mut stream,
+            &mut reader,
+            &Event::Arrival { id, route, size },
+        )?;
+        println!("arrival -> {reply:?}");
+    }
+
+    // Cancel the direct flow before anything is planned for it.
+    let reply = send(&mut stream, &mut reader, &Event::Cancel { id: 3 })?;
+    println!("cancel  -> {reply:?}");
+
+    // Re-plan twice: multihop flows need one configuration per hop under
+    // the hysteresis policy (one matching per horizon).
+    for _ in 0..2 {
+        match send(&mut stream, &mut reader, &Event::Replan)? {
+            Response::Plan {
+                configs,
+                delivered,
+                backlog,
+                elapsed_us,
+                ..
+            } => {
+                println!(
+                    "replan  -> {} config(s), delivered {delivered}, backlog {backlog}, {elapsed_us} us",
+                    configs.len()
+                );
+                for c in configs {
+                    println!("           alpha={} links={:?}", c.alpha, c.links);
+                }
+            }
+            other => println!("replan  -> {other:?}"),
+        }
+    }
+
+    let reply = send(&mut stream, &mut reader, &Event::Stats)?;
+    println!("stats   -> {reply:?}");
+    let reply = send(&mut stream, &mut reader, &Event::Shutdown)?;
+    println!("bye     -> {reply:?}");
+    Ok(())
+}

@@ -1,0 +1,144 @@
+//! `octopus-serve` — the streaming scheduler daemon, as a process.
+//!
+//! ```text
+//! octopus-serve [--complete N | --fabric FILE.json]
+//!               [--listen ADDR] [--horizon H] [--delta D] [--eta E]
+//!               [--policy hysteresis|octopus]
+//! ```
+//!
+//! Without `--listen`, the daemon speaks NDJSON on stdin/stdout and exits at
+//! `"Shutdown"` or EOF. With `--listen ADDR` (e.g. `127.0.0.1:4700`), it
+//! accepts TCP connections one at a time — each connection is a fresh
+//! session over a fresh backlog — and keeps accepting after `"Shutdown"`.
+//!
+//! A fabric file is `{"n": 4, "edges": [[0,1],[1,2],[2,3],[3,0]]}` (directed
+//! links); `--complete N` builds the all-to-all fabric instead.
+
+use octopus_core::SchedError;
+use octopus_net::{topology, Network};
+use octopus_serve::{serve_lines, PolicyMode, ServeConfig, ServeState};
+use serde::Deserialize;
+use std::io::{BufReader, BufWriter};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+/// On-disk fabric description (`Network`'s derived deserialize would skip
+/// its adjacency caches, so the daemon rebuilds through `from_edges`).
+#[derive(Deserialize)]
+struct FabricFile {
+    n: u32,
+    edges: Vec<(u32, u32)>,
+}
+
+struct Args {
+    net: Network,
+    listen: Option<String>,
+    cfg: ServeConfig,
+}
+
+fn usage() -> String {
+    "usage: octopus-serve [--complete N | --fabric FILE.json] [--listen ADDR] \
+     [--horizon H] [--delta D] [--eta E] [--policy hysteresis|octopus]"
+        .to_string()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut net: Option<Network> = None;
+    let mut listen = None;
+    let mut cfg = ServeConfig::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--complete" => {
+                let n: u32 = value("--complete")?
+                    .parse()
+                    .map_err(|e| format!("--complete: {e}"))?;
+                if n < 2 {
+                    return Err("--complete: need at least 2 nodes".to_string());
+                }
+                net = Some(topology::complete(n));
+            }
+            "--fabric" => {
+                let path = value("--fabric")?;
+                let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                let file: FabricFile =
+                    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+                net = Some(
+                    Network::from_edges(file.n, file.edges).map_err(|e| format!("{path}: {e}"))?,
+                );
+            }
+            "--listen" => listen = Some(value("--listen")?),
+            "--horizon" => {
+                cfg.horizon = value("--horizon")?
+                    .parse()
+                    .map_err(|e| format!("--horizon: {e}"))?;
+            }
+            "--delta" => {
+                cfg.delta = value("--delta")?
+                    .parse()
+                    .map_err(|e| format!("--delta: {e}"))?;
+            }
+            "--eta" => {
+                cfg.eta = value("--eta")?.parse().map_err(|e| format!("--eta: {e}"))?;
+            }
+            "--policy" => {
+                cfg.policy = match value("--policy")?.as_str() {
+                    "hysteresis" => PolicyMode::Hysteresis,
+                    "octopus" => PolicyMode::Octopus,
+                    other => return Err(format!("--policy: unknown mode {other:?}\n{}", usage())),
+                };
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    let net = net.ok_or_else(|| format!("a fabric is required\n{}", usage()))?;
+    Ok(Args { net, listen, cfg })
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let fresh = |e: SchedError| format!("bad configuration: {e}");
+    match args.listen {
+        None => {
+            let mut state = ServeState::new(args.net, args.cfg).map_err(fresh)?;
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_lines(stdin.lock(), stdout.lock(), &mut state)
+                .map_err(|e| format!("stdio session: {e}"))
+        }
+        Some(addr) => {
+            let listener = TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
+            let local = listener
+                .local_addr()
+                .map_err(|e| format!("bind {addr}: {e}"))?;
+            eprintln!("octopus-serve listening on {local}");
+            for stream in listener.incoming() {
+                let stream = stream.map_err(|e| format!("accept: {e}"))?;
+                let mut state =
+                    ServeState::new(args.net.clone(), args.cfg.clone()).map_err(fresh)?;
+                let reader = BufReader::new(stream.try_clone().map_err(|e| format!("{e}"))?);
+                let writer = BufWriter::new(stream);
+                if let Err(e) = serve_lines(reader, writer, &mut state) {
+                    eprintln!("session ended with error: {e}");
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

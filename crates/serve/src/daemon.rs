@@ -1,0 +1,335 @@
+//! The daemon state machine: a persistent [`ScheduleEngine`] over
+//! [`RemainingTraffic`], mutated event by event and re-planned on demand.
+//!
+//! Arrivals and cancellations go through the flat state layer's streaming
+//! entry points ([`RemainingTraffic::admit_subflows`] /
+//! [`RemainingTraffic::cancel_flow`]) and patch the engine's cached queue
+//! snapshot on exactly the dirty links ([`ScheduleEngine::patch_links`]) —
+//! the snapshot is *never* rebuilt from scratch between re-plans, which is
+//! what keeps per-event cost independent of the backlog size.
+
+use crate::protocol::{Event, PlanConfig, Response, ServeStats};
+use octopus_core::{
+    best_configuration, BipartiteFabric, CandidateExtension, OctopusConfig, RemainingTraffic,
+    SchedError, ScheduleEngine, SearchPolicy,
+};
+use octopus_net::{Matching, Network, NodeId};
+use octopus_traffic::{FlowId, Route};
+use std::time::Instant;
+
+/// Which policy a `Replan` event runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyMode {
+    /// Quasi-static hysteresis: hold one incumbent matching across re-plans
+    /// and reconfigure only when the best available matching beats the
+    /// incumbent's value by a factor `1 + eta` — at most one Δ per horizon.
+    Hysteresis,
+    /// Full Octopus greedy: fill the horizon with a sequence of
+    /// configurations (each worth its Δ), like one offline window.
+    Octopus,
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The rolling horizon: slots planned per `Replan` event.
+    pub horizon: u64,
+    /// Reconfiguration delay Δ.
+    pub delta: u64,
+    /// Hysteresis factor (only read in [`PolicyMode::Hysteresis`]).
+    pub eta: f64,
+    /// The re-plan policy.
+    pub policy: PolicyMode,
+    /// α-search / matching-kernel / weighting knobs shared with the batch
+    /// entry points (`window` is ignored; the horizon above rules).
+    pub octopus: OctopusConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            horizon: 10_000,
+            delta: 20,
+            eta: 0.1,
+            policy: PolicyMode::Hysteresis,
+            octopus: OctopusConfig::default(),
+        }
+    }
+}
+
+/// A re-plan's outcome (the typed form of [`Response::Plan`]).
+#[derive(Debug, Clone)]
+pub struct PlanSummary {
+    /// Configurations in serve order.
+    pub configs: Vec<PlanConfig>,
+    /// ψ gained.
+    pub psi: f64,
+    /// Packets newly planned to destination.
+    pub delivered: u64,
+    /// Whether the incumbent changed (hysteresis) / any config ran (greedy).
+    pub reconfigured: bool,
+    /// Wall-clock latency in microseconds.
+    pub elapsed_us: u64,
+}
+
+/// The live daemon: fabric, policy knobs, persistent engine, counters.
+#[derive(Debug)]
+pub struct ServeState {
+    net: Network,
+    cfg: ServeConfig,
+    engine: ScheduleEngine<RemainingTraffic>,
+    incumbent: Option<Matching>,
+    stats: ServeStats,
+}
+
+impl ServeState {
+    /// Creates a daemon over `net` with an empty backlog.
+    ///
+    /// # Errors
+    /// [`SchedError::WindowTooSmall`] when the horizon cannot fit one
+    /// configuration (`horizon ≤ delta`).
+    pub fn new(net: Network, cfg: ServeConfig) -> Result<Self, SchedError> {
+        if cfg.horizon <= cfg.delta {
+            return Err(SchedError::WindowTooSmall {
+                window: cfg.horizon,
+                delta: cfg.delta,
+            });
+        }
+        let tr = RemainingTraffic::from_subflows(std::iter::empty(), cfg.octopus.weighting);
+        let n = net.num_nodes();
+        let delta = cfg.delta;
+        Ok(ServeState {
+            net,
+            cfg,
+            engine: ScheduleEngine::new(tr, n, delta),
+            incumbent: None,
+            stats: ServeStats::default(),
+        })
+    }
+
+    /// Packets still waiting (at sources or mid-route).
+    pub fn backlog(&self) -> u64 {
+        self.engine.source().remaining_packets()
+    }
+
+    /// Lifetime counters (refreshed from the plan state).
+    pub fn stats(&self) -> ServeStats {
+        let mut s = self.stats.clone();
+        let tr = self.engine.source();
+        s.delivered_packets = tr.planned_delivered();
+        s.psi = tr.planned_psi();
+        s.backlog = tr.remaining_packets();
+        s.interned_links = tr.interned_links() as u64;
+        s
+    }
+
+    /// Admits one arrival: validates the route against the fabric, streams
+    /// the sub-flow into `T^r` (interning any unseen links mid-window), and
+    /// patches the cached snapshot on the dirty links.
+    ///
+    /// # Errors
+    /// Route construction/validation errors, or
+    /// [`SchedError::PositionBeyondRoute`] from admission (not reachable
+    /// here: arrivals enter at position 0 of a validated route).
+    pub fn admit(&mut self, id: u64, route_ids: &[u32], size: u64) -> Result<u64, SchedError> {
+        let route = Route::from_ids(route_ids.iter().copied())?;
+        self.net.validate_route(route.nodes())?;
+        let dirty = self
+            .engine
+            .source_mut()
+            .admit_subflows([(FlowId(id), route, 0, size)])?;
+        self.engine.patch_links(&dirty);
+        self.stats.admitted_packets += size;
+        Ok(self.backlog())
+    }
+
+    /// Cancels every queued packet of `id`; returns the removed count.
+    pub fn cancel(&mut self, id: u64) -> u64 {
+        let (removed, dirty) = self.engine.source_mut().cancel_flow(FlowId(id));
+        self.engine.patch_links(&dirty);
+        self.stats.cancelled_packets += removed;
+        removed
+    }
+
+    /// Runs one re-plan over the rolling horizon under the configured
+    /// policy and applies the chosen schedule to the plan state.
+    ///
+    /// # Errors
+    /// [`SchedError::Net`] when a kernel output fails to realize as a
+    /// matching (unreachable with the shipped kernels).
+    pub fn replan(&mut self) -> Result<PlanSummary, SchedError> {
+        let start = Instant::now();
+        self.stats.replans += 1;
+        let tr = self.engine.source();
+        let psi_before = tr.planned_psi();
+        let delivered_before = tr.planned_delivered();
+        let configs = match self.cfg.policy {
+            PolicyMode::Hysteresis => self.replan_hysteresis()?,
+            PolicyMode::Octopus => self.replan_octopus()?,
+        };
+        let tr = self.engine.source();
+        Ok(PlanSummary {
+            reconfigured: !configs.is_empty(),
+            configs,
+            psi: tr.planned_psi() - psi_before,
+            delivered: tr.planned_delivered() - delivered_before,
+            elapsed_us: start.elapsed().as_micros() as u64,
+        })
+    }
+
+    /// Hysteresis core (adapted from `octopus_core::online`): value the
+    /// incumbent at the full horizon against the best fresh matching at
+    /// `horizon − Δ`, switch only on a `1 + eta` improvement. Unlike the
+    /// epoch scheduler there, this never rebuilds `T^r` — it prices both
+    /// candidates on the engine's incrementally patched snapshot.
+    fn replan_hysteresis(&mut self) -> Result<Vec<PlanConfig>, SchedError> {
+        let alpha_if_kept = self.cfg.horizon;
+        let alpha_if_changed = self.cfg.horizon.saturating_sub(self.cfg.delta).max(1);
+        let (serve, alpha, switched) = {
+            let queues = self.engine.queues();
+            let value = |m: &Matching, alpha: u64| -> f64 {
+                m.links()
+                    .iter()
+                    .map(|&(i, j)| queues.g(i.0, j.0, alpha))
+                    .sum()
+            };
+            let best = best_configuration(
+                queues,
+                self.cfg.delta,
+                alpha_if_changed,
+                self.cfg.octopus.alpha_search,
+                self.cfg.octopus.matching,
+                self.cfg.octopus.parallel,
+            );
+            let candidate = match best {
+                Some(b) => Some(Matching::new_free(b.matching.iter().copied())?),
+                None => None,
+            };
+            match (&self.incumbent, candidate) {
+                (None, Some(cand)) => (Some(cand), alpha_if_changed, true),
+                (Some(inc), Some(cand)) => {
+                    let keep_value = value(inc, alpha_if_kept);
+                    let switch_value = value(&cand, alpha_if_changed);
+                    if switch_value > (1.0 + self.cfg.eta) * keep_value {
+                        (Some(cand), alpha_if_changed, true)
+                    } else {
+                        (Some(inc.clone()), alpha_if_kept, false)
+                    }
+                }
+                (Some(inc), None) => (Some(inc.clone()), alpha_if_kept, false),
+                (None, None) => (None, 0, false),
+            }
+        };
+        let mut configs = Vec::new();
+        if let Some(m) = serve {
+            if alpha > 0 {
+                let budgets: Vec<(NodeId, NodeId, u64)> =
+                    m.links().iter().map(|&(i, j)| (i, j, alpha)).collect();
+                self.engine.commit_budgets(&budgets);
+                if switched {
+                    configs.push(PlanConfig {
+                        links: m.links().iter().map(|&(i, j)| (i.0, j.0)).collect(),
+                        alpha,
+                    });
+                }
+                self.incumbent = Some(m);
+            }
+        }
+        Ok(configs)
+    }
+
+    /// Greedy core: one offline-style window over the horizon, sequencing
+    /// configurations on the persistent snapshot.
+    fn replan_octopus(&mut self) -> Result<Vec<PlanConfig>, SchedError> {
+        let fabric = BipartiteFabric {
+            kind: self.cfg.octopus.matching,
+        };
+        let policy = SearchPolicy {
+            search: self.cfg.octopus.alpha_search,
+            parallel: self.cfg.octopus.parallel,
+            prefer_larger_alpha: false,
+        };
+        let mut configs = Vec::new();
+        let mut used = 0u64;
+        while !self.engine.is_drained() && used + self.cfg.delta < self.cfg.horizon {
+            let budget = self.cfg.horizon - used - self.cfg.delta;
+            let Some(choice) =
+                self.engine
+                    .select(&fabric, budget, CandidateExtension::None, &policy)
+            else {
+                break;
+            };
+            let matching = self
+                .engine
+                .commit(&fabric, &choice.matching, choice.alpha)?;
+            configs.push(PlanConfig {
+                links: matching.links().iter().map(|&(i, j)| (i.0, j.0)).collect(),
+                alpha: choice.alpha,
+            });
+            used += choice.alpha + self.cfg.delta;
+        }
+        // A greedy re-plan abandons any held matching: the next hysteresis
+        // re-plan (if the mode is switched) must not trust a stale incumbent.
+        self.incumbent = None;
+        Ok(configs)
+    }
+
+    /// Handles one protocol event. Returns the response and whether the
+    /// session should end.
+    pub fn handle(&mut self, event: Event) -> (Response, bool) {
+        self.stats.events += 1;
+        match event {
+            Event::Arrival { id, route, size } => match self.admit(id, &route, size) {
+                Ok(backlog) => (Response::Admitted { id, backlog }, false),
+                Err(e) => (
+                    Response::Error {
+                        message: e.to_string(),
+                    },
+                    false,
+                ),
+            },
+            Event::Cancel { id } => {
+                let removed = self.cancel(id);
+                (
+                    Response::Cancelled {
+                        id,
+                        removed,
+                        backlog: self.backlog(),
+                    },
+                    false,
+                )
+            }
+            Event::Replan => match self.replan() {
+                Ok(plan) => (
+                    Response::Plan {
+                        configs: plan.configs,
+                        psi: plan.psi,
+                        delivered: plan.delivered,
+                        backlog: self.backlog(),
+                        reconfigured: plan.reconfigured,
+                        elapsed_us: plan.elapsed_us,
+                    },
+                    false,
+                ),
+                Err(e) => (
+                    Response::Error {
+                        message: e.to_string(),
+                    },
+                    false,
+                ),
+            },
+            Event::Stats => (
+                Response::Stats {
+                    stats: self.stats(),
+                },
+                false,
+            ),
+            Event::Shutdown => (
+                Response::Bye {
+                    events: self.stats.events,
+                },
+                true,
+            ),
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! End-to-end smoke tests for the daemon: an in-process NDJSON session over
+//! `Cursor`, a TCP round-trip against a real socket, and protocol edge
+//! cases (malformed lines, invalid routes, blank lines).
+
+use octopus_net::topology;
+use octopus_serve::{serve_lines, Event, PolicyMode, Response, ServeConfig, ServeState};
+use std::io::Cursor;
+
+fn new_state(policy: PolicyMode) -> ServeState {
+    let cfg = ServeConfig {
+        policy,
+        ..ServeConfig::default()
+    };
+    ServeState::new(topology::complete(6), cfg).expect("valid config")
+}
+
+fn run_script(state: &mut ServeState, script: &str) -> Vec<Response> {
+    let mut out = Vec::new();
+    serve_lines(Cursor::new(script.as_bytes()), &mut out, state).expect("in-memory io");
+    String::from_utf8(out)
+        .expect("utf8 output")
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("well-formed response"))
+        .collect()
+}
+
+#[test]
+fn ndjson_session_admits_replans_and_shuts_down() {
+    let mut state = new_state(PolicyMode::Octopus);
+    let script = concat!(
+        r#"{"Arrival":{"id":1,"route":[0,3,5],"size":100}}"#,
+        "\n",
+        r#"{"Arrival":{"id":2,"route":[2,3],"size":30}}"#,
+        "\n",
+        "\"Replan\"\n",
+        "\"Stats\"\n",
+        "\"Shutdown\"\n",
+    );
+    let responses = run_script(&mut state, script);
+    assert_eq!(responses.len(), 5);
+    assert_eq!(
+        responses[0],
+        Response::Admitted {
+            id: 1,
+            backlog: 100
+        }
+    );
+    assert_eq!(
+        responses[1],
+        Response::Admitted {
+            id: 2,
+            backlog: 130
+        }
+    );
+    let Response::Plan {
+        delivered,
+        backlog,
+        reconfigured,
+        ..
+    } = &responses[2]
+    else {
+        panic!("expected Plan, got {:?}", responses[2]);
+    };
+    // Greedy mode drains everything the horizon allows: all 130 packets.
+    assert_eq!(*delivered, 130);
+    assert_eq!(*backlog, 0);
+    assert!(reconfigured);
+    let Response::Stats { stats } = &responses[3] else {
+        panic!("expected Stats, got {:?}", responses[3]);
+    };
+    assert_eq!(stats.admitted_packets, 130);
+    assert_eq!(stats.delivered_packets, 130);
+    assert_eq!(stats.backlog, 0);
+    assert_eq!(stats.replans, 1);
+    assert_eq!(responses[4], Response::Bye { events: 5 });
+}
+
+#[test]
+fn hysteresis_session_delivers_multihop_across_replans() {
+    let mut state = new_state(PolicyMode::Hysteresis);
+    // One 2-hop flow: the hysteresis policy serves one matching per
+    // re-plan, so delivery takes two re-plans (one hop each).
+    let script = concat!(
+        r#"{"Arrival":{"id":9,"route":[1,4,2],"size":60}}"#,
+        "\n",
+        "\"Replan\"\n",
+        "\"Replan\"\n",
+        "\"Stats\"\n",
+    );
+    let responses = run_script(&mut state, script);
+    assert_eq!(responses.len(), 4); // EOF ends the session without Bye
+    let Response::Plan { delivered: d1, .. } = &responses[1] else {
+        panic!("expected Plan, got {:?}", responses[1]);
+    };
+    let Response::Plan { delivered: d2, .. } = &responses[2] else {
+        panic!("expected Plan, got {:?}", responses[2]);
+    };
+    assert_eq!(*d1, 0, "first re-plan only advances packets to the relay");
+    assert_eq!(*d2, 60, "second re-plan brings them home");
+    let Response::Stats { stats } = &responses[3] else {
+        panic!("expected Stats, got {:?}", responses[3]);
+    };
+    assert_eq!(stats.delivered_packets, 60);
+    assert_eq!(stats.backlog, 0);
+}
+
+#[test]
+fn cancel_removes_queued_packets_and_unknown_ids_are_noops() {
+    let mut state = new_state(PolicyMode::Hysteresis);
+    let script = concat!(
+        r#"{"Arrival":{"id":5,"route":[0,1],"size":25}}"#,
+        "\n",
+        r#"{"Cancel":{"id":5}}"#,
+        "\n",
+        r#"{"Cancel":{"id":77}}"#,
+        "\n",
+    );
+    let responses = run_script(&mut state, script);
+    assert_eq!(
+        responses[1],
+        Response::Cancelled {
+            id: 5,
+            removed: 25,
+            backlog: 0
+        }
+    );
+    assert_eq!(
+        responses[2],
+        Response::Cancelled {
+            id: 77,
+            removed: 0,
+            backlog: 0
+        }
+    );
+}
+
+#[test]
+fn bad_lines_get_errors_without_killing_the_session() {
+    let mut state = new_state(PolicyMode::Hysteresis);
+    let script = concat!(
+        "this is not json\n",
+        "\n",                                             // blank line: skipped, no response
+        r#"{"Arrival":{"id":1,"route":[0,9],"size":5}}"#, // node 9 not in net
+        "\n",
+        r#"{"Arrival":{"id":1,"route":[0],"size":5}}"#, // single-node route
+        "\n",
+        r#"{"Arrival":{"id":1,"route":[0,1],"size":5}}"#, // fine
+        "\n",
+        "\"Stats\"\n",
+    );
+    let responses = run_script(&mut state, script);
+    assert_eq!(responses.len(), 5);
+    assert!(matches!(responses[0], Response::Error { .. }));
+    assert!(matches!(responses[1], Response::Error { .. }));
+    assert!(matches!(responses[2], Response::Error { .. }));
+    assert_eq!(responses[3], Response::Admitted { id: 1, backlog: 5 });
+    let Response::Stats { stats } = &responses[4] else {
+        panic!("expected Stats, got {:?}", responses[4]);
+    };
+    // Failed admissions must not leak packets into the backlog.
+    assert_eq!(stats.admitted_packets, 5);
+    assert_eq!(stats.backlog, 5);
+}
+
+#[test]
+fn mid_window_links_are_interned_on_the_fly() {
+    let mut state = new_state(PolicyMode::Octopus);
+    // First arrival seeds the key vector; the second, admitted after a
+    // re-plan, rides on links the state layer has never seen — the
+    // headline bugfix path.
+    let r1 = run_script(
+        &mut state,
+        concat!(
+            r#"{"Arrival":{"id":1,"route":[0,1],"size":10}}"#,
+            "\n",
+            "\"Replan\"\n",
+        ),
+    );
+    assert!(matches!(&r1[1], Response::Plan { delivered: 10, .. }));
+    let r2 = run_script(
+        &mut state,
+        concat!(
+            r#"{"Arrival":{"id":2,"route":[3,5,4],"size":20}}"#,
+            "\n",
+            "\"Replan\"\n",
+            "\"Stats\"\n",
+        ),
+    );
+    assert!(matches!(&r2[1], Response::Plan { delivered: 20, .. }));
+    let Response::Stats { stats } = &r2[2] else {
+        panic!("expected Stats, got {:?}", r2[2]);
+    };
+    assert_eq!(stats.delivered_packets, 30);
+    assert_eq!(stats.interned_links, 3); // (0,1), (3,5), (5,4)
+}
+
+#[test]
+fn tcp_round_trip_over_a_real_socket() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut state = new_state(PolicyMode::Octopus);
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        serve_lines(reader, stream, &mut state).expect("serve session");
+    });
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut ask = |event: &Event| -> Response {
+        let line = serde_json::to_string(event).expect("serialize event");
+        writeln!(stream, "{line}").expect("send");
+        let mut answer = String::new();
+        reader.read_line(&mut answer).expect("receive");
+        serde_json::from_str(&answer).expect("well-formed response")
+    };
+
+    let reply = ask(&Event::Arrival {
+        id: 1,
+        route: vec![0, 2, 4],
+        size: 64,
+    });
+    assert_eq!(reply, Response::Admitted { id: 1, backlog: 64 });
+    let reply = ask(&Event::Replan);
+    assert!(matches!(reply, Response::Plan { delivered: 64, .. }));
+    let reply = ask(&Event::Shutdown);
+    assert_eq!(reply, Response::Bye { events: 3 });
+    server.join().expect("server thread");
+}

@@ -162,7 +162,7 @@ proptest! {
             else {
                 break;
             };
-            engine.commit(&fabric, &choice.matching, choice.alpha);
+            engine.commit(&fabric, &choice.matching, choice.alpha).unwrap();
             used += choice.alpha + delta;
 
             let rebuilt = engine.source().snapshot_queues(n);
@@ -360,7 +360,7 @@ proptest! {
             let legacy = engine.evaluate(&fabric, sel.alpha);
             prop_assert_eq!(&sel.matching, &legacy.matching);
             prop_assert_eq!(sel.benefit.to_bits(), legacy.benefit.to_bits());
-            engine.commit(&fabric, &sel.matching, sel.alpha);
+            engine.commit(&fabric, &sel.matching, sel.alpha).unwrap();
             fabric.prev = sel.matching.iter().copied().collect();
             used += sel.alpha + delta;
         }
