@@ -9,8 +9,8 @@
 //! multi-hop packet were covered.
 
 use octopus_core::{
-    AlphaSearch, BipartiteFabric, CandidateExtension, LinkQueue, LinkQueues, MatchingKind,
-    ScheduleEngine, SearchPolicy, TrafficSource,
+    AlphaSearch, BipartiteFabric, CandidateExtension, ExactKernel, LinkQueue, LinkQueues,
+    MatchingKind, ScheduleEngine, SearchPolicy, TrafficSource,
 };
 use octopus_net::{Configuration, NodeId, Schedule};
 use octopus_traffic::Weight;
@@ -87,6 +87,7 @@ pub fn one_hop_schedule(
         search: alpha_search,
         parallel: false,
         prefer_larger_alpha: false,
+        kernel: ExactKernel::Hungarian,
     };
     let mut engine = ScheduleEngine::new(source, n, delta);
     let mut schedule = Schedule::new();

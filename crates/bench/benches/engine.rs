@@ -20,8 +20,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use octopus_bench::runners::synthetic_instance;
 use octopus_bench::Env;
 use octopus_core::{
-    best_configuration, AlphaSearch, BipartiteFabric, CandidateExtension, HopWeighting,
-    MatchingKind, RemainingTraffic, ScheduleEngine, SearchPolicy,
+    best_configuration, AlphaSearch, BipartiteFabric, CandidateExtension, ExactKernel,
+    HopWeighting, MatchingKind, RemainingTraffic, ScheduleEngine, SearchPolicy,
 };
 use octopus_net::NodeId;
 use octopus_traffic::TrafficLoad;
@@ -119,6 +119,7 @@ fn bench_engine_threads(c: &mut Criterion) {
         search: AlphaSearch::Exhaustive,
         parallel: true,
         prefer_larger_alpha: false,
+        kernel: ExactKernel::Hungarian,
     };
     let mut group = c.benchmark_group("engine_schedule_threads");
     for n in [32u32, 64, 128] {

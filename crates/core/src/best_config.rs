@@ -33,12 +33,12 @@ use crate::engine::SearchPolicy;
 use crate::state::{LinkQueues, MultiAlphaEdges};
 use octopus_matching::{
     greedy::{bucket_greedy_matching, greedy_matching, GreedyScratch},
-    matching_weight, AssignmentSolver, WeightedBipartiteGraph,
+    matching_weight, AssignmentSolver, AuctionSolver, WeightedBipartiteGraph,
 };
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// How candidate α values are searched each iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -68,8 +68,50 @@ pub enum MatchingKind {
     },
 }
 
+/// Which algorithm backs [`MatchingKind::Exact`] evaluations: both return
+/// maximum-weight matchings, but with different cost profiles (see
+/// `octopus_matching`'s `auction.rs` for when the auction wins) and possibly
+/// different — equally optimal — matchings on tie-heavy instances. The
+/// kernel is therefore part of the [`SearchPolicy`]: a schedule is only
+/// reproducible against runs using the same kernel.
+///
+/// The `OCTOPUS_KERNEL` environment variable (`hungarian` / `auction`, read
+/// once per process) overrides every policy's kernel — the CI lever that
+/// re-runs the whole suite with the auction kernel forced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ExactKernel {
+    /// Successive shortest augmenting paths with Johnson potentials
+    /// ([`AssignmentSolver`]) — the sequential default.
+    #[default]
+    Hungarian,
+    /// Forward auction with ε-scaling ([`AuctionSolver`]) — deterministic
+    /// parallel bidding inside a single solve.
+    Auction,
+}
+
+impl ExactKernel {
+    /// This kernel unless `OCTOPUS_KERNEL` overrides it process-wide.
+    /// Unrecognized variable values are ignored.
+    pub fn resolved(self) -> ExactKernel {
+        static ENV: OnceLock<Option<ExactKernel>> = OnceLock::new();
+        let env = ENV.get_or_init(|| {
+            let v = std::env::var("OCTOPUS_KERNEL").ok()?;
+            match v.to_ascii_lowercase().as_str() {
+                "hungarian" => Some(ExactKernel::Hungarian),
+                "auction" => Some(ExactKernel::Auction),
+                _ => None,
+            }
+        });
+        env.unwrap_or(self)
+    }
+}
+
 /// The winning configuration of one greedy iteration.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality ignores [`BestChoice::worker_evals`] — it describes how the
+/// search *executed* (which is allowed to differ run-to-run with the worker
+/// count), never what was chosen.
+#[derive(Debug, Clone)]
 pub struct BestChoice {
     /// Links of the chosen matching.
     pub matching: Vec<(u32, u32)>,
@@ -81,6 +123,22 @@ pub struct BestChoice {
     pub score: f64,
     /// Number of weighted matchings computed to find this choice.
     pub matchings_computed: usize,
+    /// Candidate evaluations per executor worker for the search that
+    /// produced this choice: one entry per worker of the work-stealing
+    /// parallel search (straggler imbalance shows up directly in the Debug
+    /// output), a single entry for the sequential searches, empty for a
+    /// direct per-α evaluation that went through no search.
+    pub worker_evals: Vec<u32>,
+}
+
+impl PartialEq for BestChoice {
+    fn eq(&self, other: &Self) -> bool {
+        self.matching == other.matching
+            && self.alpha == other.alpha
+            && self.benefit == other.benefit
+            && self.score == other.score
+            && self.matchings_computed == other.matchings_computed
+    }
 }
 
 /// Per-worker matching workspace: the exact solver (CSR topology, duals,
@@ -95,12 +153,16 @@ pub struct BestChoice {
 #[derive(Default)]
 struct KernelWorkspace {
     solver: AssignmentSolver,
+    auction: AuctionSolver,
     greedy: GreedyScratch,
     ints: Vec<u64>,
     out: Vec<(u32, u32)>,
     /// Id of the [`SweepContext`] whose topology `solver` currently holds
     /// (0 = none, or overwritten by a one-shot [`run_kernel`] call).
     loaded_sweep: u64,
+    /// Same stamp for `auction` — the kernels load topologies independently,
+    /// so switching kernels mid-process never reloads the other's CSR.
+    loaded_sweep_auction: u64,
 }
 
 thread_local! {
@@ -142,13 +204,27 @@ impl SweepContext {
     /// ([`eval_bipartite`]): same effective edge set (non-positive column
     /// entries are skipped inside the kernels), same algorithms, and the
     /// benefit is summed in the same matching order.
-    pub(crate) fn eval(&self, alpha: u64, delta: u64, kind: MatchingKind) -> BestChoice {
+    pub(crate) fn eval(
+        &self,
+        alpha: u64,
+        delta: u64,
+        kind: MatchingKind,
+        kernel: ExactKernel,
+    ) -> BestChoice {
         let col = self.sweep.column(self.sweep.index_of(alpha));
         let edges = self.sweep.edges();
         let n = self.sweep.n();
         let (matching, benefit) = KERNEL_WS.with(|ws| {
             let ws = &mut *ws.borrow_mut();
             match kind {
+                MatchingKind::Exact if kernel == ExactKernel::Auction => {
+                    if ws.loaded_sweep_auction != self.id {
+                        ws.auction.load_topology(n, n, edges);
+                        ws.loaded_sweep_auction = self.id;
+                    }
+                    ws.auction.solve_reweighted(col);
+                    (ws.auction.matching().to_vec(), ws.auction.last_weight())
+                }
                 MatchingKind::Exact => {
                     if ws.loaded_sweep != self.id {
                         ws.solver.load_topology(n, n, edges);
@@ -184,6 +260,7 @@ impl SweepContext {
             benefit,
             score: benefit / (alpha + delta) as f64,
             matchings_computed: 1,
+            worker_evals: Vec::new(),
         }
     }
 }
@@ -207,9 +284,16 @@ pub(crate) fn run_kernel(
     n: u32,
     edges: Vec<(u32, u32, f64)>,
     kind: MatchingKind,
+    kernel: ExactKernel,
 ) -> (Vec<(u32, u32)>, f64) {
     let g = WeightedBipartiteGraph::from_tuples(n, n, edges);
     match kind {
+        MatchingKind::Exact if kernel == ExactKernel::Auction => KERNEL_WS.with(|ws| {
+            let ws = &mut *ws.borrow_mut();
+            ws.loaded_sweep_auction = 0;
+            ws.auction.solve(&g);
+            (ws.auction.matching().to_vec(), ws.auction.last_weight())
+        }),
         MatchingKind::Exact => KERNEL_WS.with(|ws| {
             let ws = &mut *ws.borrow_mut();
             ws.loaded_sweep = 0;
@@ -242,14 +326,16 @@ pub(crate) fn eval_bipartite(
     alpha: u64,
     delta: u64,
     kind: MatchingKind,
+    kernel: ExactKernel,
 ) -> BestChoice {
-    let (matching, benefit) = run_kernel(queues.n(), queues.weighted_edges(alpha), kind);
+    let (matching, benefit) = run_kernel(queues.n(), queues.weighted_edges(alpha), kind, kernel);
     BestChoice {
         matching,
         alpha,
         benefit,
         score: benefit / (alpha + delta) as f64,
         matchings_computed: 1,
+        worker_evals: Vec::new(),
     }
 }
 
@@ -277,11 +363,13 @@ pub fn best_configuration(
         search,
         parallel,
         prefer_larger_alpha: false,
+        kernel: ExactKernel::default(),
     };
+    let kernel = policy.kernel.resolved();
     let ctx = SweepContext::new(queues.weighted_edges_multi(&candidates));
     let ub = |alpha: u64| ctx.score_upper_bound(alpha, delta);
     search_alpha(&candidates, &policy, Some(&ub), &|alpha| {
-        ctx.eval(alpha, delta, kind)
+        ctx.eval(alpha, delta, kind, kernel)
     })
     .filter(|c| c.benefit > 0.0)
 }
@@ -377,6 +465,7 @@ fn exhaustive_pruned<E: Fn(u64) -> BestChoice>(
     }
     best.map(|mut b| {
         b.matchings_computed = computed;
+        b.worker_evals = vec![computed as u32];
         b
     })
 }
@@ -397,28 +486,38 @@ fn exhaustive_plain<E: Fn(u64) -> BestChoice>(
     }
     best.map(|mut b| {
         b.matchings_computed = computed;
+        b.worker_evals = vec![computed as u32];
         b
     })
 }
 
 /// Parallel exhaustive search: every candidate is evaluated **exactly once**
 /// (a `matchings_computed` unit test pins this), and the reduction carries
-/// both the running winner and the accumulated matching count. Because
-/// [`choice_cmp`] is a strict total order, the winner is bit-identical to
-/// the sequential search regardless of how rayon chunks the candidates.
+/// both the running winner and the accumulated matching count. Candidates
+/// are drawn from a shared work-stealing bag ([`rayon::steal::map_reduce`])
+/// instead of static per-worker chunks, so an expensive straggler candidate
+/// no longer serializes its whole chunk behind it; the per-worker claim
+/// counts land in [`BestChoice::worker_evals`]. Because [`choice_cmp`] is a
+/// strict total order, the reduction is associative *and* commutative, and
+/// the winner is bit-identical to the sequential search regardless of which
+/// worker claimed which candidate.
 fn exhaustive_parallel<E>(candidates: &[u64], policy: &SearchPolicy, eval: &E) -> Option<BestChoice>
 where
     E: Fn(u64) -> BestChoice + Sync,
 {
-    candidates
-        .par_iter()
-        .map(|&alpha| eval(alpha))
-        .reduce_with(|a, b| {
+    let outcome = rayon::steal::map_reduce(
+        candidates,
+        |&alpha| eval(alpha),
+        |a, b| {
             let computed = a.matchings_computed + b.matchings_computed;
             let mut winner = if better(&a, &b, policy) { a } else { b };
             winner.matchings_computed = computed;
             winner
-        })
+        },
+    )?;
+    let mut best = outcome.value;
+    best.worker_evals = outcome.worker_evals;
+    Some(best)
 }
 
 fn ternary<E: Fn(u64) -> BestChoice>(
@@ -472,6 +571,7 @@ fn ternary<E: Fn(u64) -> BestChoice>(
     // The winner is *moved* out of the memo — the only clone-free exit.
     best_alpha.and_then(|a| memo.remove(&a)).map(|mut b| {
         b.matchings_computed = computed;
+        b.worker_evals = vec![computed as u32];
         b
     })
 }
@@ -600,6 +700,7 @@ mod tests {
             search: AlphaSearch::Exhaustive,
             parallel: true,
             prefer_larger_alpha: false,
+            kernel: ExactKernel::Hungarian,
         };
         let calls = AtomicUsize::new(0);
         let eval = |alpha: u64| {
@@ -610,6 +711,7 @@ mod tests {
                 benefit: alpha as f64,
                 score: alpha as f64 / (alpha + 1) as f64,
                 matchings_computed: 1,
+                worker_evals: Vec::new(),
             }
         };
         let best = search_alpha(&candidates, &policy, None, &eval).unwrap();
@@ -648,9 +750,10 @@ mod tests {
                 search: AlphaSearch::Exhaustive,
                 parallel,
                 prefer_larger_alpha: true,
+                kernel: ExactKernel::Hungarian,
             };
             let best = search_alpha(&q.alpha_candidates(10_000), &policy, None, &|alpha| {
-                eval_bipartite(&q, alpha, 10, MatchingKind::Exact)
+                eval_bipartite(&q, alpha, 10, MatchingKind::Exact, ExactKernel::Hungarian)
             })
             .unwrap();
             assert_eq!(best.alpha, 30, "parallel = {parallel}");

@@ -30,7 +30,7 @@
 //! count knobs (`OCTOPUS_THREADS`, `rayon::ThreadPoolBuilder`).
 
 use crate::best_config::{
-    run_kernel, search_alpha, AlphaSearch, BestChoice, MatchingKind, SweepContext,
+    run_kernel, search_alpha, AlphaSearch, BestChoice, ExactKernel, MatchingKind, SweepContext,
 };
 use crate::duplex::GeneralMatcherKind;
 use crate::state::{LinkQueue, LinkQueues, MultiAlphaEdges, RemainingTraffic};
@@ -58,6 +58,13 @@ pub struct SearchPolicy {
     /// planner prefers longer configurations (persistent links serve through
     /// Δ); every other variant prefers the smaller α.
     pub prefer_larger_alpha: bool,
+    /// Which exact assignment algorithm backs [`MatchingKind::Exact`]
+    /// evaluations: the sequential Hungarian solver (default) or the
+    /// parallel-bidding auction kernel. Both are exact; on tie-heavy
+    /// instances they may return different equally-optimal matchings, so the
+    /// kernel is part of the policy and the `OCTOPUS_KERNEL` environment
+    /// variable (`hungarian` / `auction`) overrides it process-wide.
+    pub kernel: ExactKernel,
 }
 
 impl SearchPolicy {
@@ -68,6 +75,7 @@ impl SearchPolicy {
             search: AlphaSearch::Exhaustive,
             parallel: false,
             prefer_larger_alpha: false,
+            kernel: ExactKernel::Hungarian,
         }
     }
 }
@@ -232,13 +240,19 @@ pub struct BipartiteFabric {
 
 impl<S> Fabric<S> for BipartiteFabric {
     fn evaluate(&self, _source: &S, queues: &LinkQueues, alpha: u64, delta: u64) -> BestChoice {
-        let (matching, benefit) = run_kernel(queues.n(), queues.weighted_edges(alpha), self.kind);
+        // Direct per-α evaluations carry no policy, so the kernel is the
+        // env-resolved default (the batched `select` path honors
+        // `SearchPolicy::kernel`).
+        let kernel = ExactKernel::default().resolved();
+        let (matching, benefit) =
+            run_kernel(queues.n(), queues.weighted_edges(alpha), self.kind, kernel);
         BestChoice {
             matching,
             alpha,
             benefit,
             score: benefit / (alpha + delta) as f64,
             matchings_computed: 1,
+            worker_evals: Vec::new(),
         }
     }
 
@@ -287,6 +301,7 @@ impl<S: Borrow<RemainingTraffic>> Fabric<S> for KPortFabric {
             benefit,
             score: benefit / (alpha + delta) as f64,
             matchings_computed: 1,
+            worker_evals: Vec::new(),
         }
     }
 
@@ -330,7 +345,8 @@ fn union_matching(
         if edges.is_empty() {
             break;
         }
-        let (m, round_benefit) = run_kernel(n, edges, round_kind);
+        let (m, round_benefit) =
+            run_kernel(n, edges, round_kind, ExactKernel::default().resolved());
         if m.is_empty() {
             break;
         }
@@ -404,6 +420,7 @@ impl<S> Fabric<S> for DuplexFabric<'_> {
             benefit,
             score: benefit / (alpha + delta) as f64,
             matchings_computed: 1,
+            worker_evals: Vec::new(),
         }
     }
 
@@ -451,13 +468,19 @@ impl<S> Fabric<S> for LocalFabric {
             .map(|(i, j)| (i, j, queues.g(i, j, self.slots((i, j), alpha))))
             .filter(|&(_, _, w)| w > 0.0)
             .collect();
-        let (matching, benefit) = run_kernel(queues.n(), edges, self.kind);
+        let (matching, benefit) = run_kernel(
+            queues.n(),
+            edges,
+            self.kind,
+            ExactKernel::default().resolved(),
+        );
         BestChoice {
             matching,
             alpha,
             benefit,
             score: benefit / (alpha + delta) as f64,
             matchings_computed: 1,
+            worker_evals: Vec::new(),
         }
     }
 
@@ -629,9 +652,10 @@ impl<S: TrafficSource> ScheduleEngine<S> {
             // The per-column bound is valid for the greedy kernels too (a
             // greedy matching never out-weighs the exact optimum).
             let ctx = SweepContext::new(sweep);
+            let kernel = policy.kernel.resolved();
             let ub = |alpha: u64| ctx.score_upper_bound(alpha, delta);
             return search_alpha(&candidates, policy, Some(&ub), &|alpha| {
-                ctx.eval(alpha, delta, kind)
+                ctx.eval(alpha, delta, kind, kernel)
             })
             .filter(|c| c.benefit > 0.0);
         }
@@ -811,6 +835,7 @@ mod tests {
             search: AlphaSearch::Exhaustive,
             parallel: false,
             prefer_larger_alpha: false,
+            kernel: ExactKernel::Hungarian,
         };
         let mut engine = ScheduleEngine::new(&mut tr, 4, 5);
         let mut budget = 295u64;

@@ -44,6 +44,7 @@ pub fn octopus_kport(
         search: cfg.alpha_search,
         parallel: false,
         prefer_larger_alpha: false,
+        kernel: cfg.kernel,
     };
     let mut engine = ScheduleEngine::new(&mut tr, net.num_nodes(), cfg.delta);
     let mut schedule = Schedule::new();

@@ -47,6 +47,7 @@ pub fn octopus_local(
         search: AlphaSearch::Exhaustive,
         parallel: false,
         prefer_larger_alpha: true,
+        kernel: cfg.kernel,
     };
     let mut fabric = LocalFabric {
         kind: cfg.matching,

@@ -1,7 +1,7 @@
 //! The main Octopus greedy loop (§4.1).
 
 use crate::engine::{BipartiteFabric, CandidateExtension, ScheduleEngine, SearchPolicy};
-use crate::{AlphaSearch, MatchingKind, RemainingTraffic, SchedError};
+use crate::{AlphaSearch, ExactKernel, MatchingKind, RemainingTraffic, SchedError};
 use octopus_net::{Configuration, Network, Schedule};
 use octopus_traffic::{HopWeighting, TrafficLoad};
 use serde::{Deserialize, Serialize};
@@ -20,6 +20,13 @@ pub struct OctopusConfig {
     pub alpha_search: AlphaSearch,
     /// Matching kernel: `Exact` is Octopus, `BucketGreedy` Octopus-G.
     pub matching: MatchingKind,
+    /// Exact assignment algorithm backing [`MatchingKind::Exact`]:
+    /// sequential Hungarian (default) or the parallel-bidding auction
+    /// kernel. Overridable process-wide via the `OCTOPUS_KERNEL`
+    /// environment variable (`hungarian` / `auction`). Absent fields in
+    /// serialized configs deserialize to the default.
+    #[serde(default)]
+    pub kernel: ExactKernel,
     /// Fan candidate-α evaluation out over rayon's worker threads (the
     /// paper's multi-core controller; disables upper-bound pruning). The
     /// worker count defaults to the machine's available parallelism and can
@@ -37,6 +44,7 @@ impl Default for OctopusConfig {
             weighting: HopWeighting::Uniform,
             alpha_search: AlphaSearch::Exhaustive,
             matching: MatchingKind::Exact,
+            kernel: ExactKernel::Hungarian,
             parallel: false,
         }
     }
@@ -117,6 +125,7 @@ pub fn octopus_on(net: &Network, tr: &mut RemainingTraffic, cfg: &OctopusConfig)
         search: cfg.alpha_search,
         parallel: cfg.parallel,
         prefer_larger_alpha: false,
+        kernel: cfg.kernel,
     };
     let mut engine = ScheduleEngine::new(&mut *tr, net.num_nodes(), cfg.delta);
     let mut schedule = Schedule::new();

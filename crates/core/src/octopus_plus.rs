@@ -439,6 +439,7 @@ pub fn octopus_plus(
         search: base.alpha_search,
         parallel: base.parallel,
         prefer_larger_alpha: false,
+        kernel: base.kernel,
     };
     let source = PlusSource {
         net,

@@ -19,7 +19,7 @@
 //! every `f64` bit.
 
 use octopus_core::{
-    AlphaSearch, BipartiteFabric, CandidateExtension, MatchingKind, RemainingTraffic,
+    AlphaSearch, BipartiteFabric, CandidateExtension, ExactKernel, MatchingKind, RemainingTraffic,
     ScheduleEngine, SearchPolicy,
 };
 use octopus_traffic::{FlowId, HopWeighting, Route};
@@ -88,17 +88,20 @@ fn script() -> impl Strategy<Value = (u32, Vec<Op>)> {
         })
 }
 
-/// Every `SearchPolicy` variant.
+/// Every `SearchPolicy` variant, under both exact kernels.
 fn all_policies() -> Vec<SearchPolicy> {
     let mut out = Vec::new();
     for search in [AlphaSearch::Exhaustive, AlphaSearch::Binary] {
         for parallel in [false, true] {
             for prefer_larger_alpha in [false, true] {
-                out.push(SearchPolicy {
-                    search,
-                    parallel,
-                    prefer_larger_alpha,
-                });
+                for kernel in [ExactKernel::Hungarian, ExactKernel::Auction] {
+                    out.push(SearchPolicy {
+                        search,
+                        parallel,
+                        prefer_larger_alpha,
+                        kernel,
+                    });
+                }
             }
         }
     }

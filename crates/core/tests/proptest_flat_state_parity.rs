@@ -19,8 +19,8 @@
 //! match exactly.
 
 use octopus_core::{
-    AlphaSearch, BipartiteFabric, CandidateExtension, LinkQueue, LinkQueues, MatchingKind,
-    RemainingTraffic, ScheduleEngine, SearchPolicy, TrafficSource,
+    AlphaSearch, BipartiteFabric, CandidateExtension, ExactKernel, LinkQueue, LinkQueues,
+    MatchingKind, RemainingTraffic, ScheduleEngine, SearchPolicy, TrafficSource,
 };
 use octopus_net::NodeId;
 use octopus_traffic::{Flow, FlowId, HopWeighting, Route, TrafficLoad, Weight};
@@ -239,17 +239,20 @@ fn instance() -> impl Strategy<Value = (u32, TrafficLoad, u64, u64)> {
 }
 
 /// Every `SearchPolicy` variant: {Exhaustive, Binary} × {sequential,
-/// parallel} × {smaller-α, larger-α preference}.
+/// parallel} × {smaller-α, larger-α preference} × {Hungarian, Auction}.
 fn all_policies() -> Vec<SearchPolicy> {
     let mut out = Vec::new();
     for search in [AlphaSearch::Exhaustive, AlphaSearch::Binary] {
         for parallel in [false, true] {
             for prefer_larger_alpha in [false, true] {
-                out.push(SearchPolicy {
-                    search,
-                    parallel,
-                    prefer_larger_alpha,
-                });
+                for kernel in [ExactKernel::Hungarian, ExactKernel::Auction] {
+                    out.push(SearchPolicy {
+                        search,
+                        parallel,
+                        prefer_larger_alpha,
+                        kernel,
+                    });
+                }
             }
         }
     }

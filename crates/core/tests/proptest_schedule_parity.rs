@@ -300,6 +300,7 @@ proptest! {
             search: octopus_core::AlphaSearch::Exhaustive,
             parallel: true,
             prefer_larger_alpha: false,
+            kernel: octopus_core::ExactKernel::Hungarian,
         };
         assert_parity(n, &load, window, delta, MatchingKind::GreedySort, &policy)?;
     }

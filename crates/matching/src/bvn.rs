@@ -54,13 +54,20 @@ pub fn decompose(n: u32, demand: &[(u32, u32, u64)]) -> Vec<BvnTerm> {
         if matching.is_empty() {
             break; // defensive: cannot happen while entries remain
         }
-        let duration = matching
+        // Every matched pair came out of `remaining`'s support, so the
+        // lookups cannot miss; degrade by stopping/skipping instead of
+        // aborting the decomposition if that invariant ever broke.
+        let Some(duration) = matching
             .iter()
-            .map(|rc| remaining[rc])
+            .filter_map(|rc| remaining.get(rc).copied())
             .min()
-            .expect("non-empty matching");
+        else {
+            break;
+        };
         for rc in &matching {
-            let d = remaining.get_mut(rc).expect("matched entry exists");
+            let Some(d) = remaining.get_mut(rc) else {
+                continue;
+            };
             *d -= duration;
             if *d == 0 {
                 remaining.remove(rc);

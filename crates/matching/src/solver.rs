@@ -311,7 +311,16 @@ impl AssignmentSolver {
                 }
             }
 
-            let (t, big_d) = target.expect("dummy sink guarantees an augmenting path");
+            // The dummy sink guarantees an augmenting path for every seeded
+            // vertex; if the heap nonetheless drained without finalizing a
+            // free right vertex, leave `s` unmatched rather than abort the
+            // whole solve.
+            let Some((t, big_d)) = target else {
+                for &v in &self.touched_r {
+                    self.done_r[v as usize] = false;
+                }
+                continue;
+            };
 
             // Johnson potential update: every finalized vertex x with
             // d(x) <= D gets pot[x] -= (D - d(x)); this keeps reduced costs

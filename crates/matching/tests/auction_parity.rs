@@ -1,0 +1,180 @@
+//! Parity proptests pinning the auction kernel to [`AssignmentSolver`].
+//!
+//! The auction's determinism contract (auction.rs module docs) promises
+//! exact optimality on weight columns whose values fit the adaptive integer
+//! resolution. Integer-valued columns always do, so on them the two exact
+//! kernels must agree on the optimal *weight* to the last bit (sums of
+//! integers below 2^53 are exact in f64 regardless of summation order), and
+//! on the *matching* itself whenever the optimum is unique. The parallel
+//! bidding path must reproduce the sequential one bit-for-bit.
+
+use octopus_matching::{AssignmentSolver, AuctionSolver};
+use proptest::prelude::*;
+
+/// Strategy: a sorted, deduplicated topology plus integer weight columns
+/// (with non-positive entries, exercising the `w <= 0` edge-disabling).
+#[allow(clippy::type_complexity)]
+fn topology_and_int_columns() -> impl Strategy<Value = (u32, u32, Vec<(u32, u32)>, Vec<Vec<f64>>)> {
+    (1u32..9, 1u32..9)
+        .prop_flat_map(|(nl, nr)| {
+            (
+                Just(nl),
+                Just(nr),
+                prop::collection::vec((0..nl, 0..nr), 0..24),
+            )
+        })
+        .prop_flat_map(|(nl, nr, mut raw)| {
+            raw.sort_unstable();
+            raw.dedup();
+            let ne = raw.len();
+            let cols = prop::collection::vec(prop::collection::vec(-40i64..4000, ne..=ne), 1..4);
+            (Just(nl), Just(nr), Just(raw), cols)
+        })
+        .prop_map(|(nl, nr, edges, cols)| {
+            let cols: Vec<Vec<f64>> = cols
+                .into_iter()
+                .map(|c| c.into_iter().map(|w| w as f64).collect())
+                .collect();
+            (nl, nr, edges, cols)
+        })
+}
+
+fn is_matching(m: &[(u32, u32)]) -> bool {
+    let mut ls = std::collections::HashSet::new();
+    let mut rs = std::collections::HashSet::new();
+    m.iter().all(|&(u, v)| ls.insert(u) && rs.insert(v))
+}
+
+/// Enumerates every matching of the positive subgraph, returning the optimal
+/// weight and how many matchings attain it (counting the empty matching).
+fn brute_optima(edges: &[(u32, u32)], col: &[f64]) -> (f64, usize) {
+    fn rec(
+        idx: usize,
+        edges: &[(u32, u32)],
+        col: &[f64],
+        used_l: &mut Vec<u32>,
+        used_r: &mut Vec<u32>,
+        acc: f64,
+        best: &mut f64,
+        count: &mut usize,
+    ) {
+        if idx == edges.len() {
+            // Each include/skip path reaches exactly one terminal per
+            // distinct matching (edge subset), so counting terminals counts
+            // matchings.
+            if acc > *best + 1e-9 {
+                *best = acc;
+                *count = 1;
+            } else if (acc - *best).abs() <= 1e-9 {
+                *count += 1;
+            }
+            return;
+        }
+        let (u, v) = edges[idx];
+        rec(idx + 1, edges, col, used_l, used_r, acc, best, count);
+        if col[idx] > 0.0 && !used_l.contains(&u) && !used_r.contains(&v) {
+            used_l.push(u);
+            used_r.push(v);
+            rec(
+                idx + 1,
+                edges,
+                col,
+                used_l,
+                used_r,
+                acc + col[idx],
+                best,
+                count,
+            );
+            used_l.pop();
+            used_r.pop();
+        }
+    }
+    let mut best = 0.0;
+    let mut count = 0;
+    rec(
+        0,
+        edges,
+        col,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        0.0,
+        &mut best,
+        &mut count,
+    );
+    (best, count)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// On integer columns the auction's total weight equals the Hungarian
+    /// solver's exactly, its matching is valid, and every matched pair is an
+    /// enabled (positive-weight) edge — across repeated reweighted solves on
+    /// one loaded topology.
+    #[test]
+    fn auction_weight_equals_hungarian(
+        (nl, nr, edges, cols) in topology_and_int_columns()
+    ) {
+        let mut hungarian = AssignmentSolver::new();
+        let mut auction = AuctionSolver::new();
+        hungarian.load_topology(nl, nr, &edges);
+        auction.load_topology(nl, nr, &edges);
+        for col in &cols {
+            let m = auction.solve_reweighted(col).to_vec();
+            hungarian.solve_reweighted(col);
+            prop_assert!(is_matching(&m));
+            for &(u, v) in &m {
+                let idx = edges.binary_search(&(u, v)).expect("matched pair is an edge");
+                prop_assert!(col[idx] > 0.0, "matched a disabled edge ({u}, {v})");
+            }
+            prop_assert_eq!(
+                auction.last_weight(),
+                hungarian.last_weight(),
+                "kernels disagree on the optimal weight"
+            );
+        }
+    }
+
+    /// When the optimum is unique (brute-force-checked), both exact kernels
+    /// must return the *identical* matching — the canonical tie-breaks only
+    /// get freedom when distinct optimal matchings exist.
+    #[test]
+    fn auction_matching_identical_on_unique_optimum(
+        (nl, nr, edges, cols) in topology_and_int_columns()
+    ) {
+        prop_assume!(edges.len() <= 14); // brute enumeration budget
+        let mut hungarian = AssignmentSolver::new();
+        let mut auction = AuctionSolver::new();
+        hungarian.load_topology(nl, nr, &edges);
+        auction.load_topology(nl, nr, &edges);
+        for col in &cols {
+            let (best, count) = brute_optima(&edges, col);
+            let a = auction.solve_reweighted(col).to_vec();
+            let h = hungarian.solve_reweighted(col).to_vec();
+            prop_assert!((auction.last_weight() - best).abs() < 1e-9);
+            if count == 1 && best > 0.0 {
+                prop_assert_eq!(&a, &h, "unique optimum, kernels diverged");
+            }
+        }
+    }
+
+    /// The parallel bidding pass (position-deterministic `par_map_into`) is
+    /// bit-identical to the sequential pass: forcing every round through the
+    /// parallel path must not change a single matched pair.
+    #[test]
+    fn parallel_bidding_path_matches_sequential(
+        (nl, nr, edges, cols) in topology_and_int_columns()
+    ) {
+        let mut seq = AuctionSolver::new();
+        let mut par = AuctionSolver::new();
+        seq.load_topology(nl, nr, &edges);
+        par.load_topology(nl, nr, &edges);
+        par.set_parallel_bidding_threshold(1);
+        for col in &cols {
+            let a = seq.solve_reweighted(col).to_vec();
+            let b = par.solve_reweighted(col).to_vec();
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(seq.last_weight().to_bits(), par.last_weight().to_bits());
+        }
+    }
+}

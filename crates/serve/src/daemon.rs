@@ -248,6 +248,7 @@ impl ServeState {
             search: self.cfg.octopus.alpha_search,
             parallel: self.cfg.octopus.parallel,
             prefer_larger_alpha: false,
+            kernel: self.cfg.octopus.kernel,
         };
         let mut configs = Vec::new();
         let mut used = 0u64;

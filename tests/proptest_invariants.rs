@@ -344,6 +344,7 @@ proptest! {
             search: AlphaSearch::Exhaustive,
             parallel: false,
             prefer_larger_alpha: true,
+            kernel: octopus_core::ExactKernel::Hungarian,
         };
         let mut engine = ScheduleEngine::new(&mut tr, n, delta);
         let mut used = 0u64;

@@ -227,6 +227,148 @@ pub mod iter {
     }
 }
 
+pub mod steal {
+    //! Work-stealing execution over a flat work grid.
+    //!
+    //! The chunked adapters in [`crate::iter`] split the input into one
+    //! static contiguous chunk per worker, so a handful of expensive items
+    //! clustered in one chunk leave every other worker idle. This module
+    //! instead treats the input slice as an **atomic-index bag**: workers
+    //! repeatedly `fetch_add` a shared cursor to claim the next unclaimed
+    //! item, so load balances at item granularity no matter where the
+    //! expensive items sit. (A per-worker-deque implementation was the
+    //! alternative; for an indexed, fixed-size grid the bag needs no deques
+    //! or steal protocol, has one contended word total, and — measured on
+    //! this workspace's matching-sized items — its single `fetch_add` per
+    //! item is far below the cost of even one kernel evaluation.)
+    //!
+    //! Determinism contract: with stealing, *which* worker evaluates which
+    //! item is scheduling-dependent, so unlike [`crate::iter`]'s chunk-order
+    //! combination the reduction operator must be **fully commutative as
+    //! well as associative** — e.g. a strict-total-order "best of" or an
+    //! integer sum. Under that contract the reduced value is bit-identical
+    //! to the sequential fold for every worker count and every interleaving.
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Result of [`map_reduce`]: the reduced value plus per-worker claim
+    /// counts (how many items each worker evaluated), for straggler
+    /// diagnostics. The counts are scheduling-dependent; the value is not.
+    #[derive(Debug, Clone)]
+    pub struct StealOutcome<U> {
+        /// The reduction of every mapped item.
+        pub value: U,
+        /// Items claimed by each worker, indexed by worker id. Sequential
+        /// fallback reports a single entry holding the whole length.
+        pub worker_evals: Vec<u32>,
+    }
+
+    /// Maps every item of `items` and reduces the results with `reduce`,
+    /// distributing items over workers via an atomic-index bag. Returns
+    /// `None` on an empty input.
+    ///
+    /// `reduce` must be associative **and commutative** (see module docs);
+    /// the reduced value is then independent of worker count. Inputs
+    /// shorter than the parallel threshold, or a 1-worker pool, run
+    /// sequentially on the caller. A worker panic is resumed on the caller.
+    pub fn map_reduce<'data, T, U, F, G>(
+        items: &'data [T],
+        map: F,
+        reduce: G,
+    ) -> Option<StealOutcome<U>>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&'data T) -> U + Sync,
+        G: Fn(U, U) -> U + Sync,
+    {
+        let workers = crate::current_num_threads().min(items.len());
+        if items.len() < crate::MIN_PAR_LEN || workers <= 1 {
+            let value = items.iter().map(map).reduce(reduce)?;
+            return Some(StealOutcome {
+                value,
+                worker_evals: vec![items.len() as u32],
+            });
+        }
+        let cursor = AtomicUsize::new(0);
+        let partials: Vec<(Option<U>, u32)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut acc: Option<U> = None;
+                        let mut claimed = 0u32;
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            let mapped = map(item);
+                            acc = Some(match acc {
+                                None => mapped,
+                                Some(prev) => reduce(prev, mapped),
+                            });
+                            claimed += 1;
+                        }
+                        (acc, claimed)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let worker_evals: Vec<u32> = partials.iter().map(|&(_, n)| n).collect();
+        let value = partials
+            .into_iter()
+            .filter_map(|(acc, _)| acc)
+            .reduce(&reduce)?;
+        Some(StealOutcome {
+            value,
+            worker_evals,
+        })
+    }
+
+    /// Maps `items[i]` into `out[i]` in parallel over static chunks.
+    /// Position-deterministic by construction (each output slot is written
+    /// from the same-index input regardless of worker count), so unlike
+    /// [`map_reduce`] there is no commutativity requirement. Panics if the
+    /// slice lengths differ.
+    pub fn par_map_into<'data, T, U, F>(items: &'data [T], out: &mut [U], f: F)
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&'data T) -> U + Sync,
+    {
+        assert_eq!(items.len(), out.len(), "input/output length mismatch");
+        let workers = crate::current_num_threads().min(items.len());
+        if items.len() < crate::MIN_PAR_LEN || workers <= 1 {
+            for (dst, src) in out.iter_mut().zip(items) {
+                *dst = f(src);
+            }
+            return;
+        }
+        let chunk = items.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(workers);
+            for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                let f = &f;
+                handles.push(s.spawn(move || {
+                    for (dst, src) in out_chunk.iter_mut().zip(in_chunk) {
+                        *dst = f(src);
+                    }
+                }));
+            }
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
+}
+
 pub mod prelude {
     //! Drop-in for `rayon::prelude::*`.
     pub use crate::iter::{IntoParallelRefIterator, MapIter, ParIter};
@@ -296,6 +438,53 @@ mod tests {
             .unwrap();
         let v = vec![1u64, 2, 3];
         assert_eq!(v.par_iter().map(|&x| x).reduce_with(|a, b| a + b), Some(6));
+        ThreadPoolBuilder::new().build_global().unwrap();
+    }
+
+    #[test]
+    fn steal_reduce_matches_sequential_across_worker_counts() {
+        let _guard = GLOBAL_KNOB.lock().unwrap();
+        let v: Vec<u64> = (0..257).collect();
+        let expected: u64 = v.iter().map(|&x| x * x + 7).sum();
+        for workers in [1usize, 2, 3, 4, 8] {
+            ThreadPoolBuilder::new()
+                .num_threads(workers)
+                .build_global()
+                .unwrap();
+            let out = super::steal::map_reduce(&v, |&x| x * x + 7, |a, b| a + b).unwrap();
+            assert_eq!(out.value, expected, "workers = {workers}");
+            // Every item is claimed exactly once.
+            let claimed: u32 = out.worker_evals.iter().sum();
+            assert_eq!(claimed as usize, v.len(), "workers = {workers}");
+            assert!(out.worker_evals.len() <= workers.max(1));
+        }
+        ThreadPoolBuilder::new().build_global().unwrap();
+    }
+
+    #[test]
+    fn steal_reduce_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(super::steal::map_reduce(&empty, |&x| x, |a, b| a + b).is_none());
+        let tiny = vec![5u64, 6];
+        let out = super::steal::map_reduce(&tiny, |&x| x, |a, b| a + b).unwrap();
+        assert_eq!(out.value, 11);
+        assert_eq!(out.worker_evals, vec![2]);
+    }
+
+    #[test]
+    fn par_map_into_is_position_deterministic() {
+        let _guard = GLOBAL_KNOB.lock().unwrap();
+        let v: Vec<u32> = (0..131).collect();
+        let expected: Vec<u64> = v.iter().map(|&x| u64::from(x) * 3 + 1).collect();
+        for workers in [1usize, 2, 5, 64] {
+            ThreadPoolBuilder::new()
+                .num_threads(workers)
+                .build_global()
+                .unwrap();
+            let mut out = vec![0u64; v.len()];
+            super::steal::par_map_into(&v, &mut out, |&x| u64::from(x) * 3 + 1);
+            assert_eq!(out, expected, "workers = {workers}");
+        }
         ThreadPoolBuilder::new().build_global().unwrap();
     }
 

@@ -138,6 +138,22 @@ pub fn __field<T: Deserialize>(map: &[(Content, Content)], key: &str) -> Result<
     T::missing_field(key)
 }
 
+/// Like [`__field`], but an absent key deserializes to `Default::default()`
+/// — the `#[serde(default)]` derive helper, which keeps configs serialized
+/// before a field existed loadable after it is added.
+pub fn __field_default<T: Deserialize + Default>(
+    map: &[(Content, Content)],
+    key: &str,
+) -> Result<T, Error> {
+    for (k, v) in map {
+        if matches!(k, Content::Str(s) if s == key) {
+            return T::deserialize_content(v)
+                .map_err(|e| Error::custom(format!("field `{key}`: {e}")));
+        }
+    }
+    Ok(T::default())
+}
+
 fn unexpected(expected: &str, got: &Content) -> Error {
     Error::custom(format!("expected {expected}, found {}", got.kind()))
 }

@@ -6,7 +6,9 @@
 //! shape grammar the workspace uses and rejects everything else loudly:
 //!
 //! - named-field structs, with `#[serde(skip)]` fields (skipped on
-//!   serialize, `Default::default()` on deserialize);
+//!   serialize, `Default::default()` on deserialize) and `#[serde(default)]`
+//!   fields (serialized normally, `Default::default()` when the key is
+//!   absent on deserialize — the back-compat knob for added config fields);
 //! - tuple structs (newtypes delegate to the inner value, as serde_json
 //!   does, so `#[serde(transparent)]` is honored implicitly);
 //! - transparent named-field structs (`#[serde(transparent)]`);
@@ -38,6 +40,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct Field {
     name: String,
     skip: bool,
+    /// `#[serde(default)]`: a missing key deserializes to `Default::default()`.
+    default: bool,
 }
 
 struct Variant {
@@ -68,6 +72,7 @@ type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
 struct Attrs {
     transparent: bool,
     skip: bool,
+    default: bool,
 }
 
 /// Consumes leading `#[...]` attributes, interpreting `#[serde(...)]`.
@@ -93,6 +98,7 @@ fn take_attrs(t: &mut Tokens) -> Attrs {
                 TokenTree::Ident(i) => match i.to_string().as_str() {
                     "transparent" => out.transparent = true,
                     "skip" => out.skip = true,
+                    "default" => out.default = true,
                     other => panic!("unsupported serde attribute `{other}`"),
                 },
                 TokenTree::Punct(p) if p.as_char() == ',' => {}
@@ -147,6 +153,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         fields.push(Field {
             name: name.to_string(),
             skip: attrs.skip,
+            default: attrs.default,
         });
     }
     fields
@@ -365,6 +372,11 @@ fn gen_deserialize(item: &Item) -> String {
                         "{}: ::std::default::Default::default(),\n",
                         f.name
                     ));
+                } else if f.default {
+                    s.push_str(&format!(
+                        "{0}: ::serde::__field_default(__map, \"{0}\")?,\n",
+                        f.name
+                    ));
                 } else {
                     s.push_str(&format!(
                         "{0}: ::serde::__field(__map, \"{0}\")?,\n",
@@ -393,8 +405,13 @@ fn gen_deserialize(item: &Item) -> String {
                     Some(fields) => {
                         let mut inits = String::new();
                         for f in fields {
+                            let helper = if f.default {
+                                "__field_default"
+                            } else {
+                                "__field"
+                            };
                             inits.push_str(&format!(
-                                "{0}: ::serde::__field(__map, \"{0}\")?,\n",
+                                "{0}: ::serde::{helper}(__map, \"{0}\")?,\n",
                                 f.name
                             ));
                         }
