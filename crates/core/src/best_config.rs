@@ -75,9 +75,9 @@ pub enum MatchingKind {
 /// kernel is therefore part of the [`SearchPolicy`]: a schedule is only
 /// reproducible against runs using the same kernel.
 ///
-/// The `OCTOPUS_KERNEL` environment variable (`hungarian` / `auction`, read
-/// once per process) overrides every policy's kernel — the CI lever that
-/// re-runs the whole suite with the auction kernel forced.
+/// The `OCTOPUS_KERNEL` environment variable (`hungarian` / `auction` /
+/// `auto`, read once per process) overrides every policy's kernel — the CI
+/// lever that re-runs the whole suite with the auction kernel forced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ExactKernel {
     /// Successive shortest augmenting paths with Johnson potentials
@@ -87,6 +87,15 @@ pub enum ExactKernel {
     /// Forward auction with ε-scaling ([`AuctionSolver`]) — deterministic
     /// parallel bidding inside a single solve.
     Auction,
+    /// Per-column routing between the two ([`ExactKernel::auto_pick`]):
+    /// large, weight-diverse columns go to the auction (where its ε-phases
+    /// pay off), everything else — in particular the tie-heavy `1/k`
+    /// hop-weight columns Octopus itself produces, which convoy the
+    /// auction's bidding rounds — goes to the Hungarian solver. The pick is
+    /// a pure function of the weight column, so schedules stay reproducible
+    /// per policy (but are *not* comparable across kernel variants: on ties
+    /// the two kernels may return different equally-optimal matchings).
+    Auto,
 }
 
 impl ExactKernel {
@@ -99,11 +108,70 @@ impl ExactKernel {
             match v.to_ascii_lowercase().as_str() {
                 "hungarian" => Some(ExactKernel::Hungarian),
                 "auction" => Some(ExactKernel::Auction),
+                "auto" => Some(ExactKernel::Auto),
                 _ => None,
             }
         });
         env.unwrap_or(self)
     }
+
+    /// The concrete kernel [`ExactKernel::Auto`] routes this weight column
+    /// to (non-positive entries are disabled edges, as everywhere else).
+    /// [`ExactKernel::Hungarian`] / [`ExactKernel::Auction`] return
+    /// themselves.
+    ///
+    /// The heuristic is calibrated against `BENCH_matching.json`'s auction
+    /// arm: the auction only overtakes Hungarian on *large* columns (the
+    /// measured crossover sits between the ~3.7k-edge n = 64 and ~14.7k-edge
+    /// n = 128 dense cases), and convoys at any size when many edges share
+    /// one weight (equal bids raise one price by ε per round — Octopus's own
+    /// `1/k` hop-weight classes are exactly such ties, the PR 8 regression).
+    /// Both gates are pure functions of the column, evaluated in one
+    /// allocation-free pass.
+    pub fn auto_pick(self, weights: &[f64]) -> ExactKernel {
+        match self {
+            ExactKernel::Auto => {
+                if prefers_auction(weights.iter().copied()) {
+                    ExactKernel::Auction
+                } else {
+                    ExactKernel::Hungarian
+                }
+            }
+            k => k,
+        }
+    }
+}
+
+/// Enabled-edge count for the [`ExactKernel::Auto`] size gate: below this
+/// the Hungarian kernel wins regardless of weight diversity (see
+/// [`ExactKernel::auto_pick`]).
+const AUTO_MIN_ENABLED: usize = 6_000;
+
+/// Distinct-weight count (by bit pattern) for the Auto diversity gate: a
+/// column must fill all these probe slots to count as "dense random" rather
+/// than tie-heavy.
+const AUTO_DISTINCT_SLOTS: usize = 32;
+
+/// The Auto gate itself: `true` iff the column is both large and
+/// weight-diverse. One pass, fixed-size probe table, no allocation.
+fn prefers_auction(weights: impl Iterator<Item = f64>) -> bool {
+    let mut seen = [0u64; AUTO_DISTINCT_SLOTS];
+    let mut distinct = 0usize;
+    let mut enabled = 0usize;
+    for w in weights {
+        if w <= 0.0 {
+            continue;
+        }
+        enabled += 1;
+        if distinct < AUTO_DISTINCT_SLOTS {
+            let bits = w.to_bits();
+            if !seen[..distinct].contains(&bits) {
+                seen[distinct] = bits;
+                distinct += 1;
+            }
+        }
+    }
+    enabled >= AUTO_MIN_ENABLED && distinct >= AUTO_DISTINCT_SLOTS
 }
 
 /// The winning configuration of one greedy iteration.
@@ -195,6 +263,43 @@ impl SweepContext {
         self.sweep.upper_bound(self.sweep.index_of(alpha)) / (alpha + delta) as f64
     }
 
+    /// A certified weak-duality score bound for one swept α from cached
+    /// dual prices `z ≥ 0` (one entry per right port): re-deriving
+    /// `y_u := max_v (w(u,v) − z_v)⁺` from scratch makes `(y, z)` dual-
+    /// feasible for **any** `z ≥ 0`, however stale, so
+    /// `Σ_u y_u + Σ_v z_v` upper-bounds every matching weight of this α's
+    /// column. Cached prices therefore tighten pruning without ever being
+    /// trusted — a poor `z` merely loosens the bound, and callers take the
+    /// `min` with the sweep's own bound.
+    pub(crate) fn dual_score_bound(&self, alpha: u64, delta: u64, z: &[f64]) -> f64 {
+        let col = self.sweep.column(self.sweep.index_of(alpha));
+        let edges = self.sweep.edges();
+        // Edges are `(u, v)`-sorted, so each left port's enabled entries
+        // form one contiguous run — a single pass accumulates the per-u
+        // maxima with no scratch.
+        let mut y_total = 0.0f64;
+        let mut cur_u = u32::MAX;
+        let mut cur_best = 0.0f64;
+        for (idx, &(u, v)) in edges.iter().enumerate() {
+            let w = col[idx];
+            if w <= 0.0 {
+                continue;
+            }
+            if u != cur_u {
+                y_total += cur_best;
+                cur_u = u;
+                cur_best = 0.0;
+            }
+            let slack = w - z.get(v as usize).copied().unwrap_or(0.0);
+            if slack > cur_best {
+                cur_best = slack;
+            }
+        }
+        y_total += cur_best;
+        let z_total: f64 = z.iter().sum();
+        (y_total + z_total) / (alpha + delta) as f64
+    }
+
     /// Evaluates one swept candidate α on this thread's workspace: reloads
     /// the topology only when the workspace last solved a different sweep,
     /// then re-solves the α's weight column in place. Allocation-free after
@@ -214,6 +319,9 @@ impl SweepContext {
         let col = self.sweep.column(self.sweep.index_of(alpha));
         let edges = self.sweep.edges();
         let n = self.sweep.n();
+        // Auto resolves per column — the pick is a pure function of the
+        // column, so which worker evaluates the α cannot change it.
+        let kernel = kernel.auto_pick(col);
         let (matching, benefit) = KERNEL_WS.with(|ws| {
             let ws = &mut *ws.borrow_mut();
             match kind {
@@ -286,6 +394,17 @@ pub(crate) fn run_kernel(
     kind: MatchingKind,
     kernel: ExactKernel,
 ) -> (Vec<(u32, u32)>, f64) {
+    // Auto routes per edge list, same gates as the swept-column path.
+    let kernel = match kernel {
+        ExactKernel::Auto => {
+            if prefers_auction(edges.iter().map(|&(_, _, w)| w)) {
+                ExactKernel::Auction
+            } else {
+                ExactKernel::Hungarian
+            }
+        }
+        k => k,
+    };
     let g = WeightedBipartiteGraph::from_tuples(n, n, edges);
     match kind {
         MatchingKind::Exact if kernel == ExactKernel::Auction => KERNEL_WS.with(|ws| {
@@ -406,13 +525,14 @@ fn better(a: &BestChoice, b: &BestChoice, policy: &SearchPolicy) -> bool {
 
 /// Searches the sorted candidate α list for the best-scoring choice.
 ///
-/// `ub` is an optional optimistic score bound per α; when present (and the
-/// search is exhaustive-sequential) candidates are visited in decreasing
-/// bound order and the scan stops as soon as the bound can no longer beat
-/// the incumbent. `eval` must be deterministic; its `matchings_computed`
-/// values are summed into the winner (over *evaluated* candidates, so the
-/// pruned sequential count may be lower than the parallel one; the winning
-/// configuration itself is identical across all exhaustive paths).
+/// `ub` is an optional optimistic score bound per α; when present the
+/// exhaustive searches visit candidates in decreasing bound order and skip
+/// (sequential: stop at) candidates whose bound falls strictly below the
+/// best score seen so far. `eval` must be deterministic; its
+/// `matchings_computed` values are summed into the winner (over *evaluated*
+/// candidates, so pruned counts vary with visit order and worker
+/// interleaving; the winning configuration itself is identical across all
+/// exhaustive paths).
 pub(crate) fn search_alpha<E>(
     candidates: &[u64],
     policy: &SearchPolicy,
@@ -422,13 +542,46 @@ pub(crate) fn search_alpha<E>(
 where
     E: Fn(u64) -> BestChoice + Sync,
 {
+    search_alpha_seeded(candidates, policy, ub, None, eval, None)
+}
+
+/// [`search_alpha`] with an optional warm-start seed: the cached winner's α
+/// from a previous, similar window. The seed is evaluated *first*, so its
+/// exact score becomes the pruning floor before any other candidate is
+/// visited — pure work savings. Because the exhaustive cut is strict and
+/// [`choice_cmp`] a strict total order, the returned winner is bit-identical
+/// for every seed (including none at all); a seed outside the candidate set
+/// is ignored. The ternary search ignores seeds entirely: its probe sequence
+/// is part of the Octopus-B contract and must not depend on cache state.
+///
+/// `refine` is an optional *second-tier* upper bound, typically more
+/// expensive than `ub` (the warm-start weak-duality bound is O(edges) per
+/// candidate where the sweep bound is precomputed). It is consulted lazily,
+/// only for candidates that already survived the `ub` cut, and prunes with
+/// the same strict comparison — so it must also be a true upper bound on
+/// the candidate's exact score, and like `ub` it can only skip provably
+/// dominated candidates, never change the winner.
+pub(crate) fn search_alpha_seeded<E>(
+    candidates: &[u64],
+    policy: &SearchPolicy,
+    ub: Option<&(dyn Fn(u64) -> f64 + Sync)>,
+    refine: Option<&(dyn Fn(u64) -> f64 + Sync)>,
+    eval: &E,
+    seed_alpha: Option<u64>,
+) -> Option<BestChoice>
+where
+    E: Fn(u64) -> BestChoice + Sync,
+{
     if candidates.is_empty() {
         return None;
     }
+    let seed = seed_alpha.filter(|a| candidates.contains(a));
     match policy.search {
-        AlphaSearch::Exhaustive if policy.parallel => exhaustive_parallel(candidates, policy, eval),
+        AlphaSearch::Exhaustive if policy.parallel => {
+            exhaustive_parallel(candidates, policy, ub, refine, eval, seed)
+        }
         AlphaSearch::Exhaustive => match ub {
-            Some(ub) => exhaustive_pruned(candidates, policy, ub, eval),
+            Some(ub) => exhaustive_pruned(candidates, policy, ub, refine, eval, seed),
             None => exhaustive_plain(candidates, policy, eval),
         },
         AlphaSearch::Binary => ternary(candidates, policy, eval),
@@ -439,7 +592,9 @@ fn exhaustive_pruned<E: Fn(u64) -> BestChoice>(
     candidates: &[u64],
     policy: &SearchPolicy,
     ub: &dyn Fn(u64) -> f64,
+    refine: Option<&(dyn Fn(u64) -> f64 + Sync)>,
     eval: &E,
+    seed: Option<u64>,
 ) -> Option<BestChoice> {
     // Order candidates by optimistic score so pruning bites early.
     let mut order: Vec<(u64, f64)> = candidates.iter().map(|&a| (a, ub(a))).collect();
@@ -447,7 +602,18 @@ fn exhaustive_pruned<E: Fn(u64) -> BestChoice>(
 
     let mut best: Option<BestChoice> = None;
     let mut computed = 0usize;
+    // Warm start: evaluate the seed before the scan so its exact score
+    // floors the cut immediately (the winner is visit-order-independent,
+    // see `search_alpha_seeded`).
+    if let Some(sa) = seed {
+        let cand = eval(sa);
+        computed += cand.matchings_computed;
+        best = Some(cand);
+    }
     for (alpha, ub_score) in order {
+        if Some(alpha) == seed {
+            continue; // already evaluated as the floor
+        }
         if let Some(b) = &best {
             // Strictly below the incumbent's score: no remaining candidate
             // can win, not even on tie-breaks. (At `ub_score == b.score` the
@@ -455,6 +621,15 @@ fn exhaustive_pruned<E: Fn(u64) -> BestChoice>(
             // cut must be strict for pruned and parallel searches to agree.)
             if ub_score < b.score {
                 break;
+            }
+            // Second-tier bound: more expensive, so consulted only for
+            // candidates the primary cut let through. The scan order is by
+            // the primary bound, so a refine prune skips (it says nothing
+            // about later candidates).
+            if let Some(rf) = refine {
+                if rf(alpha) < b.score {
+                    continue;
+                }
             }
         }
         let cand = eval(alpha);
@@ -491,29 +666,92 @@ fn exhaustive_plain<E: Fn(u64) -> BestChoice>(
     })
 }
 
-/// Parallel exhaustive search: every candidate is evaluated **exactly once**
-/// (a `matchings_computed` unit test pins this), and the reduction carries
-/// both the running winner and the accumulated matching count. Candidates
-/// are drawn from a shared work-stealing bag ([`rayon::steal::map_reduce`])
-/// instead of static per-worker chunks, so an expensive straggler candidate
-/// no longer serializes its whole chunk behind it; the per-worker claim
-/// counts land in [`BestChoice::worker_evals`]. Because [`choice_cmp`] is a
-/// strict total order, the reduction is associative *and* commutative, and
-/// the winner is bit-identical to the sequential search regardless of which
-/// worker claimed which candidate.
-fn exhaustive_parallel<E>(candidates: &[u64], policy: &SearchPolicy, eval: &E) -> Option<BestChoice>
+/// Parallel exhaustive search over a shared work-stealing bag
+/// ([`rayon::steal`]): candidates are claimed item-by-item from an atomic
+/// cursor instead of static per-worker chunks, so an expensive straggler
+/// candidate no longer serializes its whole chunk behind it; the per-worker
+/// claim counts land in [`BestChoice::worker_evals`]. Because [`choice_cmp`]
+/// is a strict total order, the reduction is associative *and* commutative,
+/// and the winner is bit-identical to the sequential search regardless of
+/// which worker claimed which candidate.
+///
+/// With a bound, candidates are ordered bound-descending (seed first) and
+/// checked against a shared atomic best-score **floor** before evaluation:
+/// a candidate whose bound sits strictly below the floor is provably
+/// dominated — its exact score ≤ bound < floor ≤ the eventual winner's
+/// score — so it loses even on tie-breaks and skipping it cannot change the
+/// winner. The floor only ever rises, and only to genuinely evaluated
+/// scores, so the skip set is sound under every worker interleaving (which
+/// candidates get skipped *does* vary run-to-run; `matchings_computed`
+/// reports the evaluations that actually happened). Without a bound, every
+/// candidate is evaluated exactly once (a unit test pins this).
+fn exhaustive_parallel<E>(
+    candidates: &[u64],
+    policy: &SearchPolicy,
+    ub: Option<&(dyn Fn(u64) -> f64 + Sync)>,
+    refine: Option<&(dyn Fn(u64) -> f64 + Sync)>,
+    eval: &E,
+    seed: Option<u64>,
+) -> Option<BestChoice>
 where
     E: Fn(u64) -> BestChoice + Sync,
 {
-    let outcome = rayon::steal::map_reduce(
-        candidates,
-        |&alpha| eval(alpha),
-        |a, b| {
-            let computed = a.matchings_computed + b.matchings_computed;
-            let mut winner = if better(&a, &b, policy) { a } else { b };
-            winner.matchings_computed = computed;
-            winner
+    let reduce = |a: BestChoice, b: BestChoice| {
+        let computed = a.matchings_computed + b.matchings_computed;
+        let mut winner = if better(&a, &b, policy) { a } else { b };
+        winner.matchings_computed = computed;
+        winner
+    };
+    let Some(ub) = ub else {
+        // No bound ⇒ nothing to prune: plain bag, one eval per candidate.
+        let outcome = rayon::steal::map_reduce(candidates, |&alpha| eval(alpha), reduce)?;
+        let mut best = outcome.value;
+        best.worker_evals = outcome.worker_evals;
+        return Some(best);
+    };
+    let mut order: Vec<(u64, f64)> = candidates.iter().map(|&a| (a, ub(a))).collect();
+    order.sort_unstable_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+    if let Some(sa) = seed {
+        if let Some(pos) = order.iter().position(|&(a, _)| a == sa) {
+            let s = order.remove(pos);
+            order.insert(0, s);
+        }
+    }
+    // Shared best-score floor, stored as bits and raised through a CAS loop
+    // under `total_cmp` (raw `u64` ordering disagrees with `f64` ordering
+    // for negative values, so `fetch_max` on bits would be wrong).
+    let floor = AtomicU64::new(f64::NEG_INFINITY.to_bits());
+    let raise = |score: f64| {
+        let mut cur = floor.load(Ordering::Relaxed);
+        while score.total_cmp(&f64::from_bits(cur)) == std::cmp::Ordering::Greater {
+            match floor.compare_exchange_weak(
+                cur,
+                score.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    };
+    let outcome = rayon::steal::map_reduce_filtered(
+        &order,
+        |&(alpha, bound)| {
+            if bound < f64::from_bits(floor.load(Ordering::Relaxed)) {
+                return None; // dominated: cannot beat an evaluated score
+            }
+            // Lazy second-tier bound, same strict cut against the floor.
+            if let Some(rf) = refine {
+                if rf(alpha) < f64::from_bits(floor.load(Ordering::Relaxed)) {
+                    return None;
+                }
+            }
+            let cand = eval(alpha);
+            raise(cand.score);
+            Some(cand)
         },
+        reduce,
     )?;
     let mut best = outcome.value;
     best.worker_evals = outcome.worker_evals;
@@ -836,5 +1074,111 @@ mod tests {
         )
         .unwrap();
         assert!(greedy.score * 2.0 + 1e-9 >= exact.score);
+    }
+
+    /// A synthetic choice whose exact score equals its upper bound, so
+    /// pruning behavior is fully predictable.
+    fn tight_choice(alpha: u64, score: f64) -> BestChoice {
+        BestChoice {
+            matching: vec![(0, alpha as u32)],
+            alpha,
+            benefit: score,
+            score,
+            matchings_computed: 1,
+            worker_evals: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn parallel_pruning_cuts_dominated_candidates() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Three candidates sit below MIN_PAR_LEN, so the work-stealing bag
+        // takes its sequential fallback and the outcome is exact: the
+        // bound-descending scan evaluates α = 10 (floor 10.0), then declines
+        // 20 (bound 5.0) and 30 (bound 3.0) against the floor.
+        let candidates = [10u64, 20, 30];
+        let ub = |alpha: u64| match alpha {
+            10 => 10.0,
+            20 => 5.0,
+            _ => 3.0,
+        };
+        let calls = AtomicUsize::new(0);
+        let eval = |alpha: u64| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            tight_choice(alpha, ub(alpha))
+        };
+        let policy = SearchPolicy {
+            search: AlphaSearch::Exhaustive,
+            parallel: true,
+            prefer_larger_alpha: false,
+            kernel: ExactKernel::Hungarian,
+        };
+        let best = search_alpha(&candidates, &policy, Some(&ub), &eval).expect("non-empty");
+        assert_eq!(best.alpha, 10);
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "dominated candidates must be declined"
+        );
+        assert_eq!(best.matchings_computed, 1);
+        assert_eq!(best.worker_evals, vec![1]);
+    }
+
+    #[test]
+    fn seeded_search_floors_the_cut_with_the_seed() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Seeding α = 30 evaluates it first (floor 3.0); α = 10's bound
+        // still clears the floor and wins, α = 20 is then declined. Same
+        // winner as unseeded, one extra evaluation — in both executors.
+        let candidates = [10u64, 20, 30];
+        let ub = |alpha: u64| match alpha {
+            10 => 10.0,
+            20 => 5.0,
+            _ => 3.0,
+        };
+        for parallel in [false, true] {
+            let calls = AtomicUsize::new(0);
+            let eval = |alpha: u64| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                tight_choice(alpha, ub(alpha))
+            };
+            let policy = SearchPolicy {
+                search: AlphaSearch::Exhaustive,
+                parallel,
+                prefer_larger_alpha: false,
+                kernel: ExactKernel::Hungarian,
+            };
+            let best = search_alpha_seeded(&candidates, &policy, Some(&ub), None, &eval, Some(30))
+                .expect("non-empty");
+            assert_eq!(
+                best.alpha, 10,
+                "seed must not steer the winner (parallel {parallel})"
+            );
+            assert_eq!(
+                calls.load(Ordering::Relaxed),
+                2,
+                "seed costs exactly one extra eval"
+            );
+            assert_eq!(best.matchings_computed, 2);
+        }
+    }
+
+    #[test]
+    fn auto_pick_gates_on_size_and_diversity() {
+        // Tie-heavy convoy column: large but one weight class → Hungarian.
+        let ties = vec![0.5; 10_000];
+        assert_eq!(ExactKernel::Auto.auto_pick(&ties), ExactKernel::Hungarian);
+        // Large and weight-diverse → Auction.
+        let diverse: Vec<f64> = (1..=10_000).map(f64::from).collect();
+        assert_eq!(ExactKernel::Auto.auto_pick(&diverse), ExactKernel::Auction);
+        // Diverse but small → Hungarian.
+        let small: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(ExactKernel::Auto.auto_pick(&small), ExactKernel::Hungarian);
+        // Fixed kernels pass through untouched.
+        assert_eq!(ExactKernel::Auction.auto_pick(&ties), ExactKernel::Auction);
+        assert_eq!(
+            ExactKernel::Hungarian.auto_pick(&diverse),
+            ExactKernel::Hungarian
+        );
     }
 }

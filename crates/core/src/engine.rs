@@ -30,9 +30,11 @@
 //! count knobs (`OCTOPUS_THREADS`, `rayon::ThreadPoolBuilder`).
 
 use crate::best_config::{
-    run_kernel, search_alpha, AlphaSearch, BestChoice, ExactKernel, MatchingKind, SweepContext,
+    run_kernel, search_alpha, search_alpha_seeded, AlphaSearch, BestChoice, ExactKernel,
+    MatchingKind, SweepContext,
 };
 use crate::duplex::GeneralMatcherKind;
+use crate::memo::WarmSeed;
 use crate::state::{LinkQueue, LinkQueues, MultiAlphaEdges, RemainingTraffic};
 use crate::SchedError;
 use octopus_matching::blossom::maximum_weight_matching_general;
@@ -48,11 +50,14 @@ use std::collections::HashSet;
 pub struct SearchPolicy {
     /// Exhaustive or ternary (Octopus-B) candidate search.
     pub search: AlphaSearch,
-    /// Fan per-α evaluation out over rayon's worker threads (disables
-    /// upper-bound pruning). Worker count: `OCTOPUS_THREADS` env var or
+    /// Fan per-α evaluation out over rayon's worker threads, pruning
+    /// against a shared atomic best-score floor (candidates whose upper
+    /// bound falls strictly below an already-evaluated score are skipped as
+    /// provably dominated). Worker count: `OCTOPUS_THREADS` env var or
     /// `rayon::ThreadPoolBuilder`, defaulting to the machine's available
-    /// parallelism; results are bit-identical to the sequential search for
-    /// every worker count (the tie-break is a strict total order).
+    /// parallelism; winners are bit-identical to the sequential search for
+    /// every worker count (the tie-break is a strict total order and the
+    /// pruning cut strict).
     pub parallel: bool,
     /// Break score ties toward the *larger* α. The localized-reconfiguration
     /// planner prefers longer configurations (persistent links serve through
@@ -639,12 +644,37 @@ impl<S: TrafficSource> ScheduleEngine<S> {
         F: Fabric<S> + Sync,
         S: Sync,
     {
+        self.select_seeded(fabric, budget, ext, policy, None)
+    }
+
+    /// [`ScheduleEngine::select`] with an optional warm-start seed from the
+    /// schedule cache ([`crate::memo`]): the cached winner's α is evaluated
+    /// first (flooring the pruning cut at its exact score) and cached dual
+    /// prices tighten each candidate's upper bound through a re-verified
+    /// weak-duality bound. Both are pure pruning aids — the returned winner
+    /// is bit-identical to an unseeded [`ScheduleEngine::select`] for every
+    /// seed, because the pruning cut is strict and only ever compares
+    /// against exactly evaluated scores.
+    pub fn select_seeded<F>(
+        &mut self,
+        fabric: &F,
+        budget: u64,
+        ext: CandidateExtension,
+        policy: &SearchPolicy,
+        seed: Option<&WarmSeed<'_>>,
+    ) -> Option<BestChoice>
+    where
+        F: Fabric<S> + Sync,
+        S: Sync,
+    {
         if budget == 0 {
             return None;
         }
         let delta = self.delta;
+        let n = self.n;
         let (queues, source) = self.ensure_queues();
         let candidates = extend_candidates(queues.alpha_candidates(budget), budget, ext);
+        let seed_alpha = seed.and_then(|s| s.alpha);
         if let Some((sweep, kind)) = fabric.weight_sweep(source, queues, &candidates) {
             // Batched path: one pass over the snapshot produced every α's
             // weight column and matching-weight bound; per-α evaluation runs
@@ -653,10 +683,28 @@ impl<S: TrafficSource> ScheduleEngine<S> {
             // greedy matching never out-weighs the exact optimum).
             let ctx = SweepContext::new(sweep);
             let kernel = policy.kernel.resolved();
+            // Cached prices shrink the bound only through weak duality —
+            // valid for any `z ≥ 0`, so staleness can never mis-prune.
+            let prices = seed
+                .and_then(|s| s.prices)
+                .filter(|z| z.len() == n as usize);
             let ub = |alpha: u64| ctx.score_upper_bound(alpha, delta);
-            return search_alpha(&candidates, policy, Some(&ub), &|alpha| {
-                ctx.eval(alpha, delta, kind, kernel)
-            })
+            // The weak-duality bound is O(edges) per candidate where the
+            // sweep bound is precomputed, so it rides as the lazy second
+            // tier: consulted only for candidates the sweep cut let live.
+            let dual = |alpha: u64| ctx.dual_score_bound(alpha, delta, prices.unwrap_or(&[]));
+            let refine: Option<&(dyn Fn(u64) -> f64 + Sync)> = match prices {
+                Some(_) => Some(&dual),
+                None => None,
+            };
+            return search_alpha_seeded(
+                &candidates,
+                policy,
+                Some(&ub),
+                refine,
+                &|alpha| ctx.eval(alpha, delta, kind, kernel),
+                seed_alpha,
+            )
             .filter(|c| c.benefit > 0.0);
         }
         let ub = |alpha: u64| queues.matching_weight_upper_bound(alpha) / (alpha + delta) as f64;
@@ -665,9 +713,14 @@ impl<S: TrafficSource> ScheduleEngine<S> {
         } else {
             None
         };
-        search_alpha(&candidates, policy, ub_ref, &|alpha| {
-            fabric.evaluate(source, queues, alpha, delta)
-        })
+        search_alpha_seeded(
+            &candidates,
+            policy,
+            ub_ref,
+            None,
+            &|alpha| fabric.evaluate(source, queues, alpha, delta),
+            seed_alpha,
+        )
         .filter(|c| c.benefit > 0.0)
     }
 

@@ -65,6 +65,7 @@ pub mod hybrid;
 pub mod kport;
 pub mod local;
 pub mod makespan;
+pub mod memo;
 pub mod multihop_config;
 pub mod octopus_plus;
 pub mod online;
@@ -75,6 +76,10 @@ pub use engine::{
     ScheduleEngine, SearchPolicy, TrafficSource,
 };
 pub use error::SchedError;
+pub use memo::{
+    plan_window_cached, CacheConfig, CacheOutcome, CacheStats, PlannedStep, ScheduleCache,
+    WarmSeed, WindowFingerprint, WindowPlan,
+};
 pub use octopus::{octopus, octopus_on, OctopusConfig, OctopusOutput};
 pub use octopus_traffic::HopWeighting;
 pub use state::{LinkQueue, LinkQueueRef, LinkQueues, MultiAlphaEdges, RemainingTraffic};

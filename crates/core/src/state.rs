@@ -249,6 +249,27 @@ impl RemainingTraffic {
         self.link_keys.len()
     }
 
+    /// Histogram of remaining hop counts over all waiting packets: slot `k`
+    /// holds the packets that still have `k + 1` hops to travel (a packet
+    /// waiting at route position `pos` of an `h`-hop route has `h − pos`
+    /// left), with counts past `len` clamped into the last slot. Each packet
+    /// is counted exactly once — it waits on exactly one link row. One of
+    /// the window-fingerprint features of [`crate::memo`].
+    pub fn remaining_hops_histogram(&self, len: usize) -> Vec<u64> {
+        let mut hist = vec![0u64; len];
+        if len == 0 {
+            return hist;
+        }
+        for row in &self.rows {
+            for &((fi, pos), count) in row {
+                let left = (self.flows[fi as usize].hops - pos) as usize;
+                let slot = left.saturating_sub(1).min(len - 1);
+                hist[slot] += count;
+            }
+        }
+        hist
+    }
+
     /// The interned `LinkId` of `(fi, pos)`'s waiting link.
     fn link_id(&self, fi: u32, pos: u32) -> u32 {
         self.flow_links[self.flows[fi as usize].link_off as usize + pos as usize]

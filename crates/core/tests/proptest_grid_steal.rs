@@ -9,7 +9,8 @@
 //! swept via the builder here and via the env var in CI), the work-stealing
 //! search must return a `BestChoice` bit-identical to the sequential search,
 //! under every combination of search strategy, tie preference, and exact
-//! kernel.
+//! kernel (including `Auto`, whose per-column pick must itself be a pure
+//! function of the column for the contract to hold).
 //!
 //! The per-worker claim counts surface in [`BestChoice::worker_evals`]; the
 //! suite checks their sum always accounts for every evaluated candidate
@@ -121,7 +122,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Sequential vs work-stealing winners at worker counts 1, 2 and 4, for
-    /// all 8 (search × tie preference × kernel) policy variants.
+    /// all 12 (search × tie preference × kernel) policy variants.
     #[test]
     fn stolen_search_is_bit_identical_across_worker_counts(
         (n, load, window, delta) in instance()
@@ -129,7 +130,7 @@ proptest! {
         let _guard = GLOBAL_KNOB.lock().expect("no poisoned tests");
         for search in [AlphaSearch::Exhaustive, AlphaSearch::Binary] {
             for prefer_larger_alpha in [false, true] {
-                for kernel in [ExactKernel::Hungarian, ExactKernel::Auction] {
+                for kernel in [ExactKernel::Hungarian, ExactKernel::Auction, ExactKernel::Auto] {
                     let seq = SearchPolicy {
                         search,
                         parallel: false,
@@ -180,7 +181,7 @@ proptest! {
         (n, load, window, delta) in instance()
     ) {
         let _guard = GLOBAL_KNOB.lock().expect("no poisoned tests");
-        for kernel in [ExactKernel::Hungarian, ExactKernel::Auction] {
+        for kernel in [ExactKernel::Hungarian, ExactKernel::Auction, ExactKernel::Auto] {
             let policy = SearchPolicy {
                 search: AlphaSearch::Exhaustive,
                 parallel: true,

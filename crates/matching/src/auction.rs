@@ -164,6 +164,14 @@ pub struct AuctionSolver {
     par_threshold: usize,
     out: Vec<(u32, u32)>,
     last_weight: f64,
+    /// `mult · (N + 1)` of the most recent priced solve — converts the
+    /// scaled integer prices back to weight units for
+    /// [`AuctionSolver::right_prices`].
+    last_scale: f64,
+    /// Whether the most recent solve actually ran ε-phases (trivial solves
+    /// — no enabled edge, or every weight rounding to zero — leave the
+    /// price vector stale, and `right_prices` reports it empty).
+    last_priced: bool,
 }
 
 impl Default for AuctionSolver {
@@ -179,6 +187,8 @@ impl Default for AuctionSolver {
             par_threshold: 512,
             out: Vec::new(),
             last_weight: 0.0,
+            last_scale: 1.0,
+            last_priced: false,
         }
     }
 }
@@ -313,6 +323,28 @@ impl AuctionSolver {
         self.ws.rounds
     }
 
+    /// Fills `out` with the most recent solve's object prices, unscaled to
+    /// weight units and clamped to `≥ 0` (one entry per *real* right node;
+    /// embedding padding is dropped). Empty when the last solve terminated
+    /// before any ε-phase ran (trivial instances carry no price signal).
+    ///
+    /// These prices exist for **certified weak-duality bounds only**: for
+    /// any `z ≥ 0`, `Σ_u max_v (w(u,v) − z_v)⁺ + Σ_v z_v` upper-bounds every
+    /// matching weight, no matter how stale `z` is. They must **never** seed
+    /// a subsequent solve — the module docs explain why price warm-starts
+    /// break the determinism contract.
+    pub fn right_prices(&self, out: &mut Vec<f64>) {
+        out.clear();
+        if !self.last_priced {
+            return;
+        }
+        out.extend(
+            self.ws.price[..self.nr]
+                .iter()
+                .map(|&p| (p as f64 / self.last_scale).max(0.0)),
+        );
+    }
+
     /// The embedded problem size: `max(nl, nr)` bidders and objects.
     fn embed_n(&self) -> usize {
         self.nl.max(self.nr)
@@ -323,6 +355,7 @@ impl AuctionSolver {
     fn run(&mut self) -> &[(u32, u32)] {
         self.out.clear();
         self.last_weight = 0.0;
+        self.last_priced = false;
         // Adaptive power-of-two scale: place the largest enabled weight just
         // under the size-dependent bit budget. Exponent via bit extraction,
         // not `log2()`, so the scale is an exact power of two chosen
@@ -396,6 +429,8 @@ impl AuctionSolver {
             }
             eps = (eps / 4).max(1);
         }
+        self.last_scale = mult * certify as f64;
+        self.last_priced = true;
         for u in 0..self.nl as u32 {
             let obj = self.ws.match_l[u as usize];
             if obj == UNMATCHED || obj as usize >= self.nr {

@@ -223,6 +223,25 @@ impl AssignmentSolver {
         self.last_weight
     }
 
+    /// Fills `out` with the most recent solve's right-side dual prices
+    /// `z_v = max(0, −pot_r[v])` (one entry per real right node; dummy
+    /// extensions are dropped). Empty before the first solve.
+    ///
+    /// The duals satisfy `w(u, v) ≤ pot_l[u] + z_v` on every edge, so for
+    /// **any** `z ≥ 0` — these, or arbitrarily stale ones — the re-derived
+    /// bound `Σ_u max_v (w(u,v) − z_v)⁺ + Σ_v z_v` upper-bounds every
+    /// matching weight of any weight column (weak duality, re-proved from
+    /// scratch each use). That is their only sanctioned use: the module
+    /// docs explain why they must never seed a subsequent solve.
+    pub fn right_duals(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.pot_r[..self.nr.min(self.pot_r.len())]
+                .iter()
+                .map(|&p| (-p).max(0.0)),
+        );
+    }
+
     /// Resets per-solve state without touching the topology; O(V) fills over
     /// retained buffers, no allocation after warm-up.
     fn reset_state(&mut self) {

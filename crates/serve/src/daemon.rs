@@ -10,8 +10,8 @@
 
 use crate::protocol::{Event, PlanConfig, Response, ServeStats};
 use octopus_core::{
-    best_configuration, BipartiteFabric, CandidateExtension, OctopusConfig, RemainingTraffic,
-    SchedError, ScheduleEngine, SearchPolicy,
+    best_configuration, plan_window_cached, BipartiteFabric, CacheConfig, MatchingKind,
+    OctopusConfig, RemainingTraffic, SchedError, ScheduleCache, ScheduleEngine, SearchPolicy,
 };
 use octopus_net::{Matching, Network, NodeId};
 use octopus_traffic::{FlowId, Route};
@@ -43,6 +43,11 @@ pub struct ServeConfig {
     /// α-search / matching-kernel / weighting knobs shared with the batch
     /// entry points (`window` is ignored; the horizon above rules).
     pub octopus: OctopusConfig,
+    /// Schedule-cache knobs for [`PolicyMode::Octopus`] re-plans (resolved
+    /// against `OCTOPUS_CACHE` at construction). Hysteresis re-plans are
+    /// never cached: their outcome depends on the held incumbent, which the
+    /// window fingerprint deliberately does not cover.
+    pub cache: CacheConfig,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +58,7 @@ impl Default for ServeConfig {
             eta: 0.1,
             policy: PolicyMode::Hysteresis,
             octopus: OctopusConfig::default(),
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -79,6 +85,7 @@ pub struct ServeState {
     cfg: ServeConfig,
     engine: ScheduleEngine<RemainingTraffic>,
     incumbent: Option<Matching>,
+    cache: ScheduleCache,
     stats: ServeStats,
 }
 
@@ -98,13 +105,20 @@ impl ServeState {
         let tr = RemainingTraffic::from_subflows(std::iter::empty(), cfg.octopus.weighting);
         let n = net.num_nodes();
         let delta = cfg.delta;
+        let cache = ScheduleCache::new(cfg.cache.resolved());
         Ok(ServeState {
             net,
             cfg,
             engine: ScheduleEngine::new(tr, n, delta),
             incumbent: None,
+            cache,
             stats: ServeStats::default(),
         })
+    }
+
+    /// The schedule cache's lifetime counters.
+    pub fn cache_stats(&self) -> octopus_core::CacheStats {
+        self.cache.stats()
     }
 
     /// Packets still waiting (at sources or mid-route).
@@ -120,6 +134,10 @@ impl ServeState {
         s.psi = tr.planned_psi();
         s.backlog = tr.remaining_packets();
         s.interned_links = tr.interned_links() as u64;
+        let cs = self.cache.stats();
+        s.cache_exact_hits = cs.exact_hits;
+        s.cache_near_hits = cs.near_hits;
+        s.cache_misses = cs.misses;
         s
     }
 
@@ -238,8 +256,12 @@ impl ServeState {
         Ok(configs)
     }
 
-    /// Greedy core: one offline-style window over the horizon, sequencing
-    /// configurations on the persistent snapshot.
+    /// Greedy core: one offline-style window over the horizon, routed
+    /// through the window-fingerprint schedule cache — a backlog the daemon
+    /// has planned before replays its schedule without solving a single
+    /// matching, and a similar one warm-starts the α-search. The emitted
+    /// schedule is bit-identical to an uncached re-plan either way (see
+    /// `octopus_core::memo`).
     fn replan_octopus(&mut self) -> Result<Vec<PlanConfig>, SchedError> {
         let fabric = BipartiteFabric {
             kind: self.cfg.octopus.matching,
@@ -250,25 +272,26 @@ impl ServeState {
             prefer_larger_alpha: false,
             kernel: self.cfg.octopus.kernel,
         };
-        let mut configs = Vec::new();
-        let mut used = 0u64;
-        while !self.engine.is_drained() && used + self.cfg.delta < self.cfg.horizon {
-            let budget = self.cfg.horizon - used - self.cfg.delta;
-            let Some(choice) =
-                self.engine
-                    .select(&fabric, budget, CandidateExtension::None, &policy)
-            else {
-                break;
-            };
-            let matching = self
-                .engine
-                .commit(&fabric, &choice.matching, choice.alpha)?;
-            configs.push(PlanConfig {
-                links: matching.links().iter().map(|&(i, j)| (i.0, j.0)).collect(),
-                alpha: choice.alpha,
-            });
-            used += choice.alpha + self.cfg.delta;
-        }
+        // The context hash covers the policy/window/Δ; the matching kind
+        // (which also selects among schedules) rides in via the salt.
+        let salt = match self.cfg.octopus.matching {
+            MatchingKind::Exact => 0,
+            MatchingKind::GreedySort => 1,
+            MatchingKind::BucketGreedy { scale } => 2u64.wrapping_add(scale.wrapping_mul(31)),
+        };
+        let plan = plan_window_cached(
+            &mut self.engine,
+            &fabric,
+            &policy,
+            self.cfg.horizon,
+            &mut self.cache,
+            salt,
+        )?;
+        let configs = plan
+            .configs
+            .into_iter()
+            .map(|(links, alpha)| PlanConfig { links, alpha })
+            .collect();
         // A greedy re-plan abandons any held matching: the next hysteresis
         // re-plan (if the mode is switched) must not trust a stale incumbent.
         self.incumbent = None;

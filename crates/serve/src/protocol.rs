@@ -80,6 +80,15 @@ pub struct ServeStats {
     pub backlog: u64,
     /// Links interned into the flat state layer so far (grows on admission).
     pub interned_links: u64,
+    /// Octopus re-plans replayed outright from the schedule cache.
+    #[serde(default)]
+    pub cache_exact_hits: u64,
+    /// Octopus re-plans warm-started from a near-matching cached window.
+    #[serde(default)]
+    pub cache_near_hits: u64,
+    /// Octopus re-plans solved cold (cache enabled but no usable entry).
+    #[serde(default)]
+    pub cache_misses: u64,
 }
 
 /// One daemon reply; every request gets exactly one.

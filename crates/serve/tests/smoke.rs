@@ -230,3 +230,85 @@ fn tcp_round_trip_over_a_real_socket() {
     assert_eq!(reply, Response::Bye { events: 3 });
     server.join().expect("server thread");
 }
+
+#[test]
+fn cache_replays_identical_windows_and_invalidates_on_interning() {
+    use octopus_core::CacheConfig;
+
+    // warm = false keeps this test on the exact-replay path only; the
+    // warm-start path has its own parity proptest in octopus-core.
+    let cfg = ServeConfig {
+        policy: PolicyMode::Octopus,
+        cache: CacheConfig {
+            warm: false,
+            ..CacheConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let mut state = ServeState::new(topology::complete(6), cfg).expect("valid config");
+
+    let plan_of = |responses: &[Response]| -> Vec<octopus_serve::PlanConfig> {
+        match responses.last() {
+            Some(Response::Plan { configs, .. }) => configs.clone(),
+            other => panic!("expected a plan, got {other:?}"),
+        }
+    };
+
+    // Window 1: one flow on (0, 1) — cold, recorded.
+    let r1 = run_script(
+        &mut state,
+        "{\"Arrival\":{\"id\":1,\"route\":[0,1],\"size\":50}}\n\"Replan\"\n",
+    );
+    let p1 = plan_of(&r1);
+    assert!(!p1.is_empty());
+    assert_eq!(state.cache_stats().misses, 1);
+    assert_eq!(state.cache_stats().exact_hits, 0);
+
+    // Window 2: a different flow id, same route and size. The drained
+    // backlog plus an identical admission reproduces the queue content and
+    // no new link is interned, so the fingerprint matches exactly and the
+    // daemon replays the cached schedule.
+    let r2 = run_script(
+        &mut state,
+        "{\"Arrival\":{\"id\":2,\"route\":[0,1],\"size\":50}}\n\"Replan\"\n",
+    );
+    assert_eq!(plan_of(&r2), p1, "exact hit must replay the same schedule");
+    assert_eq!(state.cache_stats().exact_hits, 1);
+    assert_eq!(state.cache_stats().misses, 1);
+
+    // Window 3: touch a never-seen link (2, 3), cancel it again, then admit
+    // the same (0, 1) flow as before. The queue *content* is identical to
+    // windows 1 and 2, but admitting (2, 3) interned a new link mid-window —
+    // the key-generation bump must invalidate the exact match.
+    let r3 = run_script(
+        &mut state,
+        concat!(
+            "{\"Arrival\":{\"id\":3,\"route\":[2,3],\"size\":10}}\n",
+            "{\"Cancel\":{\"id\":3}}\n",
+            "{\"Arrival\":{\"id\":4,\"route\":[0,1],\"size\":50}}\n",
+            "\"Replan\"\n",
+        ),
+    );
+    assert_eq!(
+        plan_of(&r3),
+        p1,
+        "the cold re-plan of identical content still emits the same schedule"
+    );
+    assert_eq!(
+        state.cache_stats().misses,
+        2,
+        "interning mid-window must bump the key generation and miss"
+    );
+    assert_eq!(state.cache_stats().exact_hits, 1);
+
+    // The protocol surfaces the counters.
+    let r4 = run_script(&mut state, "\"Stats\"\n");
+    match r4.last() {
+        Some(Response::Stats { stats }) => {
+            assert_eq!(stats.cache_exact_hits, 1);
+            assert_eq!(stats.cache_misses, 2);
+            assert_eq!(stats.cache_near_hits, 0);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+}

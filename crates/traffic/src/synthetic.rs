@@ -120,16 +120,13 @@ pub fn generate_with_routes<R: Rng + ?Sized>(
             let (src, dst) = (NodeId(src as u32), NodeId(dst));
             let mut routes = Vec::new();
             if route_choices == 1 {
-                let hops = len_cycle.next().expect("cycle is infinite");
+                let hops = len_cycle.next().unwrap_or(1);
                 if let Some(r) = random_route(net, src, dst, hops, rng) {
                     routes.push(r);
                 }
             } else {
                 for _ in 0..route_choices {
-                    let hops = *cfg
-                        .route_lengths
-                        .choose(rng)
-                        .expect("route_lengths non-empty");
+                    let hops = cfg.route_lengths.choose(rng).copied().unwrap_or(1);
                     if let Some(r) = random_route(net, src, dst, hops, rng) {
                         if !routes.contains(&r) {
                             routes.push(r);
@@ -147,8 +144,10 @@ pub fn generate_with_routes<R: Rng + ?Sized>(
                     }
                 }
             }
-            if !routes.is_empty() {
-                flows.push(Flow::new(FlowId(next_id), size, routes).expect("endpoints consistent"));
+            // Endpoints are consistent by construction; a rejected flow is
+            // dropped rather than panicking the generator.
+            if let Ok(flow) = Flow::new(FlowId(next_id), size, routes) {
+                flows.push(flow);
                 next_id += 1;
             }
         }
@@ -162,7 +161,8 @@ pub fn generate_with_routes<R: Rng + ?Sized>(
         let perm = random_derangement(cfg.n, rng);
         emit(&perm, cfg.small_flow_size(), &mut flows, rng);
     }
-    TrafficLoad::new(flows).expect("ids are sequential")
+    // IDs are sequential by construction, so this cannot reject.
+    TrafficLoad::new(flows).unwrap_or_default()
 }
 
 /// Builds a single-route traffic load from a demand matrix (one flow per
@@ -181,7 +181,7 @@ pub fn load_from_matrix<R: Rng + ?Sized>(
         if d == 0 || r == c {
             continue;
         }
-        let hops = len_cycle.next().expect("cycle");
+        let hops = len_cycle.next().unwrap_or(1);
         let route = random_route(net, NodeId(r), NodeId(c), hops, rng)
             .or_else(|| (1..=3).find_map(|h| random_route(net, NodeId(r), NodeId(c), h, rng)));
         if let Some(route) = route {
@@ -189,7 +189,8 @@ pub fn load_from_matrix<R: Rng + ?Sized>(
             next_id += 1;
         }
     }
-    TrafficLoad::new(flows).expect("ids are sequential")
+    // IDs are sequential by construction, so this cannot reject.
+    TrafficLoad::new(flows).unwrap_or_default()
 }
 
 /// Samples a random route of exactly `hops` hops from `src` to `dst` in
@@ -210,9 +211,11 @@ pub fn random_route<R: Rng + ?Sized>(
         return None;
     }
     if hops == 1 {
+        // `src != dst` was checked above, so the route is always accepted.
         return net
             .has_edge(src, dst)
-            .then(|| Route::new([src, dst]).expect("two distinct nodes"));
+            .then(|| Route::new([src, dst]))
+            .and_then(Result::ok);
     }
     let n = net.num_nodes();
     if n < hops + 1 {
@@ -236,14 +239,21 @@ pub fn random_route<R: Rng + ?Sized>(
                     break;
                 }
             }
-            if !net.has_edge(*nodes.last().expect("non-empty"), cand) {
+            let Some(&tail) = nodes.last() else {
+                continue 'outer;
+            };
+            if !net.has_edge(tail, cand) {
                 continue 'outer;
             }
             nodes.push(cand);
         }
-        if net.has_edge(*nodes.last().expect("non-empty"), dst) {
+        let Some(&tail) = nodes.last() else {
+            continue 'outer;
+        };
+        if net.has_edge(tail, dst) {
             nodes.push(dst);
-            return Some(Route::new(nodes).expect("distinct by construction"));
+            // Nodes are distinct by construction, so this cannot reject.
+            return Route::new(nodes).ok();
         }
     }
     None

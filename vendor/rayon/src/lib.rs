@@ -330,6 +330,88 @@ pub mod steal {
         })
     }
 
+    /// Like [`map_reduce`], but the map may decline an item by returning
+    /// `None` — the work-stealing form of a filtered fold. Declined items
+    /// are still *claimed* from the bag (the cursor advances past them) but
+    /// cost no reduction and are **not** counted in
+    /// [`StealOutcome::worker_evals`]: the per-worker counts report items
+    /// actually mapped to `Some`, so callers that prune work (e.g. against
+    /// a shared best-so-far floor) can account for exactly the evaluations
+    /// that happened. Returns `None` when every item was declined (or the
+    /// input is empty).
+    ///
+    /// The determinism contract is the caller's to uphold: `reduce` must be
+    /// associative and commutative, and any state the filter reads (such as
+    /// an atomic floor raised by earlier maps) must only ever *shrink* the
+    /// mapped set in ways that cannot change the reduced value.
+    pub fn map_reduce_filtered<'data, T, U, F, G>(
+        items: &'data [T],
+        map: F,
+        reduce: G,
+    ) -> Option<StealOutcome<U>>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&'data T) -> Option<U> + Sync,
+        G: Fn(U, U) -> U + Sync,
+    {
+        let workers = crate::current_num_threads().min(items.len());
+        if items.len() < crate::MIN_PAR_LEN || workers <= 1 {
+            let mut mapped = 0u32;
+            let mut acc: Option<U> = None;
+            for item in items {
+                let Some(v) = map(item) else { continue };
+                mapped += 1;
+                acc = Some(match acc {
+                    None => v,
+                    Some(prev) => reduce(prev, v),
+                });
+            }
+            return acc.map(|value| StealOutcome {
+                value,
+                worker_evals: vec![mapped],
+            });
+        }
+        let cursor = AtomicUsize::new(0);
+        let partials: Vec<(Option<U>, u32)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut acc: Option<U> = None;
+                        let mut mapped = 0u32;
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            let Some(v) = map(item) else { continue };
+                            mapped += 1;
+                            acc = Some(match acc {
+                                None => v,
+                                Some(prev) => reduce(prev, v),
+                            });
+                        }
+                        (acc, mapped)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let worker_evals: Vec<u32> = partials.iter().map(|&(_, n)| n).collect();
+        let value = partials
+            .into_iter()
+            .filter_map(|(acc, _)| acc)
+            .reduce(&reduce)?;
+        Some(StealOutcome {
+            value,
+            worker_evals,
+        })
+    }
+
     /// Maps `items[i]` into `out[i]` in parallel over static chunks.
     /// Position-deterministic by construction (each output slot is written
     /// from the same-index input regardless of worker count), so unlike
