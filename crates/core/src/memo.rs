@@ -55,7 +55,7 @@ const HIST_LEN: usize = 8;
 
 /// How `OCTOPUS_CACHE` overrides the compiled-in cache configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CacheMode {
+pub(crate) enum CacheMode {
     Off,
     Exact,
     Warm,
@@ -105,19 +105,33 @@ impl CacheConfig {
         }
     }
 
+    /// Parses an `OCTOPUS_CACHE` value (case-insensitive); `None` means
+    /// unrecognized. Split out of [`CacheConfig::resolved`] so the accepted
+    /// grammar is unit-testable without touching the process environment.
+    pub(crate) fn parse_env(v: &str) -> Option<CacheMode> {
+        match v.to_ascii_lowercase().as_str() {
+            "off" | "0" | "false" => Some(CacheMode::Off),
+            "exact" => Some(CacheMode::Exact),
+            "on" | "1" | "warm" | "true" => Some(CacheMode::Warm),
+            _ => None,
+        }
+    }
+
     /// This configuration with the `OCTOPUS_CACHE` environment override
-    /// applied (unrecognized values are ignored; the variable is read once
-    /// per process).
+    /// applied. Unrecognized variable values warn loudly on stderr (once —
+    /// the variable is read exactly once per process) and are then ignored.
     pub fn resolved(self) -> Self {
         static ENV: OnceLock<Option<CacheMode>> = OnceLock::new();
         let mode = ENV.get_or_init(|| {
             let v = std::env::var("OCTOPUS_CACHE").ok()?;
-            match v.to_ascii_lowercase().as_str() {
-                "off" | "0" | "false" => Some(CacheMode::Off),
-                "exact" => Some(CacheMode::Exact),
-                "on" | "1" | "warm" | "true" => Some(CacheMode::Warm),
-                _ => None,
+            let parsed = CacheConfig::parse_env(&v);
+            if parsed.is_none() {
+                eprintln!(
+                    "octopus: ignoring unrecognized OCTOPUS_CACHE={v:?} \
+                     (accepted values: off/0/false, exact, on/1/warm/true)"
+                );
             }
+            parsed
         });
         match mode {
             Some(CacheMode::Off) => CacheConfig {
@@ -187,6 +201,7 @@ impl WindowFingerprint {
     /// Fingerprints a queue snapshot. `hist` is the source's remaining-hops
     /// histogram ([`RemainingTraffic::remaining_hops_histogram`]), `keygen`
     /// its interned-key generation, `quantum` the feature quantization step.
+    // lint:allow(hot-alloc) — amortized: fingerprint rows built once per cache lookup; two Vecs of O(links) per re-plan
     pub fn from_queues(queues: &LinkQueues, keygen: u64, hist: &[u64], quantum: u64) -> Self {
         let n = queues.n() as usize;
         let q = quantum.max(1);
@@ -499,6 +514,7 @@ fn context_hash(policy: &SearchPolicy, window: u64, delta: u64, salt: u64) -> u6
 /// kernels this is unreachable on cold paths; on an exact-hit replay it
 /// would indicate a content-hash collision, which we surface rather than
 /// mask).
+// lint:allow(hot-alloc) — amortized: once per re-plan / cache miss on the serve path; the buffers are the cached plan itself
 pub fn plan_window_cached<S, F>(
     engine: &mut ScheduleEngine<S>,
     fabric: &F,
@@ -604,6 +620,7 @@ where
 /// The greedy window loop shared by every cache path: select (optionally
 /// warm-seeded per iteration), harvest the winning column's certified duals
 /// when `harvest`, commit, repeat until the window or the backlog runs out.
+// lint:allow(hot-alloc) — amortized: once per re-plan / cache miss on the serve path; the buffers are the cached plan itself
 fn run_window<S, F>(
     engine: &mut ScheduleEngine<S>,
     fabric: &F,
@@ -666,6 +683,7 @@ where
 /// resulting `z` is only ever used inside re-verified weak-duality bounds,
 /// so the extra solve is the entire determinism surface — and it writes
 /// nothing back.
+// lint:allow(hot-alloc) — amortized: once per re-plan / cache miss on the serve path; the buffers are the cached plan itself
 fn harvest_duals<S: TrafficSource>(
     engine: &mut ScheduleEngine<S>,
     policy: &SearchPolicy,
@@ -699,6 +717,24 @@ fn harvest_duals<S: TrafficSource>(
 mod tests {
     use super::*;
     use crate::state::LinkQueues;
+
+    #[test]
+    fn cache_env_grammar_is_strict() {
+        for on in ["on", "1", "warm", "true", "WARM", "True"] {
+            assert_eq!(CacheConfig::parse_env(on), Some(CacheMode::Warm), "{on:?}");
+        }
+        for off in ["off", "0", "false", "OFF"] {
+            assert_eq!(CacheConfig::parse_env(off), Some(CacheMode::Off), "{off:?}");
+        }
+        assert_eq!(CacheConfig::parse_env("exact"), Some(CacheMode::Exact));
+        for bad in ["", "yes", "2", "warm ", "on,exact"] {
+            assert_eq!(
+                CacheConfig::parse_env(bad),
+                None,
+                "{bad:?} must be rejected"
+            );
+        }
+    }
 
     fn queues_a() -> LinkQueues {
         LinkQueues::from_weighted_counts(

@@ -75,8 +75,10 @@ pub fn octopus_multihop(
         // Advance the plan with chaining: packets move as the mini-sim says.
         let moved = snap.simulate(&choice.matching, choice.alpha).moves;
         engine.commit_chained(&moved)?;
-        let matching =
-            Matching::new_free(choice.matching.iter().copied()).expect("greedy keeps ports free");
+        let Ok(matching) = Matching::new_free(choice.matching.iter().copied()) else {
+            debug_assert!(false, "kernel matchings keep ports free");
+            break;
+        };
         schedule.push(Configuration::new(matching, choice.alpha));
         used += choice.alpha + cfg.delta;
     }

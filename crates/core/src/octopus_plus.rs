@@ -163,6 +163,7 @@ impl<'a> PlusState<'a> {
 
     /// Enumerates `(link, weight, count, portion, action)` candidates for the
     /// current `T^r` (the Octopus+ `g`/`h` inputs).
+    // lint:allow(hot-alloc) — amortized: once-per-window candidate snapshot of the + state
     fn candidates(&self, net: &Network, backtracking: bool) -> Vec<Candidate> {
         let mut out = Vec::new();
         for &(portion, count) in self.portions.iter() {
@@ -214,6 +215,7 @@ impl<'a> PlusState<'a> {
     /// packet moves more than one hop per configuration, with per-portion
     /// `taken` accounting so a packet eligible on several links (next hop
     /// vs. direct) moves exactly once.
+    // lint:allow(hot-alloc) — amortized: once-per-window apply of the committed matching to the + state
     fn apply(&mut self, net: &Network, links: &[(u32, u32)], alpha: u64, backtracking: bool) {
         type LinkCandidate = (Weight, FlowId, Action, Portion, u64);
         let mut per_link: HashMap<(u32, u32), Vec<LinkCandidate>> = HashMap::new();
@@ -325,7 +327,7 @@ impl<'a> PlusState<'a> {
                 self.delivered += take;
                 *self.delivered_via.get_or_insert((flow, DIRECT), 0) += take;
             }
-            (p, a) => unreachable!("invalid move {p:?} / {a:?}"),
+            (p, a) => debug_assert!(false, "invalid move {p:?} / {a:?}"),
         }
     }
 
@@ -358,18 +360,22 @@ impl<'a> PlusState<'a> {
         let mut out: Vec<ResolvedFlow> = agg
             .into_iter()
             .filter(|&(_, count)| count > 0)
-            .map(|((flow, route), count)| {
+            .filter_map(|((flow, route), count)| {
                 let f = &self.flows[flow as usize];
                 let r = if route == DIRECT {
-                    Route::new([f.src(), f.dst()]).expect("direct link endpoints differ")
+                    let Ok(r) = Route::new([f.src(), f.dst()]) else {
+                        debug_assert!(false, "direct link endpoints differ");
+                        return None;
+                    };
+                    r
                 } else {
                     f.routes[route as usize].clone()
                 };
-                ResolvedFlow {
+                Some(ResolvedFlow {
                     flow: f.id,
                     size: count,
                     route: r,
-                }
+                })
             })
             .collect();
         out.sort_by_key(|r| (r.flow, r.route.hops(), r.route.nodes().to_vec()));
@@ -399,6 +405,7 @@ impl TrafficSource for PlusSource<'_> {
         )
     }
 
+    // lint:allow(hot-alloc) — amortized: once-per-commit served-budget projection
     fn apply_served(&mut self, served: &[(NodeId, NodeId, u64)]) -> Option<Vec<(u32, u32)>> {
         let &(_, _, alpha) = served.first()?;
         debug_assert!(served.iter().all(|&(_, _, a)| a == alpha));

@@ -320,9 +320,12 @@ impl HysteresisScheduler {
                 self.cfg.matching,
                 false,
             );
-            let candidate = best.map(|b| {
-                octopus_net::Matching::new_free(b.matching.iter().copied())
-                    .expect("kernel outputs matchings")
+            let candidate = best.and_then(|b| {
+                let Ok(m) = octopus_net::Matching::new_free(b.matching.iter().copied()) else {
+                    debug_assert!(false, "kernel outputs are valid matchings");
+                    return None;
+                };
+                Some(m)
             });
 
             match (&self.incumbent, candidate) {

@@ -1,15 +1,25 @@
 //! octopus-lint: workspace-specific determinism & panic-freedom analyzer.
 //!
-//! Six lints (see DESIGN.md §"Statically enforced invariants"):
+//! Ten lints (see DESIGN.md §"Statically enforced invariants"):
 //!
-//! | code | key                  | scope   | what it catches                           |
-//! |------|----------------------|---------|-------------------------------------------|
-//! | L1   | `nondet-iter`        | kernel  | iterating `HashMap`/`HashSet` bindings    |
-//! | L2   | `panic`              | library | `unwrap`/`expect`/`panic!`/`todo!`/…      |
-//! | L3   | `float-eq`           | library | `==`/`!=` against float literals          |
-//! | L4   | `wall-clock`         | kernel  | `Instant::now`/`SystemTime`/`thread_rng`  |
-//! | L5   | `undocumented-unsafe`| all     | `unsafe` block/impl without `// SAFETY:`  |
-//! | L6   | `btree-alloc`        | kernel  | fresh `BTreeMap`/`BTreeSet` construction  |
+//! | code | key                  | scope       | what it catches                           |
+//! |------|----------------------|-------------|-------------------------------------------|
+//! | L1   | `nondet-iter`        | kernel      | iterating `HashMap`/`HashSet` bindings    |
+//! | L2   | `panic`              | library     | `unwrap`/`expect`/`panic!`/`todo!`/…      |
+//! | L3   | `float-eq`           | library     | `==`/`!=` against float literals          |
+//! | L4   | `wall-clock`         | kernel      | `Instant::now`/`SystemTime`/`thread_rng`  |
+//! | L5   | `undocumented-unsafe`| all         | `unsafe` block/impl without `// SAFETY:`  |
+//! | L6   | `btree-alloc`        | kernel      | fresh `BTreeMap`/`BTreeSet` construction  |
+//! | L7   | `hot-alloc`          | kernel      | allocation reachable from an entry point  |
+//! | L8   | `unchecked-arith`    | auction/memo| raw `+`/`*`/`<<` on price/value integers  |
+//! | L9   | `atomic-ordering`    | concurrency | `Ordering::Relaxed` without a proof       |
+//! | L10  | `env-once`           | kernel+lib  | `env::var` outside a `OnceLock` reader    |
+//!
+//! L1–L6 and L8–L10 are per-file token/parse checks. L7 is
+//! *interprocedural*: every file is parsed into items ([`parser`]), the
+//! workspace call graph is built ([`callgraph`]), and allocation sites are
+//! flagged only in functions reachable from the kernel entry points
+//! declared in `lint-entrypoints.toml` at the workspace root.
 //!
 //! Violations on a line carrying (or following) a
 //! `// lint:allow(<key>) — <reason>` pragma are suppressed; everything else
@@ -17,12 +27,15 @@
 //! above baseline fails the run.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
 pub mod report;
 
 use baseline::Baseline;
-use lints::{check_file, Lint};
+use callgraph::{parse_entrypoints, CallGraph};
+use lints::{analyze_file, Lint, Violation};
 use report::{FileReport, Report};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -57,17 +70,63 @@ pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Lints every workspace file under `root` against `baseline`.
-pub fn run(root: &Path, baseline: &Baseline) -> std::io::Result<Report> {
-    let mut report = Report::default();
-    for path in collect_rs_files(root)? {
+/// The full workspace analysis: the baseline-tagged report plus the call
+/// graph (for `--callgraph-dot` and the tests).
+pub struct Analysis {
+    /// Per-file findings tagged against the baseline.
+    pub report: Report,
+    /// The workspace call graph with reachability from the declared
+    /// entry points.
+    pub graph: CallGraph,
+}
+
+/// Lints every workspace file under `root` against `baseline`, including
+/// the interprocedural pass.
+///
+/// Walks the workspace `.rs` files plus `vendor/rayon/src` (the vendored
+/// work-stealing executor is skipped by the general `vendor` exclusion but
+/// hosts the steal bag's atomics and the `OCTOPUS_THREADS` knob, so L5, L9
+/// and L10 apply to it). Kernel entry points come from
+/// `<root>/lint-entrypoints.toml`; if the manifest is absent the call
+/// graph is still built but nothing is reachable, so L7 stays silent.
+pub fn analyze(root: &Path, baseline: &Baseline) -> std::io::Result<Analysis> {
+    let mut files = collect_rs_files(root)?;
+    let executor = root.join("vendor/rayon/src");
+    if executor.is_dir() {
+        files.extend(collect_rs_files(&executor)?);
+        files.sort();
+    }
+
+    // Pass 1: per-file lints + parses.
+    let mut rels: Vec<String> = Vec::with_capacity(files.len());
+    let mut analyses = Vec::with_capacity(files.len());
+    for path in &files {
         let rel = path
             .strip_prefix(root)
-            .unwrap_or(&path)
+            .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = std::fs::read_to_string(&path)?;
-        let violations = check_file(&rel, &src);
+        let src = std::fs::read_to_string(path)?;
+        analyses.push(analyze_file(&rel, &src));
+        rels.push(rel);
+    }
+
+    // Pass 2: call graph + reachability-gated L7.
+    let entry_specs = std::fs::read_to_string(root.join("lint-entrypoints.toml"))
+        .map(|t| parse_entrypoints(&t))
+        .unwrap_or_default();
+    let parsed: Vec<(&str, &parser::ParsedFile)> = rels
+        .iter()
+        .zip(&analyses)
+        .map(|(rel, a)| (rel.as_str(), &a.parsed))
+        .collect();
+    let graph = CallGraph::build(&parsed, &entry_specs);
+
+    let mut report = Report::default();
+    for (file_idx, (rel, analysis)) in rels.iter().zip(&analyses).enumerate() {
+        let mut violations = analysis.violations.clone();
+        violations.extend(hot_alloc_for_file(rel, file_idx, analysis, &graph));
+        violations.sort_by(|a, b| a.line.cmp(&b.line).then(a.lint.cmp(&b.lint)));
         if violations.is_empty() {
             continue;
         }
@@ -81,16 +140,82 @@ pub fn run(root: &Path, baseline: &Baseline) -> std::io::Result<Report> {
             .map(|v| {
                 let u = used.entry(v.lint).or_insert(0);
                 *u += 1;
-                let is_new = *u > baseline.allowance(&rel, v.lint);
+                let is_new = *u > baseline.allowance(rel, v.lint);
                 (v, is_new)
             })
             .collect();
         report.files.push(FileReport {
-            path: rel,
+            path: rel.clone(),
             violations: tagged,
         });
     }
-    Ok(report)
+    Ok(Analysis { report, graph })
+}
+
+/// Lints every workspace file under `root` against `baseline`.
+pub fn run(root: &Path, baseline: &Baseline) -> std::io::Result<Report> {
+    analyze(root, baseline).map(|a| a.report)
+}
+
+/// Computes the L7 findings of one kernel file: allocation sites in every
+/// reachable function, minus fn-level and line-level pragma waivers.
+fn hot_alloc_for_file(
+    rel: &str,
+    file_idx: usize,
+    analysis: &lints::FileAnalysis,
+    graph: &CallGraph,
+) -> Vec<Violation> {
+    if !lints::classify(rel).kernel {
+        return Vec::new();
+    }
+    let containers = lints::container_bindings(&analysis.tokens);
+    let mut out = Vec::new();
+    for (fn_idx, f) in analysis.parsed.fns.iter().enumerate() {
+        let Some(body) = f.body else { continue };
+        let Some(node) = graph.node_of(file_idx, fn_idx) else {
+            continue;
+        };
+        if !graph.is_reachable(node) {
+            continue;
+        }
+        // Fn-level waiver: a hot-alloc pragma on the `fn` line (or the line
+        // above, which the pragma table maps onto it) covers the body.
+        if analysis
+            .allowed
+            .get(&f.line)
+            .is_some_and(|s| s.contains(&Lint::HotAlloc))
+        {
+            continue;
+        }
+        // Nested fns are their own nodes; exclude their spans.
+        let nested: Vec<(usize, usize)> = analysis
+            .parsed
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|&(other, _)| other != fn_idx)
+            .filter_map(|(_, o)| o.body)
+            .filter(|&(s, e)| s > body.0 && e < body.1)
+            .collect();
+        let chain = graph.chain(node, 4);
+        lints::hot_alloc_sites(
+            &analysis.tokens,
+            &analysis.test_mask,
+            body,
+            &nested,
+            &containers,
+            &chain,
+            &mut out,
+        );
+    }
+    // Line-level pragmas.
+    out.retain(|v| {
+        !analysis
+            .allowed
+            .get(&v.line)
+            .is_some_and(|s| s.contains(&v.lint))
+    });
+    out
 }
 
 /// Current violation counts per `(file, lint)`, for `--update-baseline`.

@@ -1,15 +1,19 @@
-//! The six workspace lints (L1–L6), run over a lexed token stream.
+//! The ten workspace lints (L1–L10), run over a lexed token stream.
 //!
 //! See DESIGN.md §"Statically enforced invariants" for the rationale behind
-//! each lint and the pragma syntax. Lints are heuristic token-stream
-//! matchers, not type-checked analyses: they are tuned to the idioms of this
-//! workspace, and every rule supports a line-level
-//! `// lint:allow(<key>) — <reason>` escape hatch for deliberate exceptions.
+//! each lint and the pragma syntax. L1–L6 and L8–L10 are per-file heuristic
+//! token-stream matchers (L10 additionally consults the item parse for the
+//! enclosing function); L7 (`hot-alloc`) is interprocedural and lives on
+//! top of the workspace call graph — see [`crate::callgraph`] and
+//! [`lint_hot_alloc`]. Lints are tuned to the idioms of this workspace, and
+//! every rule supports a line-level `// lint:allow(<key>) — <reason>`
+//! escape hatch for deliberate exceptions.
 
 use crate::lexer::{lex, LexOutput, Token, TokenKind};
+use crate::parser::{parse, ParsedFile};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Which of the six lints a violation belongs to.
+/// Which of the ten lints a violation belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Lint {
     /// L1: iteration over a hash-ordered collection in kernel code.
@@ -24,9 +28,33 @@ pub enum Lint {
     UndocumentedUnsafe,
     /// L6: fresh `BTreeMap`/`BTreeSet` allocation in kernel code.
     BtreeAlloc,
+    /// L7: allocation site reachable from a kernel entry point.
+    HotAlloc,
+    /// L8: raw integer arithmetic on price/value variables in the exact
+    /// kernels' scaling code.
+    UncheckedArith,
+    /// L9: `Ordering::Relaxed` atomic access without an ordering proof.
+    AtomicOrdering,
+    /// L10: `std::env::var` outside a `OnceLock`-guarded once-per-process
+    /// reader.
+    EnvOnce,
 }
 
 impl Lint {
+    /// All lints, in L1..L10 order (for summaries and catalogues).
+    pub const ALL: [Lint; 10] = [
+        Lint::NondetIter,
+        Lint::Panic,
+        Lint::FloatEq,
+        Lint::WallClock,
+        Lint::UndocumentedUnsafe,
+        Lint::BtreeAlloc,
+        Lint::HotAlloc,
+        Lint::UncheckedArith,
+        Lint::AtomicOrdering,
+        Lint::EnvOnce,
+    ];
+
     /// The stable key used in pragmas, reports and the baseline file.
     pub fn key(self) -> &'static str {
         match self {
@@ -36,6 +64,10 @@ impl Lint {
             Lint::WallClock => "wall-clock",
             Lint::UndocumentedUnsafe => "undocumented-unsafe",
             Lint::BtreeAlloc => "btree-alloc",
+            Lint::HotAlloc => "hot-alloc",
+            Lint::UncheckedArith => "unchecked-arith",
+            Lint::AtomicOrdering => "atomic-ordering",
+            Lint::EnvOnce => "env-once",
         }
     }
 
@@ -48,6 +80,10 @@ impl Lint {
             Lint::WallClock => "L4",
             Lint::UndocumentedUnsafe => "L5",
             Lint::BtreeAlloc => "L6",
+            Lint::HotAlloc => "L7",
+            Lint::UncheckedArith => "L8",
+            Lint::AtomicOrdering => "L9",
+            Lint::EnvOnce => "L10",
         }
     }
 
@@ -60,6 +96,10 @@ impl Lint {
             "wall-clock" => Lint::WallClock,
             "undocumented-unsafe" => Lint::UndocumentedUnsafe,
             "btree-alloc" => Lint::BtreeAlloc,
+            "hot-alloc" => Lint::HotAlloc,
+            "unchecked-arith" => Lint::UncheckedArith,
+            "atomic-ordering" => Lint::AtomicOrdering,
+            "env-once" => Lint::EnvOnce,
             _ => return None,
         })
     }
@@ -79,10 +119,17 @@ pub struct Violation {
 /// Which lint families apply to a file, derived from its workspace path.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FileClass {
-    /// Scheduling-kernel code: L1, L4 and L6 apply.
+    /// Scheduling-kernel code: L1, L4, L6, L7 and L8 apply.
     pub kernel: bool,
     /// Library (non-test, non-harness) code: L2 and L3 apply.
     pub library: bool,
+    /// Concurrency-sensitive code (kernel crates plus the vendored
+    /// work-stealing executor): L9 applies.
+    pub concurrency: bool,
+    /// Process-environment-reading surface (kernel + library + the vendored
+    /// executor, whose `OCTOPUS_THREADS` knob pins the worker count): L10
+    /// applies.
+    pub env_gate: bool,
 }
 
 /// Classifies a workspace-relative path (`/`-separated).
@@ -91,6 +138,10 @@ pub struct FileClass {
 ///   `octopus-matching`, `octopus-net` — the determinism-sensitive hot paths;
 /// * library surface additionally includes `octopus-traffic`, `octopus-sim`,
 ///   `octopus-baselines`, `octopus-serve` and the facade's `src/lib.rs`;
+/// * the vendored work-stealing executor (`vendor/rayon/src/`) is walked
+///   for the concurrency lints only (L9 `atomic-ordering`, L10 `env-once`,
+///   plus the universal L5) — it hosts the steal bag's atomics and the
+///   `OCTOPUS_THREADS` knob;
 /// * everything else (tests, benches, examples, binaries, the bench harness,
 ///   this linter) only gets L5, which applies to every walked file.
 pub fn classify(rel: &str) -> FileClass {
@@ -106,7 +157,13 @@ pub fn classify(rel: &str) -> FileClass {
                 || rel.starts_with("crates/baselines/src/")
                 || rel.starts_with("crates/serve/src/")
                 || rel == "src/lib.rs"));
-    FileClass { kernel, library }
+    let vendored_executor = rel.starts_with("vendor/rayon/src/");
+    FileClass {
+        kernel,
+        library,
+        concurrency: kernel || vendored_executor,
+        env_gate: kernel || library || vendored_executor,
+    }
 }
 
 /// Per-line pragma table: which lints are allowed on which lines.
@@ -166,11 +223,30 @@ fn parse_pragmas(lexed: &LexOutput) -> Pragmas {
     p
 }
 
-/// Runs every applicable lint on one file's source text.
-pub fn check_file(rel: &str, src: &str) -> Vec<Violation> {
+/// The per-file analysis state the interprocedural layer builds on: the
+/// syntactic violations (L1–L6, L8–L10, pragma-filtered), plus the token
+/// stream, item parse, pragma table and test mask that [`lint_hot_alloc`]
+/// needs to place L7 findings.
+pub struct FileAnalysis {
+    /// Pragma-filtered per-file findings, sorted by (line, lint).
+    pub violations: Vec<Violation>,
+    /// The item-level parse (fns, call sites, imports) of this file.
+    pub parsed: ParsedFile,
+    /// The file's token stream (the parse's body spans index into it).
+    pub tokens: Vec<Token>,
+    /// Lines on which each lint is pragma-allowed.
+    pub allowed: BTreeMap<u32, BTreeSet<Lint>>,
+    /// Per-token `#[cfg(test)]`/`#[test]` membership.
+    pub test_mask: Vec<bool>,
+}
+
+/// Runs every per-file lint on one file's source text. Interprocedural L7
+/// findings are appended later by the workspace pass (see [`crate::run`]).
+pub fn analyze_file(rel: &str, src: &str) -> FileAnalysis {
     let class = classify(rel);
     let lexed = lex(src);
     let pragmas = parse_pragmas(&lexed);
+    let parsed = parse(&lexed);
     let toks = &lexed.tokens;
     let test_mask = test_code_mask(toks);
 
@@ -193,6 +269,15 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Violation> {
         lint_panic(toks, &test_mask, &mut out);
         lint_float_eq(toks, &test_mask, &mut out);
     }
+    if class.kernel && (rel.ends_with("/auction.rs") || rel.ends_with("/memo.rs")) {
+        lint_unchecked_arith(toks, &test_mask, &mut out);
+    }
+    if class.concurrency {
+        lint_atomic_ordering(toks, &test_mask, &mut out);
+    }
+    if class.env_gate {
+        lint_env_once(toks, &test_mask, &parsed, &mut out);
+    }
     lint_undocumented_unsafe(toks, &pragmas, &mut out);
 
     // Apply pragmas.
@@ -203,7 +288,20 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Violation> {
             .is_some_and(|s| s.contains(&v.lint))
     });
     out.sort_by(|a, b| a.line.cmp(&b.line).then(a.lint.cmp(&b.lint)));
-    out
+    FileAnalysis {
+        violations: out,
+        parsed,
+        tokens: lexed.tokens,
+        allowed: pragmas.allowed,
+        test_mask,
+    }
+}
+
+/// Runs the per-file lints and returns just the violations — the historical
+/// single-file API, used by the fixture tests. L7 requires the workspace
+/// call graph and never fires here.
+pub fn check_file(rel: &str, src: &str) -> Vec<Violation> {
+    analyze_file(rel, src).violations
 }
 
 /// Marks tokens that belong to `#[cfg(test)]` / `#[test]` items, so L1–L4
@@ -674,6 +772,392 @@ fn lint_btree_alloc(toks: &[Token], test_mask: &[bool], out: &mut Vec<Violation>
                 message: format!(
                     "`let` binding builds a node-based `{}` in kernel code",
                     ty.text
+                ),
+            });
+        }
+    }
+}
+
+/// Allocating constructor owners for L7. `BTreeMap`/`BTreeSet` are
+/// deliberately absent — fresh B-tree construction is L6's finding,
+/// reachable or not.
+fn is_alloc_type(name: &str) -> bool {
+    matches!(
+        name,
+        "Vec" | "VecDeque" | "String" | "Box" | "Rc" | "Arc" | "HashMap" | "HashSet"
+    )
+}
+
+/// Container types whose `.clone()` duplicates a heap allocation; used for
+/// the L7 clone rule's binding inference.
+fn is_container_type(name: &str) -> bool {
+    matches!(
+        name,
+        "Vec"
+            | "VecDeque"
+            | "String"
+            | "VecMap"
+            | "HashMap"
+            | "HashSet"
+            | "BTreeMap"
+            | "BTreeSet"
+            | "LinkQueues"
+            | "MultiAlphaEdges"
+    )
+}
+
+/// Collects names bound (via `name : … Type …` annotations — let bindings,
+/// struct fields, typed params) to a type accepted by `pred`.
+fn typed_bindings(toks: &[Token], pred: fn(&str) -> bool) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        if toks.get(i + 1).is_some_and(|t| t.text == ":")
+            && !toks.get(i + 2).is_some_and(|t| t.text == ":")
+        {
+            let mut j = i + 2;
+            let mut steps = 0;
+            while let Some(t) = toks.get(j) {
+                if steps > 40 || matches!(t.text.as_str(), "=" | ";" | "{" | ")") {
+                    break;
+                }
+                if t.kind == TokenKind::Ident && pred(&t.text) {
+                    names.insert(toks[i].text.clone());
+                    break;
+                }
+                j += 1;
+                steps += 1;
+            }
+        }
+    }
+    names
+}
+
+/// L7: allocation sites inside one *reachable* function body.
+///
+/// Called by the workspace pass for every kernel-file function the call
+/// graph marks reachable from a `lint-entrypoints.toml` entry. Matches the
+/// allocation shapes that PR 3/PR 6 spent effort eliminating from the hot
+/// path: fresh container constructors (`Vec::new`, `Box::new`, …, with or
+/// without turbofish), `collect` (always allocates its collection),
+/// `vec!`/`format!` macros, and `.clone()` on a container-typed binding.
+/// `with_capacity` is deliberately *not* matched: pre-sizing a workspace
+/// buffer in a constructor or reset is the sanctioned amortization idiom.
+///
+/// Suppression: a `// lint:allow(hot-alloc) — reason` pragma on the `fn`
+/// line (or the line above it) waives the entire body — the idiom for
+/// once-per-window cold paths that the over-approximate graph still
+/// reaches; a line-level pragma waives one site.
+#[allow(clippy::too_many_arguments)]
+pub fn hot_alloc_sites(
+    toks: &[Token],
+    test_mask: &[bool],
+    body: (usize, usize),
+    skip_spans: &[(usize, usize)],
+    container_bindings: &BTreeSet<String>,
+    chain: &str,
+    out: &mut Vec<Violation>,
+) {
+    let (start, end) = body;
+    let mut i = start;
+    'scan: while i <= end && i < toks.len() {
+        // Nested fn bodies are their own graph nodes — skip their tokens.
+        for &(s, e) in skip_spans {
+            if i >= s && i <= e {
+                i = e + 1;
+                continue 'scan;
+            }
+        }
+        let t = &toks[i];
+        if test_mask[i] || t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = t.text.as_str();
+        // `Vec::new(` / `Box::<T>::new(` / `Vec::from_iter(` …
+        if is_alloc_type(name) && toks.get(i + 1).is_some_and(|n| n.text == "::") {
+            let mut j = i + 2;
+            if toks.get(j).is_some_and(|n| n.text == "<") {
+                let mut depth = 1i32;
+                j += 1;
+                let mut steps = 0;
+                while let Some(n) = toks.get(j) {
+                    if steps > 40 || depth == 0 {
+                        break;
+                    }
+                    match n.text.as_str() {
+                        "<" => depth += 1,
+                        ">" => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                    steps += 1;
+                }
+                if !toks.get(j).is_some_and(|n| n.text == "::") {
+                    i += 1;
+                    continue;
+                }
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|n| {
+                n.kind == TokenKind::Ident
+                    && matches!(n.text.as_str(), "new" | "from" | "from_iter" | "default")
+            }) && toks.get(j + 1).is_some_and(|n| n.text == "(")
+            {
+                out.push(Violation {
+                    lint: Lint::HotAlloc,
+                    line: t.line,
+                    message: format!(
+                        "`{name}::{}` allocates on a kernel hot path (reachable: {chain})",
+                        toks[j].text
+                    ),
+                });
+            }
+        }
+        // `.collect(` / `.collect::<…>(` — building a collection allocates.
+        if name == "collect" && i > 0 && toks[i - 1].text == "." {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|n| n.text == "::") {
+                j += 1; // turbofish: `::` `<` … — the `(` check below still gates
+                let mut steps = 0;
+                while let Some(n) = toks.get(j) {
+                    if steps > 40 || n.text == "(" {
+                        break;
+                    }
+                    j += 1;
+                    steps += 1;
+                }
+            }
+            if toks.get(j).is_some_and(|n| n.text == "(") {
+                out.push(Violation {
+                    lint: Lint::HotAlloc,
+                    line: t.line,
+                    message: format!(
+                        "`.collect()` allocates on a kernel hot path (reachable: {chain})"
+                    ),
+                });
+            }
+        }
+        // `vec!` / `format!`.
+        if matches!(name, "vec" | "format")
+            && toks.get(i + 1).is_some_and(|n| n.text == "!")
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| matches!(n.text.as_str(), "(" | "[" | "{"))
+        {
+            out.push(Violation {
+                lint: Lint::HotAlloc,
+                line: t.line,
+                message: format!("`{name}!` allocates on a kernel hot path (reachable: {chain})"),
+            });
+        }
+        // `binding.clone()` where the binding is container-typed.
+        if name == "clone"
+            && i > 1
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+            && toks[i - 2].kind == TokenKind::Ident
+            && container_bindings.contains(&toks[i - 2].text)
+        {
+            out.push(Violation {
+                lint: Lint::HotAlloc,
+                line: t.line,
+                message: format!(
+                    "`{}.clone()` duplicates a container on a kernel hot path (reachable: {chain})",
+                    toks[i - 2].text
+                ),
+            });
+        }
+        i += 1;
+    }
+}
+
+/// Returns the container-typed binding names of a file, for the L7 clone
+/// rule.
+pub fn container_bindings(toks: &[Token]) -> BTreeSet<String> {
+    typed_bindings(toks, is_container_type)
+}
+
+/// Identifier segments that mark a variable as carrying auction prices,
+/// bids, scaled edge values or ε — the integers whose silent wrap would
+/// void the ε = 1 exactness certificate (L8).
+fn is_price_segment(seg: &str) -> bool {
+    matches!(
+        seg,
+        "price"
+            | "prices"
+            | "bid"
+            | "bids"
+            | "val"
+            | "vals"
+            | "value"
+            | "values"
+            | "eps"
+            | "epsilon"
+            | "sval"
+            | "certify"
+            | "quantum"
+    )
+}
+
+/// True if `name`'s snake_case segments mark it price/value-carrying.
+fn is_price_ident(name: &str) -> bool {
+    name.split('_').any(is_price_segment)
+}
+
+/// L8: raw `+`/`*`/`<<` (and their assign forms) where an adjacent operand
+/// is a price/value identifier, in the exact kernels' integer scaling code
+/// (`auction.rs`, `memo.rs`).
+///
+/// Overflow here is not a crash but a *silently wrong* optimality
+/// certificate: the auction's ε = 1 termination proof assumes exact integer
+/// arithmetic. Every surviving raw operation must either move to
+/// `checked_*`/`wrapping_*` (with the wrap semantics argued) or carry a
+/// `// lint:allow(unchecked-arith) — bound: …` pragma citing the bound that
+/// keeps it in range. Float operands are excluded (floats saturate to ±∞
+/// rather than wrapping): a literal float neighbour or an operand annotated
+/// `f64`/`f32` disqualifies the site.
+fn lint_unchecked_arith(toks: &[Token], test_mask: &[bool], out: &mut Vec<Violation>) {
+    let float_bindings = typed_bindings(toks, |n| matches!(n, "f64" | "f32"));
+    for i in 0..toks.len() {
+        if test_mask[i]
+            || toks[i].kind != TokenKind::Punct
+            || !matches!(
+                toks[i].text.as_str(),
+                "+" | "*" | "<<" | "+=" | "*=" | "<<="
+            )
+        {
+            continue;
+        }
+        let Some(prev) = i.checked_sub(1).map(|p| &toks[p]) else {
+            continue;
+        };
+        // Binary position only: `*x` deref / `+` in bounds have no value
+        // operand on the left.
+        let binary = matches!(prev.kind, TokenKind::Ident | TokenKind::IntLit)
+            || matches!(prev.text.as_str(), ")" | "]");
+        if !binary {
+            continue;
+        }
+        let next = toks.get(i + 1);
+        if prev.kind == TokenKind::FloatLit || next.is_some_and(|n| n.kind == TokenKind::FloatLit) {
+            continue;
+        }
+        // `x as f64 * price` / `price as f32 + y`: a float cast on either
+        // side makes the whole expression float arithmetic, not integer
+        // price math.
+        let float_cast_after = |j: usize| {
+            toks.get(j + 1).is_some_and(|t| t.text == "as")
+                && toks
+                    .get(j + 2)
+                    .is_some_and(|t| matches!(t.text.as_str(), "f64" | "f32"))
+        };
+        let mut operand: Option<&str> = None;
+        if prev.kind == TokenKind::Ident && is_price_ident(&prev.text) {
+            operand = Some(prev.text.as_str());
+        }
+        if operand.is_none() {
+            if let Some(n) = next.filter(|n| n.kind == TokenKind::Ident) {
+                if is_price_ident(&n.text) && !float_cast_after(i + 1) {
+                    operand = Some(n.text.as_str());
+                }
+            }
+        }
+        let Some(op_ident) = operand else { continue };
+        if float_bindings.contains(op_ident) {
+            continue;
+        }
+        out.push(Violation {
+            lint: Lint::UncheckedArith,
+            line: toks[i].line,
+            message: format!(
+                "raw `{}` on price/value integer `{op_ident}` (use checked_/wrapping_ or document the bound)",
+                toks[i].text
+            ),
+        });
+    }
+}
+
+/// L9: `Ordering::Relaxed` in concurrency-sensitive code without an
+/// ordering proof.
+///
+/// Relaxed is frequently correct here (RMW claim counters, monotone prune
+/// floors) — but "frequently" is how silent reordering bugs ship. Every
+/// site must argue why Relaxed suffices in a
+/// `// lint:allow(atomic-ordering) — <proof>` pragma, or use a stronger
+/// ordering.
+fn lint_atomic_ordering(toks: &[Token], test_mask: &[bool], out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        if test_mask[i] || toks[i].kind != TokenKind::Ident || toks[i].text != "Relaxed" {
+            continue;
+        }
+        if i == 0 || toks[i - 1].text != "::" {
+            continue;
+        }
+        out.push(Violation {
+            lint: Lint::AtomicOrdering,
+            line: toks[i].line,
+            message: "`Ordering::Relaxed` without an ordering proof pragma".to_string(),
+        });
+    }
+}
+
+/// L10: `std::env::var` read outside a `OnceLock`-guarded reader.
+///
+/// The determinism contract says every env knob is read **once per
+/// process** (so a mid-run `setenv`, or two disagreeing reads on two
+/// threads, cannot fork the schedule). The sanctioned shape is a
+/// `OnceLock`/`LazyLock` initializer; any `env::var`/`var_os` call whose
+/// enclosing function body contains neither is flagged.
+fn lint_env_once(
+    toks: &[Token],
+    test_mask: &[bool],
+    parsed: &ParsedFile,
+    out: &mut Vec<Violation>,
+) {
+    for i in 0..toks.len() {
+        if test_mask[i]
+            || toks[i].kind != TokenKind::Ident
+            || !matches!(toks[i].text.as_str(), "var" | "var_os")
+        {
+            continue;
+        }
+        // `env :: var (` — with `env` possibly itself `std ::`-qualified.
+        if !(i >= 2
+            && toks[i - 1].text == "::"
+            && toks[i - 2].text == "env"
+            && toks.get(i + 1).is_some_and(|n| n.text == "("))
+        {
+            continue;
+        }
+        // Innermost enclosing fn body must contain a once-guard.
+        let mut guarded = false;
+        let mut best: Option<(usize, usize)> = None;
+        for f in &parsed.fns {
+            if let Some((s, e)) = f.body {
+                if s < i && i < e {
+                    match best {
+                        Some((bs, be)) if be - bs <= e - s => {}
+                        _ => best = Some((s, e)),
+                    }
+                }
+            }
+        }
+        if let Some((s, e)) = best {
+            guarded = toks[s..=e.min(toks.len() - 1)].iter().any(|t| {
+                t.kind == TokenKind::Ident
+                    && matches!(t.text.as_str(), "OnceLock" | "LazyLock" | "get_or_init")
+            });
+        }
+        if !guarded {
+            out.push(Violation {
+                lint: Lint::EnvOnce,
+                line: toks[i].line,
+                message: format!(
+                    "`env::{}` outside a OnceLock-guarded once-per-process reader",
+                    toks[i].text
                 ),
             });
         }

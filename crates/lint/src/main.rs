@@ -1,12 +1,12 @@
 //! CLI for octopus-lint. See `--help`.
 
 use octopus_lint::baseline::Baseline;
-use octopus_lint::{current_counts, find_workspace_root, run};
+use octopus_lint::{analyze, current_counts, find_workspace_root};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-octopus-lint: workspace determinism & panic-freedom analyzer (L1-L6)
+octopus-lint: workspace determinism & panic-freedom analyzer (L1-L10)
 
 USAGE: octopus-lint [OPTIONS]
 
@@ -15,9 +15,15 @@ OPTIONS:
                       first Cargo.toml containing [workspace])
   --baseline <FILE>   baseline file (default: <root>/lint-baseline.txt)
   --json              emit the machine-readable JSON report
+  --summary-md        emit a GitHub-flavored markdown summary table
+                      (for $GITHUB_STEP_SUMMARY)
+  --callgraph-dot     emit the reachable call-graph subgraph as Graphviz
+                      DOT (entry points double-circled) and exit 0
   --deny-new          exit nonzero if any violation exceeds the baseline
                       (this is already the default; the flag exists so CI
                       invocations read as intent)
+  --deny-baselined    exit nonzero if ANY finding exists, baselined or
+                      not (the hard-zero gate once debt is paid down)
   --update-baseline   rewrite the baseline from current findings and exit 0
   -h, --help          show this help
 ";
@@ -26,6 +32,9 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut json = false;
+    let mut summary_md = false;
+    let mut callgraph_dot = false;
+    let mut deny_baselined = false;
     let mut update_baseline = false;
 
     let mut args = std::env::args().skip(1);
@@ -34,7 +43,10 @@ fn main() -> ExitCode {
             "--root" => root = args.next().map(PathBuf::from),
             "--baseline" => baseline_path = args.next().map(PathBuf::from),
             "--json" => json = true,
+            "--summary-md" => summary_md = true,
+            "--callgraph-dot" => callgraph_dot = true,
             "--deny-new" => { /* default behavior; accepted for CI clarity */ }
+            "--deny-baselined" => deny_baselined = true,
             "--update-baseline" => update_baseline = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -71,13 +83,19 @@ fn main() -> ExitCode {
         Err(_) => Baseline::default(), // no baseline file: everything is new
     };
 
-    let report = match run(&root, &baseline) {
-        Ok(r) => r,
+    let analysis = match analyze(&root, &baseline) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("octopus-lint: walk failed: {e}");
             return ExitCode::from(2);
         }
     };
+    let report = analysis.report;
+
+    if callgraph_dot {
+        print!("{}", analysis.graph.render_dot());
+        return ExitCode::SUCCESS;
+    }
 
     if update_baseline {
         let text = Baseline::render(&current_counts(&report));
@@ -97,10 +115,13 @@ fn main() -> ExitCode {
 
     if json {
         print!("{}", report.render_json());
+    } else if summary_md {
+        print!("{}", report.render_summary_md());
     } else {
         print!("{}", report.render_text());
     }
-    if report.new_count() > 0 {
+    let deny = report.new_count() > 0 || (deny_baselined && report.baselined_count() > 0);
+    if deny {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -1,0 +1,554 @@
+//! Item-level recursive-descent parse of one lexed file.
+//!
+//! This sits between the lexer and the interprocedural lints (L7–L10): it
+//! recognizes `fn` items (free, in `impl` blocks, and `trait` default
+//! methods), resolves which impl/trait each one belongs to, records every
+//! call-shaped expression (`f(…)`, `Path::f(…)`, `.f(…)`, `mac!(…)`) with
+//! the function it occurs in, and parses `use` trees so the call-graph
+//! layer can disambiguate imported free functions.
+//!
+//! It is deliberately *not* a full Rust parser. It never builds an AST; it
+//! walks the token stream once, brace-matching bodies and angle-matching
+//! generics. Macro bodies are opaque (recorded as [`MacroSite`]s, never
+//! expanded), `dyn`/trait-object dispatch is resolved by method *name*
+//! only, and type inference does not exist. DESIGN.md §9 documents these
+//! blind spots; the lints built on top are tuned so the approximations
+//! err toward over-reporting reachability, never under-reporting.
+
+use crate::lexer::{LexOutput, Token, TokenKind};
+
+/// One `fn` item: name, enclosing impl/trait type, and its body token span.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Simple function name.
+    pub name: String,
+    /// Enclosing `impl Type`/`trait Type` simple name, `None` for free fns.
+    pub qual: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the body, inclusive of both braces.
+    /// `None` for bodyless trait signatures.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One call-shaped expression inside some function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Called name (last path segment / method name).
+    pub name: String,
+    /// Path qualifier (`Foo::bar` → `Some("Foo")`); `None` for direct and
+    /// method calls. `Self` is left as the literal `Self` — the call-graph
+    /// substitutes the enclosing impl type.
+    pub qual: Option<String>,
+    /// True for `.name(…)` method-call syntax.
+    pub method: bool,
+    /// 1-based source line.
+    pub line: u32,
+    /// Index (into the parsed file's `fns`) of the innermost enclosing
+    /// function, if any.
+    pub caller: Option<usize>,
+}
+
+/// One macro invocation (`name!(…)` / `name![…]` / `name!{…}`).
+#[derive(Debug, Clone)]
+pub struct MacroSite {
+    /// Macro name without the `!`.
+    pub name: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Innermost enclosing function, if any.
+    pub caller: Option<usize>,
+}
+
+/// One `use` binding: the in-scope alias and the full path it names.
+#[derive(Debug, Clone)]
+pub struct Import {
+    /// Name the item is visible as (last segment, or the `as` alias).
+    pub alias: String,
+    /// Full path segments, e.g. `["octopus_core", "engine", "select"]`.
+    pub path: Vec<String>,
+}
+
+/// The parse of one file: functions, call/macro sites, and imports.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// All `fn` items in source order.
+    pub fns: Vec<FnItem>,
+    /// All call-shaped expressions, attributed to their enclosing fn.
+    pub calls: Vec<CallSite>,
+    /// All macro invocations, attributed to their enclosing fn.
+    pub macros: Vec<MacroSite>,
+    /// All `use` bindings.
+    pub imports: Vec<Import>,
+}
+
+/// Keywords that look like `ident (` in expression position but are not
+/// calls (`if (a) …`, `match (a, b) …`, `return (x)`, …).
+fn is_expr_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "in"
+            | "as"
+            | "move"
+            | "break"
+            | "continue"
+            | "else"
+            | "unsafe"
+            | "await"
+            | "where"
+            | "let"
+            | "mut"
+            | "ref"
+            | "dyn"
+            | "impl"
+            | "pub"
+    )
+}
+
+/// Angle-bracket weight of a token: the lexer emits `<<`/`>>` as single
+/// shift tokens, but inside generics they close/open *two* levels
+/// (`Vec<Vec<T>>` lexes its tail as `>>`).
+fn angle_delta(text: &str) -> i32 {
+    match text {
+        "<" => 1,
+        "<<" => 2,
+        ">" => -1,
+        ">>" => -2,
+        _ => 0,
+    }
+}
+
+/// Skips a balanced `<…>` group starting at `i` (which must point at a `<`
+/// or `<<` token); returns the index just past the closing `>`.
+fn skip_generics(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        depth += angle_delta(&toks[j].text);
+        j += 1;
+        if depth <= 0 {
+            break;
+        }
+        // Safety valve: a stray `<` (comparison) never closes. Bail after a
+        // generous window rather than swallowing the rest of the file.
+        if j > i + 256 {
+            return i + 1;
+        }
+    }
+    j
+}
+
+/// Parses one lexed file into items, call sites, and imports.
+pub fn parse(lexed: &LexOutput) -> ParsedFile {
+    let toks = &lexed.tokens;
+    let mut out = ParsedFile::default();
+
+    // ---- pass 1: impl/trait scopes and fn items ------------------------
+    //
+    // Walk tokens tracking brace depth. `impl`/`trait` push a scope with
+    // their self-type name; `fn` records an item under the innermost scope
+    // and brace-matches its body (without consuming it, so nested fns are
+    // still discovered).
+    let mut depth: i32 = 0;
+    // (depth the scope's body opened at, qualifier)
+    let mut scopes: Vec<(i32, Option<String>)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => {
+                depth += 1;
+                i += 1;
+                continue;
+            }
+            "}" => {
+                depth -= 1;
+                while scopes.last().is_some_and(|(d, _)| *d > depth) {
+                    scopes.pop();
+                }
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" => {
+                let (qual, body_open) = parse_impl_header(toks, i);
+                if let Some(open) = body_open {
+                    // Register the scope as opening at the depth the body's
+                    // `{` will create.
+                    scopes.push((depth + 1, qual));
+                    depth += 1;
+                    i = open + 1;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            "trait" => {
+                let name = toks
+                    .get(i + 1)
+                    .filter(|n| n.kind == TokenKind::Ident)
+                    .map(|n| n.text.clone());
+                // Scan to the body `{` (or `;` for `trait Alias = …;`).
+                let mut j = i + 1;
+                while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+                    j += 1;
+                }
+                if toks.get(j).is_some_and(|t| t.text == "{") {
+                    scopes.push((depth + 1, name));
+                    depth += 1;
+                    i = j + 1;
+                } else {
+                    i = j;
+                }
+                continue;
+            }
+            "fn" => {
+                let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokenKind::Ident) else {
+                    i += 1;
+                    continue;
+                };
+                let qual = scopes.last().and_then(|(_, q)| q.clone());
+                let body = fn_body_span(toks, i + 2);
+                out.fns.push(FnItem {
+                    name: name_tok.text.clone(),
+                    qual,
+                    line: t.line,
+                    body,
+                });
+                // Continue *inside* the signature/body so nested items are
+                // found; brace depth bookkeeping happens naturally.
+                i += 2;
+                continue;
+            }
+            "use" => {
+                i = parse_use(toks, i + 1, &mut out.imports);
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // ---- pass 2: call and macro sites ----------------------------------
+    let enclosing = |tok_idx: usize| -> Option<usize> {
+        // Innermost fn body containing the token. Bodies nest properly, so
+        // the smallest containing span wins.
+        let mut best: Option<(usize, usize)> = None; // (span len, fn idx)
+        for (fi, f) in out.fns.iter().enumerate() {
+            if let Some((s, e)) = f.body {
+                if s < tok_idx && tok_idx < e {
+                    let len = e - s;
+                    match best {
+                        Some((blen, _)) if blen <= len => {}
+                        _ => best = Some((len, fi)),
+                    }
+                }
+            }
+        }
+        best.map(|(_, fi)| fi)
+    };
+
+    for i in 0..toks.len() {
+        if toks[i].kind != TokenKind::Ident || is_expr_keyword(&toks[i].text) {
+            continue;
+        }
+        let name = toks[i].text.clone();
+        let next = match toks.get(i + 1) {
+            Some(n) => n,
+            None => continue,
+        };
+        // Macro site: `name ! ( | [ | {`.
+        if next.text == "!"
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| matches!(t.text.as_str(), "(" | "[" | "{"))
+        {
+            out.macros.push(MacroSite {
+                name,
+                line: toks[i].line,
+                caller: enclosing(i),
+            });
+            continue;
+        }
+        // Call position: `name (` or `name :: < … > (` (turbofish).
+        let mut open = i + 1;
+        if next.text == "::" && toks.get(i + 2).is_some_and(|t| angle_delta(&t.text) > 0) {
+            open = skip_generics(toks, i + 2);
+        }
+        if !toks.get(open).is_some_and(|t| t.text == "(") {
+            continue;
+        }
+        let prev = if i > 0 { toks[i - 1].text.as_str() } else { "" };
+        if prev == "fn" {
+            continue; // declaration, not a call
+        }
+        let (qual, method) = match prev {
+            "." => (None, true),
+            "::" => (path_qualifier(toks, i), false),
+            _ => (None, false),
+        };
+        out.calls.push(CallSite {
+            name,
+            qual,
+            method,
+            line: toks[i].line,
+            caller: enclosing(i),
+        });
+    }
+    out
+}
+
+/// For a path call `… :: name (`, walks back from `name` (at `i`, with
+/// `toks[i-1] == "::"`) to the qualifying segment: `Foo::bar` → `Foo`,
+/// `a::b::c` → `b`, `Foo::<T>::bar` → `Foo`, `<Foo as Trait>::bar` → `Foo`.
+fn path_qualifier(toks: &[Token], i: usize) -> Option<String> {
+    if i < 2 {
+        return None;
+    }
+    let mut j = i - 2; // token before the `::`
+                       // `::<T>` turbofish between qualifier and name: skip the group back.
+    if angle_delta(&toks[j].text) < 0 {
+        let mut depth = 0i32;
+        loop {
+            depth -= angle_delta(&toks[j].text);
+            if depth <= 0 || j == 0 {
+                break;
+            }
+            j -= 1;
+        }
+        // Qualified path `<Foo as Trait>::bar`: take the first ident after
+        // the opening `<`.
+        if toks.get(j).is_some_and(|t| angle_delta(&t.text) > 0) {
+            return toks
+                .get(j + 1)
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.clone());
+        }
+        // `Foo::<T>::bar`: the segment sits before another `::`.
+        if j >= 2 && toks[j - 1].text == "::" && toks[j - 2].kind == TokenKind::Ident {
+            return Some(toks[j - 2].text.clone());
+        }
+        return None;
+    }
+    if toks[j].kind == TokenKind::Ident {
+        return Some(toks[j].text.clone());
+    }
+    None
+}
+
+/// Parses an `impl` header starting at the `impl` token: returns the
+/// self-type's simple name (last path segment; the type after `for` in
+/// trait impls) and the index of the body's `{`, or `None` if the header
+/// never opens a body (e.g. a malformed fragment).
+fn parse_impl_header(toks: &[Token], impl_idx: usize) -> (Option<String>, Option<usize>) {
+    let mut j = impl_idx + 1;
+    // Generic params on the impl itself.
+    if toks.get(j).is_some_and(|t| angle_delta(&t.text) > 0) {
+        j = skip_generics(toks, j);
+    }
+    let mut last_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut seen_for = false;
+    while let Some(t) = toks.get(j) {
+        match t.text.as_str() {
+            "{" => {
+                let name = if seen_for { after_for } else { last_ident };
+                return (name, Some(j));
+            }
+            ";" => return (None, None),
+            "where" => {
+                // Where clause: scan to the body `{` without recording type
+                // names from bounds.
+                let mut k = j + 1;
+                let mut angle = 0i32;
+                while let Some(w) = toks.get(k) {
+                    angle += angle_delta(&w.text);
+                    if w.text == "{" && angle <= 0 {
+                        let name = if seen_for { after_for } else { last_ident };
+                        return (name, Some(k));
+                    }
+                    if w.text == ";" {
+                        return (None, None);
+                    }
+                    k += 1;
+                }
+                return (None, None);
+            }
+            "for" => {
+                // `for<'a>` HRTB is part of a bound, not the trait-impl
+                // separator.
+                if toks.get(j + 1).is_some_and(|n| angle_delta(&n.text) > 0) {
+                    j = skip_generics(toks, j + 1);
+                    continue;
+                }
+                seen_for = true;
+                j += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if angle_delta(&t.text) > 0 {
+            j = skip_generics(toks, j);
+            continue;
+        }
+        if t.kind == TokenKind::Ident && t.text != "dyn" && t.text != "mut" {
+            if seen_for {
+                after_for = Some(t.text.clone());
+            } else {
+                last_ident = Some(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    (None, None)
+}
+
+/// Finds the body span of a `fn` whose signature starts at `sig_start`
+/// (just past the name): scans over parens/brackets/generics to the body
+/// `{` (brace-matched, inclusive span) or a `;` (bodyless signature).
+fn fn_body_span(toks: &[Token], sig_start: usize) -> Option<(usize, usize)> {
+    let mut j = sig_start;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(j) {
+        match t.text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" if paren == 0 && bracket == 0 && angle <= 0 => {
+                // Body found: brace-match it.
+                let start = j;
+                let mut depth = 0i32;
+                while let Some(b) = toks.get(j) {
+                    match b.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some((start, j));
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                return Some((start, toks.len().saturating_sub(1)));
+            }
+            ";" if paren == 0 && bracket == 0 => return None,
+            _ => angle += angle_delta(&t.text),
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses a `use` item starting just past the `use` keyword; appends every
+/// leaf binding to `imports` and returns the index past the closing `;`.
+fn parse_use(toks: &[Token], start: usize, imports: &mut Vec<Import>) -> usize {
+    // Collect the token span up to the `;`, then parse the tree textually
+    // over tokens (groups `{…}` may nest).
+    let mut end = start;
+    let mut brace = 0i32;
+    while let Some(t) = toks.get(end) {
+        match t.text.as_str() {
+            "{" => brace += 1,
+            "}" => brace -= 1,
+            ";" if brace <= 0 => break,
+            _ => {}
+        }
+        end += 1;
+    }
+    parse_use_tree(toks, start, end, &[], imports);
+    end + 1
+}
+
+/// Recursive use-tree walk over `toks[lo..hi]` with the accumulated path
+/// `prefix`. Handles `a::b`, `a::{b, c::d}`, `a as e`, and `a::*` (globs
+/// are recorded with alias `*` and skipped by resolution).
+fn parse_use_tree(
+    toks: &[Token],
+    lo: usize,
+    hi: usize,
+    prefix: &[String],
+    imports: &mut Vec<Import>,
+) {
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = lo;
+    while j < hi {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "::" => {
+                j += 1;
+            }
+            "{" => {
+                // Split the group body on top-level commas; recurse on each.
+                let mut depth = 1i32;
+                let mut item_lo = j + 1;
+                let mut k = j + 1;
+                while k < hi && depth > 0 {
+                    match toks[k].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        "," if depth == 1 => {
+                            let p: Vec<String> =
+                                prefix.iter().chain(segs.iter()).cloned().collect();
+                            parse_use_tree(toks, item_lo, k, &p, imports);
+                            item_lo = k + 1;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let group_end = k.saturating_sub(1); // index of the `}`
+                let p: Vec<String> = prefix.iter().chain(segs.iter()).cloned().collect();
+                parse_use_tree(toks, item_lo, group_end, &p, imports);
+                return;
+            }
+            "*" => {
+                let path: Vec<String> = prefix.iter().chain(segs.iter()).cloned().collect();
+                imports.push(Import {
+                    alias: "*".to_string(),
+                    path,
+                });
+                return;
+            }
+            "as" => {
+                let alias = toks
+                    .get(j + 1)
+                    .filter(|a| a.kind == TokenKind::Ident)
+                    .map(|a| a.text.clone());
+                let path: Vec<String> = prefix.iter().chain(segs.iter()).cloned().collect();
+                if let (Some(alias), false) = (alias, path.is_empty()) {
+                    imports.push(Import { alias, path });
+                }
+                return;
+            }
+            _ if t.kind == TokenKind::Ident => {
+                segs.push(t.text.clone());
+                j += 1;
+                continue;
+            }
+            _ => {
+                j += 1;
+                continue;
+            }
+        }
+    }
+    if let Some(last) = segs.last().cloned() {
+        let path: Vec<String> = prefix.iter().chain(segs.iter()).cloned().collect();
+        imports.push(Import { alias: last, path });
+    }
+}

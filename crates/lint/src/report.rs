@@ -74,6 +74,42 @@ impl Report {
         out
     }
 
+    /// GitHub-flavored markdown summary table (for `$GITHUB_STEP_SUMMARY`):
+    /// one row per lint with new/baselined counts, then a verdict line.
+    pub fn render_summary_md(&self) -> String {
+        use crate::lints::Lint;
+        let mut new_by: BTreeMap<Lint, usize> = BTreeMap::new();
+        let mut base_by: BTreeMap<Lint, usize> = BTreeMap::new();
+        for f in &self.files {
+            for (v, is_new) in &f.violations {
+                let slot = if *is_new { &mut new_by } else { &mut base_by };
+                *slot.entry(v.lint).or_default() += 1;
+            }
+        }
+        let mut out = String::from("### octopus-lint report\n\n");
+        out.push_str("| lint | key | new | baselined |\n|---|---|---:|---:|\n");
+        for lint in Lint::ALL {
+            out.push_str(&format!(
+                "| {} | `{}` | {} | {} |\n",
+                lint.code(),
+                lint.key(),
+                new_by.get(&lint).copied().unwrap_or(0),
+                base_by.get(&lint).copied().unwrap_or(0)
+            ));
+        }
+        out.push_str(&format!(
+            "\n**{} new, {} baselined** — {}\n",
+            self.new_count(),
+            self.baselined_count(),
+            if self.new_count() == 0 {
+                "gate passes"
+            } else {
+                "gate FAILS"
+            }
+        ));
+        out
+    }
+
     /// Machine-readable JSON (stable key order, no external deps).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n  \"violations\": [");

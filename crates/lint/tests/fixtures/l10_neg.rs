@@ -1,0 +1,14 @@
+// L10 negative fixture: the sanctioned once-per-process knob shape — the
+// read sits inside a `OnceLock::get_or_init` initializer.
+use std::sync::OnceLock;
+
+static THREADS: OnceLock<usize> = OnceLock::new();
+
+pub fn threads() -> usize {
+    *THREADS.get_or_init(|| {
+        std::env::var("OCTOPUS_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1)
+    })
+}

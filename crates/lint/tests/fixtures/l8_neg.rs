@@ -1,0 +1,13 @@
+// L8 negative fixture: float literals, float casts, `f64`-typed bindings,
+// checked arithmetic, and a bound-documenting pragma are all quiet.
+
+pub fn settle(price: i64, weight: f64) -> f64 {
+    let x = weight * 2.0;
+    let y = price as f64 * 1.5;
+    let z = 3.0 + weight;
+    let w = x * price as f64;
+    let c = price.checked_mul(3).unwrap_or(i64::MAX);
+    // lint:allow(unchecked-arith) — bound: fixture pragma, |price| < 2^31 so the square fits i64
+    let p = price * price;
+    y + z + w + c as f64 + p as f64
+}

@@ -1,0 +1,15 @@
+// L8 positive fixture: raw `+`/`*`/`<<` (and assign forms) touching
+// price/value-carrying integer identifiers.
+
+pub fn settle(price: i64, bid: i64) -> i64 {
+    let total = price + bid;
+    let scaled = 4 * best_value(bid);
+    let shifted = bid << 2;
+    let mut acc = 0i64;
+    acc += price;
+    total - scaled - shifted - acc
+}
+
+fn best_value(v: i64) -> i64 {
+    v
+}

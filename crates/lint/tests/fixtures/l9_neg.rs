@@ -1,0 +1,27 @@
+// L9 negative fixture: proof pragmas, stronger orderings, and test code
+// are all quiet.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // lint:allow(atomic-ordering) — RMW claim counter: fetch_add atomicity partitions ids, no data flows through the value
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn publish(counter: &AtomicU64, v: u64) {
+    counter.store(v, Ordering::Release)
+}
+
+pub fn read(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxed_in_tests_is_fine() {
+        let c = AtomicU64::new(0);
+        assert_eq!(c.load(Ordering::Relaxed), 0);
+    }
+}

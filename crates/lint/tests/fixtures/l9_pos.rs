@@ -1,0 +1,10 @@
+// L9 positive fixture: `Ordering::Relaxed` without a proof pragma.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn peek(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}

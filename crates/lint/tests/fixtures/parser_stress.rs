@@ -1,0 +1,52 @@
+// Parser stress fixture: generics with shift-token tails, where clauses,
+// HRTBs, trait objects, qualified paths, opaque macros, and nested fns.
+// Deliberately gnarly (and not compilable) — it exercises the item parser,
+// not the lints.
+use octopus_core::engine::{select, commit as do_commit};
+use octopus_net::*;
+
+pub struct Planner<T> {
+    inner: Vec<T>,
+}
+
+impl<T: Clone + Ord> Planner<T>
+where
+    T: Send + Sync,
+{
+    pub fn plan<F: for<'a> Fn(&'a T) -> bool>(&self, keep: F) -> usize {
+        let kept = self.inner.iter().filter(|x| keep(x)).count();
+        helper::<T>(kept);
+        Self::rank(kept)
+    }
+
+    fn rank(n: usize) -> usize {
+        n << 1
+    }
+}
+
+impl Planner<u32> {
+    pub fn dispatch(&self, obj: &dyn Runner) -> u32 {
+        obj.run(self.inner.len() as u32)
+    }
+}
+
+pub trait Runner {
+    fn run(&self, n: u32) -> u32;
+
+    fn twice(&self, n: u32) -> u32 {
+        self.run(n) + self.run(n)
+    }
+}
+
+fn helper<T>(n: usize) -> usize {
+    let shifted: Vec<Vec<usize>> = vec![vec![n]];
+    shifted.len()
+}
+
+pub fn outer() -> usize {
+    fn nested(x: usize) -> usize {
+        x + 1
+    }
+    let v = <Planner<u32> as Clone>::clone(&Planner { inner: Vec::new() });
+    nested(v.inner.len())
+}

@@ -175,6 +175,7 @@ pub struct AuctionSolver {
 }
 
 impl Default for AuctionSolver {
+    // lint:allow(hot-alloc) — amortized: empty Vec::new()s at workspace construction; buffers grow on first solve and are reused across solves — the reuse is the point of the workspace
     fn default() -> Self {
         AuctionSolver {
             nl: 0,
@@ -404,6 +405,7 @@ impl AuctionSolver {
                 // then ties-away rounding: deterministic on every IEEE-754
                 // platform. Values scaled under the bit budget fit i64
                 // comfortably even after the certification multiplier.
+                // lint:allow(unchecked-arith) — bound: |w·mult| < 2^38 (value_bits_for) and certify = N+1, so the product stays under (N+2)²·2^38 < 2^61 « i64::MAX.
                 let scaled = (w * mult).round() as i64 * certify;
                 *dst = scaled;
                 sval_max = sval_max.max(scaled);
@@ -594,6 +596,7 @@ impl AuctionSolver {
                 }
             }
         }
+        // lint:allow(unchecked-arith) — bound: |best_val|, |second|, eps ≤ (N+2)·vmax_scaled < 2^61 (doc comment above / value_bits_for), so the i64 sum cannot overflow.
         (best_obj, best_val - second + eps)
     }
 }

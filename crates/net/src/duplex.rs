@@ -76,13 +76,20 @@ impl DuplexNetwork {
     /// Projects to the equivalent directed network: each undirected edge
     /// becomes the two directed edges `(a→b)` and `(b→a)`.
     pub fn to_directed(&self) -> Network {
-        Network::from_edges(
+        let projected = Network::from_edges(
             self.n,
             self.edges
                 .iter()
                 .flat_map(|&(a, b)| [(a.0, b.0), (b.0, a.0)]),
-        )
-        .expect("projection of a valid duplex network is valid")
+        );
+        match projected {
+            Ok(net) => net,
+            Err(_) => {
+                debug_assert!(false, "projection of a valid duplex network is valid");
+                // lint:allow(hot-alloc) — cold: debug-asserted fallback arm, never taken for a valid network
+                Network::from_sorted_edges(self.n, Vec::new())
+            }
+        }
     }
 }
 
@@ -95,6 +102,7 @@ pub struct DuplexMatching {
 
 impl DuplexMatching {
     /// Builds and validates a duplex matching against a duplex network.
+    // lint:allow(hot-alloc) — amortized: per-realize topology/matching construction; runs once per committed window
     pub fn new<I, E>(net: &DuplexNetwork, edges: I) -> Result<Self, NetError>
     where
         I: IntoIterator<Item = E>,
@@ -147,12 +155,19 @@ impl DuplexMatching {
     /// Projects to a directed matching with both directions of every edge
     /// active simultaneously (valid because every node is in ≤ 1 edge).
     pub fn to_directed(&self) -> Matching {
-        Matching::new_free(
+        let projected = Matching::new_free(
             self.edges
                 .iter()
                 .flat_map(|&(a, b)| [(a.0, b.0), (b.0, a.0)]),
-        )
-        .expect("projection of a duplex matching is a directed matching")
+        );
+        let Ok(m) = projected else {
+            debug_assert!(
+                false,
+                "projection of a duplex matching is a directed matching"
+            );
+            return Matching::default();
+        };
+        m
     }
 }
 

@@ -52,6 +52,7 @@ impl Matching {
         Self::new_unchecked_edges(links)
     }
 
+    // lint:allow(hot-alloc) — amortized: per-realize topology/matching construction; runs once per committed window
     fn new_unchecked_edges<I, E>(links: I) -> Result<Self, NetError>
     where
         I: IntoIterator<Item = E>,
@@ -88,6 +89,7 @@ impl Matching {
     /// The graph-membership check is the caller's responsibility (compose
     /// with [`Network::has_edge`]); port-capacity invariants are enforced
     /// here. `r = 1` is equivalent to [`Matching::new_free`].
+    // lint:allow(hot-alloc) — amortized: per-realize topology/matching construction; runs once per committed window
     pub fn new_free_with_capacity<I, E>(links: I, r: u32) -> Result<Self, NetError>
     where
         I: IntoIterator<Item = E>,

@@ -423,10 +423,12 @@ impl<'a> Engine<'a> {
                 budget -= take;
                 self.pos_counts[fi as usize][pos as usize] -= take;
                 if self.pos_counts[fi as usize][pos as usize] == 0 {
-                    self.voqs[i.index()]
-                        .get_mut(&j.0)
-                        .expect("queue exists")
-                        .remove(&key);
+                    match self.voqs[i.index()].get_mut(&j.0) {
+                        Some(q) => {
+                            q.remove(&key);
+                        }
+                        None => debug_assert!(false, "drained VOQ exists"),
+                    }
                 }
                 self.account_traversal(fi, pos, take);
                 let new_pos = pos + 1;
@@ -470,10 +472,12 @@ impl<'a> Engine<'a> {
         };
         self.pos_counts[fi as usize][pos as usize] -= 1;
         if self.pos_counts[fi as usize][pos as usize] == 0 {
-            self.voqs[i.index()]
-                .get_mut(&j.0)
-                .expect("queue exists")
-                .remove(&key);
+            match self.voqs[i.index()].get_mut(&j.0) {
+                Some(q) => {
+                    q.remove(&key);
+                }
+                None => debug_assert!(false, "drained VOQ exists"),
+            }
         }
         self.account_traversal(fi, pos, 1);
         let new_pos = pos + 1;
@@ -509,7 +513,10 @@ impl<'a> Engine<'a> {
             if due > t {
                 return;
             }
-            let batch = self.arrivals.remove(&due).expect("key just observed");
+            let Some(batch) = self.arrivals.remove(&due) else {
+                debug_assert!(false, "key was just observed in the map");
+                return;
+            };
             for (fi, pos, count) in batch {
                 self.admit(fi, pos, count);
             }

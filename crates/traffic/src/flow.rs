@@ -78,7 +78,13 @@ impl Route {
     /// Destination node.
     #[inline]
     pub fn dst(&self) -> NodeId {
-        *self.nodes.last().expect("routes are non-empty")
+        match self.nodes.last() {
+            Some(&n) => n,
+            None => {
+                debug_assert!(false, "routes have ≥ 2 nodes by construction");
+                NodeId(0)
+            }
+        }
     }
 
     /// The directed link for hop `x` (0-based).
@@ -279,8 +285,21 @@ impl TrafficLoad {
 }
 
 impl FromIterator<Flow> for TrafficLoad {
+    /// Collects flows into a load, keeping the **first** flow per id:
+    /// duplicate ids are a caller bug (debug-asserted) but degrade to a
+    /// deterministic load instead of a panic. Use [`TrafficLoad::new`] to
+    /// reject duplicates explicitly.
     fn from_iter<T: IntoIterator<Item = Flow>>(iter: T) -> Self {
-        TrafficLoad::new(iter.into_iter().collect()).expect("duplicate flow ids")
+        let mut ids = std::collections::HashSet::new();
+        let flows: Vec<Flow> = iter
+            .into_iter()
+            .filter(|f| {
+                let fresh = ids.insert(f.id);
+                debug_assert!(fresh, "duplicate flow id {} in FromIterator", f.id);
+                fresh
+            })
+            .collect();
+        TrafficLoad { flows }
     }
 }
 

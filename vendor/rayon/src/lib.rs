@@ -41,16 +41,30 @@ static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
 const MIN_PAR_LEN: usize = 4;
 
 /// The number of worker threads parallel adapters will use.
+/// Parses an `OCTOPUS_THREADS` value: a positive integer worker count,
+/// surrounding whitespace tolerated. `None` means unrecognized. Split out
+/// of [`current_num_threads`] so the accepted grammar is unit-testable
+/// without touching the process environment.
+fn parse_env_threads(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
 pub fn current_num_threads() -> usize {
+    // lint:allow(atomic-ordering) — proof: standalone word-sized config read; the count is set once before workers spawn and no other memory is published through it.
     let explicit = GLOBAL_OVERRIDE.load(Ordering::Relaxed);
     if explicit > 0 {
         return explicit;
     }
     if let Some(n) = *ENV_THREADS.get_or_init(|| {
-        std::env::var("OCTOPUS_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
+        let v = std::env::var("OCTOPUS_THREADS").ok()?;
+        let parsed = parse_env_threads(&v);
+        if parsed.is_none() {
+            eprintln!(
+                "octopus: ignoring unrecognized OCTOPUS_THREADS={v:?} \
+                 (accepted values: a positive integer worker count)"
+            );
+        }
+        parsed
     }) {
         return n;
     }
@@ -95,6 +109,7 @@ impl ThreadPoolBuilder {
     /// Installs the configured worker count globally. Last call wins
     /// (upstream rayon errors on reinstallation; see module docs).
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        // lint:allow(atomic-ordering) — proof: single word-sized config store, called before any scoped workers exist; scope spawn/join provide the happens-before edge for readers.
         GLOBAL_OVERRIDE.store(self.num_threads, Ordering::Relaxed);
         Ok(())
     }
@@ -298,7 +313,7 @@ pub mod steal {
                         let mut acc: Option<U> = None;
                         let mut claimed = 0u32;
                         loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let i = cursor.fetch_add(1, Ordering::Relaxed); // lint:allow(atomic-ordering) — proof: RMW claim counter; atomicity alone partitions indices disjointly, and results flow back through join, not through this cell.
                             let Some(item) = items.get(i) else { break };
                             let mapped = map(item);
                             acc = Some(match acc {
@@ -380,7 +395,7 @@ pub mod steal {
                         let mut acc: Option<U> = None;
                         let mut mapped = 0u32;
                         loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let i = cursor.fetch_add(1, Ordering::Relaxed); // lint:allow(atomic-ordering) — proof: RMW claim counter; atomicity alone partitions indices disjointly, and results flow back through join, not through this cell.
                             let Some(item) = items.get(i) else { break };
                             let Some(v) = map(item) else { continue };
                             mapped += 1;
@@ -464,6 +479,19 @@ mod tests {
 
     /// Serializes tests that mutate the process-global worker count.
     static GLOBAL_KNOB: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn threads_env_grammar_is_strict() {
+        assert_eq!(super::parse_env_threads("4"), Some(4));
+        assert_eq!(super::parse_env_threads(" 8 "), Some(8));
+        for bad in ["", "0", "-1", "many", "4.0", "4,8"] {
+            assert_eq!(
+                super::parse_env_threads(bad),
+                None,
+                "{bad:?} must be rejected"
+            );
+        }
+    }
 
     #[test]
     fn map_reduce_matches_sequential() {
